@@ -1,0 +1,10 @@
+"""Paper-reproduction benchmarks (pytest-benchmark harness).
+
+One module per table/figure of the paper; see DESIGN.md's experiment
+index.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Workload sizes scale with the REPRO_BENCH_SCALE environment variable
+(default 0.5; use 1.0 for the paper's exact sizes).
+"""

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the core primitives (proper pytest-benchmark use).
+
+Not a paper figure: these track the per-operation costs that the macro
+experiments are built from — one DP extension, one sample unit, one full
+PT-k query at the default configuration — so performance regressions in
+the primitives are caught independently of workload shape.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.core.exact import ExactVariant, exact_ptk_query
+from repro.core.rule_compression import rule_index_of_table
+from repro.core.sampling import WorldSampler
+from repro.core.subset_probability import SubsetProbabilityVector
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.query.topk import TopKQuery
+
+
+@pytest.fixture(scope="module")
+def workload():
+    scale = bench_scale()
+    table = generate_synthetic_table(
+        SyntheticConfig(
+            n_tuples=max(500, int(20_000 * scale)),
+            n_rules=max(50, int(2_000 * scale)),
+            seed=7,
+        )
+    )
+    k = max(10, int(200 * scale))
+    return table, k
+
+
+def test_subset_probability_extension(benchmark):
+    vector = SubsetProbabilityVector(201)
+    benchmark(vector.extend, 0.5)
+
+
+def test_subset_probability_thousand_extensions(benchmark):
+    def run():
+        vector = SubsetProbabilityVector(201)
+        for _ in range(1000):
+            vector.extend(0.5)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_sample_unit_generation(benchmark, workload):
+    table, k = workload
+    query = TopKQuery(k=k)
+    ranked = query.ranking.rank_table(table)
+    sampler = WorldSampler(ranked, rule_index_of_table(table), k=k)
+    rng = np.random.default_rng(0)
+    benchmark(sampler.sample_unit, rng)
+
+
+@pytest.mark.parametrize("variant", list(ExactVariant), ids=lambda v: v.value)
+def test_exact_query_variants(benchmark, workload, variant):
+    table, k = workload
+    query = TopKQuery(k=k)
+    benchmark.pedantic(
+        lambda: exact_ptk_query(table, query, 0.3, variant=variant),
+        rounds=3,
+        iterations=1,
+    )

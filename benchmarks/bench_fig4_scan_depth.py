@@ -1,0 +1,77 @@
+"""E3 — Figure 4: scan depth, sample length and answer size.
+
+Four panels, one per swept parameter: expected membership probability,
+rule complexity, k, and the probability threshold p.  For each panel the
+series are the exact algorithm's scan depth, the sampler's average
+sample length, and the answer-set size — the same series the paper
+plots.
+
+Shape assertions encode the paper's qualitative findings (Section 6.2):
+scan depth is a small fraction of the table; the answer set peaks at
+membership probability ~0.5; depth and answers grow with k; answers
+shrink sharply with p while depth shrinks slower.
+"""
+
+from benchmarks.conftest import emit, emit_chart
+from repro.bench.sweeps import figure4_view
+
+
+def _panel(benchmark, sweep_cache, axis: str):
+    sweep = benchmark.pedantic(
+        lambda: sweep_cache(axis), rounds=1, iterations=1
+    )
+    view = figure4_view(sweep)
+    emit(view, f"fig4_{axis}.txt")
+    emit_chart(
+        sweep,
+        x=axis,
+        series=["scan_depth", "sample_length", "answer_size"],
+        filename=f"fig4_{axis}.txt",
+    )
+    return sweep
+
+
+def test_fig4a_membership_probability(benchmark, sweep_cache, sweep_settings):
+    sweep = _panel(benchmark, sweep_cache, "membership")
+    rows = sweep.as_dicts()
+    n = sweep_settings.scaled(sweep_settings.n_tuples)
+    # pruning keeps the scan shallow everywhere
+    assert all(row["scan_depth"] < n / 2 for row in rows)
+    # the answer set is largest at maximum uncertainty (mu ~ 0.5) and
+    # smallest when tuples are near-certain (paper Fig 4a)
+    by_mu = {row["membership"]: row["answer_size"] for row in rows}
+    assert by_mu[0.5] >= by_mu[0.9]
+
+
+def test_fig4b_rule_complexity(benchmark, sweep_cache):
+    sweep = _panel(benchmark, sweep_cache, "rule_complexity")
+    rows = sweep.as_dicts()
+    # longer rules -> smaller member probabilities -> deeper scans
+    assert rows[-1]["scan_depth"] >= rows[0]["scan_depth"] * 0.8
+
+
+def test_fig4c_k(benchmark, sweep_cache):
+    sweep = _panel(benchmark, sweep_cache, "k")
+    depths = [row["scan_depth"] for row in sweep.as_dicts()]
+    answers = [row["answer_size"] for row in sweep.as_dicts()]
+    # both grow (roughly linearly) with k
+    assert depths == sorted(depths)
+    assert answers == sorted(answers)
+    # sample length tracks scan depth closely (paper's observation)
+    for row in sweep.as_dicts():
+        assert row["sample_length"] < 3 * row["scan_depth"] + 50
+
+
+def test_fig4d_threshold(benchmark, sweep_cache):
+    sweep = _panel(benchmark, sweep_cache, "threshold")
+    rows = sweep.as_dicts()
+    answers = [row["answer_size"] for row in rows]
+    depths = [row["scan_depth"] for row in rows]
+    # answer size drops sharply as p grows
+    assert answers == sorted(answers, reverse=True)
+    assert answers[-1] < answers[0]
+    # scan depth decreases slower than the answer set (paper Fig 4d)
+    if answers[0] > 0 and answers[-1] > 0 and depths[0] > 0:
+        answer_drop = answers[0] / max(answers[-1], 1)
+        depth_drop = depths[0] / max(depths[-1], 1)
+        assert depth_drop <= answer_drop + 1e-9

@@ -1,0 +1,78 @@
+"""E4 — Figure 5: runtime of RC / RC+AR / RC+LR / sampling.
+
+Same four sweeps as Figure 4 (the underlying measurements are shared
+through the session cache), projected onto the runtime columns.
+
+Shape assertions: reordering helps (RC+LR never materially slower than
+RC), lazy beats aggressive in DP-extension cost everywhere, sampling's
+runtime is comparatively flat, and at large k sampling overtakes the
+exact algorithm (the paper's crossover justifying both algorithms).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit, emit_chart
+from repro.bench.sweeps import figure5_view
+
+#: Runtime-shape assertions need workloads big enough that wall-clock
+#: differences dominate noise; below this scale only the (deterministic)
+#: extension-count ordering is asserted.
+MIN_SCALE_FOR_RUNTIME_SHAPES = 0.25
+
+
+def _panel(benchmark, sweep_cache, axis: str):
+    sweep = benchmark.pedantic(
+        lambda: sweep_cache(axis), rounds=1, iterations=1
+    )
+    emit(figure5_view(sweep), f"fig5_{axis}.txt")
+    emit_chart(
+        sweep,
+        x=axis,
+        series=[
+            "runtime_rc",
+            "runtime_rc_ar",
+            "runtime_rc_lr",
+            "runtime_sampling",
+        ],
+        filename=f"fig5_{axis}.txt",
+        log_y=True,
+    )
+    return sweep
+
+
+def _assert_reordering_extension_ordering(sweep):
+    for row in sweep.as_dicts():
+        assert row["ext_rc_lr"] <= row["ext_rc_ar"] <= row["ext_rc"]
+
+
+def test_fig5a_membership_probability(benchmark, sweep_cache):
+    sweep = _panel(benchmark, sweep_cache, "membership")
+    _assert_reordering_extension_ordering(sweep)
+
+
+def test_fig5b_rule_complexity(benchmark, sweep_cache):
+    sweep = _panel(benchmark, sweep_cache, "rule_complexity")
+    _assert_reordering_extension_ordering(sweep)
+
+
+def test_fig5c_k(benchmark, sweep_cache):
+    sweep = _panel(benchmark, sweep_cache, "k")
+    _assert_reordering_extension_ordering(sweep)
+    if bench_scale() < MIN_SCALE_FOR_RUNTIME_SHAPES:
+        pytest.skip("runtime shapes need REPRO_BENCH_SCALE >= 0.25")
+    rows = sweep.as_dicts()
+    # paper: exact (RC+LR) wins at small k, sampling wins at large k
+    small, large = rows[0], rows[-1]
+    assert small["runtime_rc_lr"] < small["runtime_sampling"]
+    assert large["runtime_sampling"] < large["runtime_rc"]
+    # sampling runtime is the most stable across the sweep
+    lr = [row["runtime_rc_lr"] for row in rows]
+    sampling = [row["runtime_sampling"] for row in rows]
+    assert (max(sampling) / max(min(sampling), 1e-9)) < (
+        max(lr) / max(min(lr), 1e-9)
+    )
+
+
+def test_fig5d_threshold(benchmark, sweep_cache):
+    sweep = _panel(benchmark, sweep_cache, "threshold")
+    _assert_reordering_extension_ordering(sweep)

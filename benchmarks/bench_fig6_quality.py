@@ -1,0 +1,87 @@
+"""E5 — Figure 6: approximation quality of the sampling method.
+
+Panels (a)/(b): average relative error of estimated top-k probabilities
+vs sample size for two k values, with the Chernoff–Hoeffding bound as
+the reference curve.  Panels (c)/(d): precision and recall of the
+sampled answer set.
+
+Shape assertions from the paper: the measured error is far below the
+theoretical bound, error decreases with sample size, larger k needs more
+samples for the same error, and precision/recall are high (the paper
+reports > 97% at its sample sizes).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.quality import convergence_experiment, quality_experiment
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+
+
+@pytest.fixture(scope="module")
+def workload():
+    scale = bench_scale()
+    config = SyntheticConfig(
+        n_tuples=max(500, int(20_000 * scale)),
+        n_rules=max(50, int(2_000 * scale)),
+        seed=11,
+    )
+    k_small = max(5, int(200 * scale))
+    k_large = max(20, int(1_000 * scale))
+    return generate_synthetic_table(config), k_small, k_large
+
+
+def test_fig6_error_rate_small_k(benchmark, workload):
+    table, k_small, _ = workload
+    result = benchmark.pedantic(
+        lambda: quality_experiment(k=k_small, table=table),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, "fig6_error_small_k.txt")
+    errors = result.column("error_rate")
+    bounds = result.column("ch_bound")
+    # measured error is well under the Chernoff-Hoeffding bound
+    assert all(e < b for e, b in zip(errors, bounds))
+    # error shrinks as the sample grows (allow small monte-carlo noise)
+    assert errors[-1] < errors[0] + 0.01
+
+
+def test_fig6_error_rate_large_k(benchmark, workload):
+    table, k_small, k_large = workload
+    result = benchmark.pedantic(
+        lambda: quality_experiment(k=k_large, table=table),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, "fig6_error_large_k.txt")
+    small = quality_experiment(k=k_small, table=table)
+    # at the same (small) sample size, larger k has larger error
+    assert (
+        result.column("error_rate")[0] >= small.column("error_rate")[0] - 0.02
+    )
+
+
+def test_fig6_precision_recall(benchmark, workload):
+    table, k_small, _ = workload
+    result = benchmark.pedantic(
+        lambda: quality_experiment(k=k_small, table=table),
+        rounds=1,
+        iterations=1,
+    )
+    # at the largest sample size both precision and recall are high
+    assert result.column("precision")[-1] > 0.93
+    assert result.column("recall")[-1] > 0.93
+
+
+def test_fig6_progressive_convergence(benchmark, workload):
+    table, k_small, _ = workload
+    result = benchmark.pedantic(
+        lambda: convergence_experiment(k=k_small, seed=11, table=table),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, "fig6_progressive.txt")
+    drawn = result.column("units_drawn")
+    # a tighter phi can only need more (or equal) samples
+    assert drawn == sorted(drawn)

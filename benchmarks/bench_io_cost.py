@@ -1,0 +1,63 @@
+"""E10 — I/O view of pruning: index pages read vs table size.
+
+The scan-depth savings of Figure 4/7 only matter because retrieval has
+a per-page cost in a disk-resident system.  This benchmark runs the
+PT-k query through the paged ranked index and reports index pages read
+with pruning on, versus the pages a full scan would read — the I/O
+translation of "only a very small portion of the tuples are retrieved".
+"""
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.harness import ExperimentTable
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.storage import RankedIndex
+from repro.storage.index import ptk_query_over_index
+
+
+def test_pages_read_vs_table_size(benchmark):
+    scale = bench_scale()
+    k = max(10, int(200 * scale))
+
+    def run() -> ExperimentTable:
+        result = ExperimentTable(
+            title=f"Index pages read by the pruned PT-k scan (k={k}, p=0.3)",
+            columns=[
+                "n_tuples",
+                "total_pages",
+                "pages_read",
+                "fraction_read",
+                "scan_depth",
+            ],
+            notes="page capacity 64 tuples; rules at 10% of tuples",
+        )
+        for n in (5_000, 10_000, 20_000, 40_000):
+            n_scaled = max(500, int(n * scale))
+            table = generate_synthetic_table(
+                SyntheticConfig(
+                    n_tuples=n_scaled, n_rules=n_scaled // 10, seed=7
+                )
+            )
+            index = RankedIndex(table, page_capacity=64)
+            answer, pages = ptk_query_over_index(
+                index, k=k, threshold=0.3, table=table
+            )
+            result.add_row(
+                n_scaled,
+                index.page_count,
+                pages,
+                pages / index.page_count,
+                answer.stats.scan_depth,
+            )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, "io_pages.txt")
+    rows = result.as_dicts()
+    # absolute pages read is governed by k, not by table size
+    pages = [row["pages_read"] for row in rows]
+    assert max(pages) <= 2 * min(pages)
+    # and the fraction read shrinks as tables grow
+    fractions = [row["fraction_read"] for row in rows]
+    assert fractions[-1] < fractions[0]
+    # pruning reads well under half of any of these tables
+    assert all(f < 0.5 for f in fractions)

@@ -1,0 +1,66 @@
+"""E11 — planner accuracy: predicted vs measured scan depth.
+
+Quantifies the "scan depth ≈ (k + z√k)/μ" planning model against the
+real algorithm across k and membership-probability sweeps.  Accuracy
+within a small constant factor is what a cost-based optimizer needs to
+choose between the exact algorithm and the sampler.
+"""
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.harness import ExperimentTable
+from repro.core.exact import exact_ptk_query
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.query.planner import estimate_scan_depth, estimate_scan_depth_exactish
+from repro.query.topk import TopKQuery
+
+
+def test_estimate_tracks_measured_depth(benchmark):
+    scale = bench_scale()
+    n = max(1000, int(20_000 * scale))
+
+    def run() -> ExperimentTable:
+        result = ExperimentTable(
+            title="Planner accuracy: predicted vs measured scan depth (p=0.3)",
+            columns=[
+                "k",
+                "mu",
+                "measured",
+                "estimate",
+                "estimate_refined",
+                "ratio",
+            ],
+            notes=f"n={n}, rules=10%",
+        )
+        for mu in (0.3, 0.5, 0.7):
+            table = generate_synthetic_table(
+                SyntheticConfig(
+                    n_tuples=n,
+                    n_rules=n // 10,
+                    independent_prob_mean=mu,
+                    seed=7,
+                )
+            )
+            for k in (
+                max(5, int(50 * scale)),
+                max(10, int(200 * scale)),
+                max(20, int(800 * scale)),
+            ):
+                query = TopKQuery(k=k)
+                measured = exact_ptk_query(table, query, 0.3).stats.scan_depth
+                coarse = estimate_scan_depth(table, k, 0.3)
+                refined = estimate_scan_depth_exactish(table, k, 0.3)
+                result.add_row(
+                    k,
+                    mu,
+                    measured,
+                    coarse.depth,
+                    refined.depth,
+                    coarse.depth / max(measured, 1),
+                )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, "planner_accuracy.txt")
+    # the closed form stays within a factor of 2.5 of reality everywhere
+    for row in result.as_dicts():
+        assert 0.4 <= row["ratio"] <= 2.5

@@ -1,0 +1,74 @@
+"""E12 — Chernoff-prefilter effectiveness across k and thresholds.
+
+How many tuples the mean-only bounds decide without running the DP, and
+the hard guarantee that the filtered answer equals the exact one.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.harness import ExperimentTable, measure
+from repro.core.approx import ptk_with_prefilter
+from repro.core.exact import exact_ptk_query
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.query.topk import TopKQuery
+
+
+@pytest.fixture(scope="module")
+def workload():
+    scale = bench_scale()
+    return generate_synthetic_table(
+        SyntheticConfig(
+            n_tuples=max(1000, int(20_000 * scale)),
+            n_rules=max(100, int(2_000 * scale)),
+            seed=7,
+        )
+    )
+
+
+def test_prefilter_effectiveness(benchmark, workload):
+    scale = bench_scale()
+
+    def run() -> ExperimentTable:
+        result = ExperimentTable(
+            title="Chernoff prefilter: tuples decided without the DP",
+            columns=[
+                "k",
+                "threshold",
+                "decided_fraction",
+                "dp_evaluated",
+                "runtime_prefilter",
+                "runtime_exact_fullscan",
+                "answers_match",
+            ],
+            notes=f"n={len(workload)}, full-scan comparison (no retrieval pruning)",
+        )
+        for k in (max(5, int(50 * scale)), max(10, int(200 * scale))):
+            for threshold in (0.3,):
+                query = TopKQuery(k=k)
+                (answer, stats), seconds = measure(
+                    lambda q=query, t=threshold: ptk_with_prefilter(
+                        workload, q, t
+                    )
+                )
+                exact, exact_seconds = measure(
+                    lambda q=query, t=threshold: exact_ptk_query(
+                        workload, q, t, pruning=False
+                    )
+                )
+                result.add_row(
+                    k,
+                    threshold,
+                    stats.decided_fraction,
+                    stats.evaluated,
+                    seconds,
+                    exact_seconds,
+                    answer.answer_set == exact.answer_set,
+                )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, "prefilter.txt")
+    rows = result.as_dicts()
+    assert all(row["answers_match"] for row in rows)
+    assert all(row["decided_fraction"] > 0.8 for row in rows)

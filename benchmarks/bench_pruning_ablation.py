@@ -1,0 +1,46 @@
+"""E8 — Section 4.4 ablation: contribution of each pruning rule.
+
+Runs the default PT-k query with pruning rules enabled incrementally
+(none -> T3 -> T3+T4 -> T3+T4+T5 -> all) and reports scan depth,
+evaluated tuples and runtime for each step.
+
+Shape assertions: the answer set never changes (pruning is sound), the
+fully pruned run scans a small fraction of the table (the paper's "only
+a very small portion of the tuples ... are retrieved"), and adding
+rules never increases the evaluated-tuple count.
+"""
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.ablation import pruning_ablation
+from repro.datagen.synthetic import SyntheticConfig
+
+
+def test_pruning_ablation(benchmark):
+    scale = bench_scale()
+    config = SyntheticConfig(
+        n_tuples=max(500, int(20_000 * scale)),
+        n_rules=max(50, int(2_000 * scale)),
+        seed=7,
+    )
+    k = max(10, int(200 * scale))
+    result = benchmark.pedantic(
+        lambda: pruning_ablation(config=config, k=k, threshold=0.3),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, "pruning_ablation.txt")
+    rows = {row["rules_enabled"]: row for row in result.as_dicts()}
+
+    # soundness: identical answers whatever the pruning configuration
+    assert len({row["answer_size"] for row in result.as_dicts()}) == 1
+
+    # retrieval-stopping rules shrink the scan dramatically
+    assert rows["all (+tail)"]["scan_depth"] < rows["none"]["scan_depth"] / 3
+
+    # T3/T4 shrink evaluations even before any stop rule fires
+    assert rows["T3+T4"]["evaluated"] <= rows["none"]["evaluated"]
+
+    # enabling more rules never increases evaluations
+    order = ["none", "T3 only", "T3+T4", "T3+T4+T5", "all (+tail)"]
+    evaluated = [rows[label]["evaluated"] for label in order]
+    assert all(a >= b for a, b in zip(evaluated, evaluated[1:]))

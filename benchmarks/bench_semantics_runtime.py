@@ -1,0 +1,93 @@
+"""E9 — Challenge 2: PT-k's O(k) state vs rank-sensitive materialization.
+
+The paper motivates the PT-k algorithms by arguing that U-TopK /
+U-KRanks-style processing must materialize a number of *states*
+exponential in the scan depth, while PT-k only ever keeps a (k+1)-entry
+subset-probability vector.  This benchmark makes that argument
+quantitative on one workload:
+
+* the state-materializing U-TopK scan's peak live-state count,
+* the PT-k engine's state (k+1) and its total DP extensions,
+* wall-clock for PT-k, best-first U-TopK, and U-KRanks.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.harness import ExperimentTable, measure
+from repro.core.exact import exact_ptk_query
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.query.topk import TopKQuery
+from repro.semantics.statespace import utopk_by_state_scan
+from repro.semantics.ukranks import ukranks_query
+from repro.semantics.utopk import utopk_query
+
+
+@pytest.fixture(scope="module")
+def workload():
+    scale = max(bench_scale(), 0.1)
+    return generate_synthetic_table(
+        SyntheticConfig(
+            n_tuples=max(300, int(4_000 * scale)),
+            n_rules=max(30, int(400 * scale)),
+            seed=23,
+        )
+    )
+
+
+def test_state_materialization_vs_ptk(benchmark, workload):
+    def run() -> ExperimentTable:
+        result = ExperimentTable(
+            title="Challenge 2: state materialization vs PT-k's O(k) state",
+            columns=[
+                "k",
+                "utopk_peak_states",
+                "ptk_state_size",
+                "ptk_extensions",
+                "runtime_ptk",
+                "runtime_utopk",
+                "runtime_ukranks",
+            ],
+            notes=f"table={workload.name}, n={len(workload)}",
+        )
+        for k in (2, 4, 8, 16):
+            query = TopKQuery(k=k)
+            ptk, ptk_seconds = measure(
+                lambda q=query: exact_ptk_query(workload, q, 0.3)
+            )
+            scan = utopk_by_state_scan(workload, query)
+            _, utopk_seconds = measure(lambda q=query: utopk_query(workload, q))
+            _, ukranks_seconds = measure(
+                lambda q=query: ukranks_query(workload, q)
+            )
+            result.add_row(
+                k,
+                scan.peak_states,
+                k + 1,
+                ptk.stats.subset_extensions,
+                ptk_seconds,
+                utopk_seconds,
+                ukranks_seconds,
+            )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, "semantics_states.txt")
+    rows = result.as_dicts()
+    # the gap widens with k (the exponential-vs-linear separation) ...
+    ratios = [
+        row["utopk_peak_states"] / row["ptk_state_size"] for row in rows
+    ]
+    assert ratios[-1] > ratios[0]
+    # ... and at the largest k the frontier dwarfs PT-k's state
+    assert rows[-1]["utopk_peak_states"] > 100 * rows[-1]["ptk_state_size"]
+
+
+def test_consistency_of_all_semantics(workload):
+    # sanity: both U-TopK implementations agree on this workload
+    query = TopKQuery(k=8)
+    scan = utopk_by_state_scan(workload, query)
+    best_first = utopk_query(workload, query)
+    assert scan.answer.probability == pytest.approx(
+        best_first.probability, rel=1e-9
+    )

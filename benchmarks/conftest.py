@@ -1,0 +1,75 @@
+"""Shared plumbing for the paper-reproduction benchmarks.
+
+Every benchmark prints its experiment table and also writes it under
+``benchmarks/results/`` so the numbers survive the pytest run.
+
+Scale: the environment variable ``REPRO_BENCH_SCALE`` (default ``0.5``)
+uniformly shrinks workload sizes and k.  ``REPRO_BENCH_SCALE=1.0``
+reproduces the paper's exact workload sizes (20,000 tuples, k = 200,
+etc.); the default halves them so the full suite finishes in a couple of
+minutes while preserving every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.reporting import render_table
+from repro.bench.sweeps import SweepSettings, sweep_axis
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """The global workload scale factor (see module docstring)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def emit(table: ExperimentTable, filename: str) -> None:
+    """Print an experiment table and persist it under results/."""
+    text = render_table(table)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    with open(path, "a") as handle:
+        handle.write(text + "\n\n")
+
+
+def emit_chart(table: ExperimentTable, x: str, series, filename: str,
+               log_y: bool = False) -> None:
+    """Print an ASCII chart of selected series and persist it."""
+    from repro.bench.charts import render_chart
+
+    text = render_chart(table, x=x, series=list(series), log_y=log_y)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / filename, "a") as handle:
+        handle.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session")
+def sweep_settings() -> SweepSettings:
+    """The Figure 4/5 sweep settings at the configured scale."""
+    return SweepSettings(scale=bench_scale())
+
+
+_SWEEP_CACHE: Dict[str, ExperimentTable] = {}
+
+
+@pytest.fixture(scope="session")
+def sweep_cache(sweep_settings):
+    """Axis -> sweep table, computed once and shared by Fig 4 and Fig 5."""
+
+    def get(axis: str) -> ExperimentTable:
+        if axis not in _SWEEP_CACHE:
+            _SWEEP_CACHE[axis] = sweep_axis(axis, settings=sweep_settings)
+        return _SWEEP_CACHE[axis]
+
+    return get

@@ -1,0 +1,84 @@
+"""Analyst workflow: profiles, minimal k, and explanations.
+
+Shows the library's analysis extensions on the iceberg scenario:
+
+1. *Probability profiles* — Pr^j for every j <= k from one scan, giving
+   the answer-set size as a function of k without re-running queries.
+2. *Minimal k* — for each candidate iceberg, the smallest list depth at
+   which it becomes a credible (Pr >= p) top-k member.
+3. *Explanations* — for a tuple just below the threshold, which
+   competitors suppress it and by how much (closed-form sensitivity,
+   no re-computation).
+
+Run::
+
+    python examples/threshold_analysis.py
+"""
+
+from repro.core.exact import exact_ptk_query
+from repro.core.explain import explain_tuple, format_explanation
+from repro.core.profile import (
+    answer_sizes_by_k,
+    minimal_k_for_threshold,
+    topk_probability_profile,
+)
+from repro.datagen.iceberg import IcebergConfig, generate_iceberg_table
+from repro.query.topk import TopKQuery
+
+K = 20
+THRESHOLD = 0.5
+
+
+def main() -> None:
+    table = generate_iceberg_table(IcebergConfig(n_tuples=800, n_rules=160))
+    query = TopKQuery(k=K)
+
+    print(f"Iceberg table: {len(table)} sightings, "
+          f"{len(table.multi_rules())} co-location groups\n")
+
+    sizes = answer_sizes_by_k(table, query, THRESHOLD)
+    print(f"Answer-set size vs k (p = {THRESHOLD}):")
+    for j in (1, 2, 5, 10, 15, 20):
+        print(f"  k = {j:>2}: {sizes[j - 1]:>3} icebergs")
+
+    minimal = minimal_k_for_threshold(table, query, THRESHOLD)
+    passing = {tid: j for tid, j in minimal.items() if j is not None}
+    latecomers = sorted(passing.items(), key=lambda kv: -kv[1])[:5]
+    print("\nIcebergs needing the deepest list to become credible:")
+    for tid, j in latecomers:
+        print(f"  {tid:>6}: first passes the threshold at k = {j}")
+
+    # find a near-miss tuple: highest profile value below the threshold
+    profiles = topk_probability_profile(table, query)
+    answer = exact_ptk_query(table, query, THRESHOLD)
+    near_misses = sorted(
+        (
+            (tid, float(profile[-1]))
+            for tid, profile in profiles.items()
+            # genuinely suppressed: the competition (not a low membership
+            # probability) is what keeps the tuple out
+            if tid not in answer.answer_set
+            and profile[-1] > 0.01
+            and table.probability(tid) >= THRESHOLD
+        ),
+        key=lambda kv: -kv[1],
+    )
+    if near_misses:
+        tid, probability = near_misses[0]
+        print(
+            f"\nClosest miss: {tid} with Pr^{K} = {probability:.3f} "
+            f"(threshold {THRESHOLD}).  Why?"
+        )
+        explanation = explain_tuple(table, query, tid)
+        print(format_explanation(explanation, limit=4))
+        strongest = explanation.top_suppressors(1)[0]
+        if probability + strongest.influence >= THRESHOLD:
+            members = ", ".join(sorted(str(m) for m in strongest.unit.members))
+            print(
+                f"\n  -> removing {{{members}}} alone would lift {tid} "
+                f"over the threshold."
+            )
+
+
+if __name__ == "__main__":
+    main()

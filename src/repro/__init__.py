@@ -1,0 +1,100 @@
+"""repro — probabilistic threshold top-k (PT-k) queries on uncertain data.
+
+A from-scratch reproduction of
+
+    Ming Hua, Jian Pei, Wenjie Zhang, Xuemin Lin.
+    "Efficiently Answering Probabilistic Threshold Top-k Queries on
+    Uncertain Data." ICDE 2008.
+
+Quickstart::
+
+    from repro import UncertainTable, TopKQuery, exact_ptk_query
+
+    table = UncertainTable()
+    table.add("R1", score=25, probability=0.3)
+    table.add("R2", score=21, probability=0.4)
+    table.add("R3", score=13, probability=0.5)
+    table.add_exclusive("rule_B", "R2", "R3")
+
+    answer = exact_ptk_query(table, TopKQuery(k=2), threshold=0.35)
+    print(answer.answers)           # tuples with Pr^2 >= 0.35
+    print(answer.probabilities)     # their exact top-k probabilities
+
+Package map:
+
+* :mod:`repro.model` — tuples, generation rules, tables, possible worlds.
+* :mod:`repro.query` — predicates, ranking functions, ranked access, and
+  the :class:`~repro.query.engine.UncertainDB` facade.
+* :mod:`repro.core` — the exact algorithm (RC / RC+AR / RC+LR) and the
+  sampling method.
+* :mod:`repro.semantics` — U-TopK, U-KRanks, Global-Topk and the naive
+  enumeration baseline.
+* :mod:`repro.datagen` — paper workloads (panda example, Section 6.2
+  synthetic generator, simulated iceberg sightings).
+* :mod:`repro.stats` — Chernoff–Hoeffding bounds and quality metrics.
+* :mod:`repro.io` — CSV/JSON persistence of uncertain tables.
+* :mod:`repro.bench` — the harness that regenerates the paper's figures.
+"""
+
+from repro.core.exact import ExactVariant, exact_ptk_query, exact_topk_probabilities
+from repro.core.explain import Explanation, explain_tuple
+from repro.core.profile import topk_probability_profile
+from repro.core.results import AlgorithmStats, PTKAnswer
+from repro.core.sampling import (
+    SamplingConfig,
+    SamplingResult,
+    sampled_ptk_query,
+    sampled_topk_probabilities,
+)
+from repro.exceptions import (
+    EnumerationLimitError,
+    QueryError,
+    ReproError,
+    SamplingError,
+    ValidationError,
+)
+from repro.model.rules import GenerationRule
+from repro.model.table import UncertainTable, table_from_rows
+from repro.model.tuples import UncertainTuple
+from repro.query.ranking import RankingFunction, by_attribute, by_score
+from repro.query.topk import TopKQuery
+from repro.semantics.naive import naive_ptk_answer, naive_topk_probabilities
+from repro.semantics.ukranks import ukranks_query
+from repro.semantics.utopk import utopk_query
+from repro.stream import PTKMonitor, SlidingWindowPTK
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmStats",
+    "EnumerationLimitError",
+    "ExactVariant",
+    "Explanation",
+    "GenerationRule",
+    "PTKAnswer",
+    "PTKMonitor",
+    "QueryError",
+    "RankingFunction",
+    "ReproError",
+    "SamplingConfig",
+    "SamplingResult",
+    "SamplingError",
+    "SlidingWindowPTK",
+    "TopKQuery",
+    "UncertainTable",
+    "UncertainTuple",
+    "ValidationError",
+    "by_attribute",
+    "by_score",
+    "exact_ptk_query",
+    "exact_topk_probabilities",
+    "explain_tuple",
+    "naive_ptk_answer",
+    "naive_topk_probabilities",
+    "sampled_ptk_query",
+    "sampled_topk_probabilities",
+    "table_from_rows",
+    "topk_probability_profile",
+    "ukranks_query",
+    "utopk_query",
+]

@@ -1,0 +1,25 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each module owns one experiment family (see DESIGN.md's experiment
+index); the ``benchmarks/`` pytest files are thin wrappers that call
+these functions and print the resulting tables, so every experiment can
+also be driven programmatically or from an interactive session.
+
+* :mod:`~repro.bench.harness` — timing and sweep plumbing.
+* :mod:`~repro.bench.reporting` — fixed-width table rendering.
+* :mod:`~repro.bench.sweeps` — the Figure 4 (scan depth) and Figure 5
+  (runtime) parameter sweeps.
+* :mod:`~repro.bench.quality` — Figure 6: sampling error rate vs the
+  Chernoff–Hoeffding bound, precision/recall.
+* :mod:`~repro.bench.scalability` — Figure 7: runtime and scan depth vs
+  table size and rule count.
+* :mod:`~repro.bench.ablation` — Equation-5 reordering costs (Example 5)
+  and the pruning-rule ablation.
+* :mod:`~repro.bench.comparison` — Tables 2/3 (panda example) and the
+  Section 6.1 PT-k / U-TopK / U-KRanks comparison.
+"""
+
+from repro.bench.harness import ExperimentTable, measure
+from repro.bench.reporting import render_table
+
+__all__ = ["ExperimentTable", "measure", "render_table"]

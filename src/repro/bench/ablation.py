@@ -1,0 +1,174 @@
+"""Ablation benchmarks: reordering cost (Equation 5) and pruning rules.
+
+Two studies the paper discusses in text without dedicated figures:
+
+* **Reordering cost** (Example 5 / Equation 5): the number of
+  subset-probability extensions each ordering strategy pays.  The paper
+  works Example 5 by hand (aggressive 15, lazy 12) and claims lazy is
+  never worse; :func:`reordering_cost_experiment` measures both on any
+  table and :func:`example5_costs` reproduces the hand-worked numbers.
+* **Pruning ablation** (Section 4.4): scan depth and evaluated-tuple
+  counts with each pruning rule toggled, quantifying each theorem's
+  contribution to "only a very small portion of the tuples ... are
+  retrieved".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import ExperimentTable, measure
+from repro.core.exact import ExactVariant, exact_ptk_query
+from repro.core.pruning import PruningFlags
+from repro.core.reordering import (
+    AggressiveReordering,
+    LazyReordering,
+    ReorderingStrategy,
+    reordering_cost,
+)
+from repro.core.rule_compression import (
+    CompressionUnit,
+    DominantSetScan,
+    rule_index_of_table,
+)
+from repro.datagen.sensors import example5_table
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.model.table import UncertainTable
+from repro.query.topk import TopKQuery
+
+
+def unit_orders(
+    table: UncertainTable,
+    query: TopKQuery,
+    strategy: ReorderingStrategy,
+) -> List[List[CompressionUnit]]:
+    """Per-tuple compressed-dominant-set orders under one strategy.
+
+    Replays the full scan (no pruning) and records the order the
+    strategy produces for every tuple — the ``L(t_i)`` sequences of
+    Section 4.3.2.
+    """
+    selected = query.selected(table)
+    ranked = query.ranking.rank_table(selected)
+    rule_of = rule_index_of_table(selected)
+    scan = DominantSetScan(ranked, rule_of)
+    orders: List[List[CompressionUnit]] = []
+    previous: List[CompressionUnit] = []
+    for tup in ranked:
+        units = scan.units_for(tup)
+        order = strategy.order_units(units, previous)
+        orders.append(order)
+        previous = order
+        scan.advance(tup)
+    return orders
+
+
+def example5_costs() -> Dict[str, int]:
+    """Equation-5 costs on Example 5 (paper: aggressive 15, lazy 12)."""
+    table = example5_table()
+    query = TopKQuery(k=3)
+    return {
+        "aggressive": reordering_cost(
+            unit_orders(table, query, AggressiveReordering())
+        ),
+        "lazy": reordering_cost(unit_orders(table, query, LazyReordering())),
+    }
+
+
+def reordering_cost_experiment(
+    rule_size_means: Sequence[float] = (2, 4, 6, 8, 10),
+    n_tuples: int = 2_000,
+    n_rules: int = 200,
+    k: int = 50,
+    seed: int = 7,
+) -> ExperimentTable:
+    """Equation-5 cost of aggressive vs lazy as rules grow longer.
+
+    Longer rules stay open across wider spans of the ranking, which is
+    exactly where prefix reuse matters; the lazy column must never
+    exceed the aggressive one.
+    """
+    result = ExperimentTable(
+        title="Equation-5 reordering cost: aggressive vs lazy",
+        columns=["rule_size_mean", "cost_aggressive", "cost_lazy", "lazy_savings"],
+        notes=f"n={n_tuples}, rules={n_rules}, k={k}, full scan, seed={seed}",
+    )
+    query = TopKQuery(k=k)
+    for mean in rule_size_means:
+        config = SyntheticConfig(
+            n_tuples=n_tuples,
+            n_rules=min(n_rules, n_tuples // (int(mean) + 2)),
+            rule_size_mean=mean,
+            seed=seed,
+        )
+        table = generate_synthetic_table(config)
+        aggressive = reordering_cost(
+            unit_orders(table, query, AggressiveReordering())
+        )
+        lazy = reordering_cost(unit_orders(table, query, LazyReordering()))
+        savings = 1.0 - (lazy / aggressive) if aggressive else 0.0
+        result.add_row(mean, aggressive, lazy, savings)
+    return result
+
+
+#: The ablation steps: label -> pruning flags.
+ABLATION_STEPS: Dict[str, Optional[PruningFlags]] = {
+    "none": None,  # pruning disabled entirely
+    "T3 only": PruningFlags(True, False, False, False),
+    "T3+T4": PruningFlags(True, True, False, False),
+    "T3+T4+T5": PruningFlags(True, True, True, False),
+    "all (+tail)": PruningFlags(True, True, True, True),
+}
+
+
+def pruning_ablation(
+    config: Optional[SyntheticConfig] = None,
+    k: int = 200,
+    threshold: float = 0.3,
+) -> ExperimentTable:
+    """Scan depth / evaluations / runtime with pruning rules toggled.
+
+    Note Theorems 3 and 4 skip *evaluations* while Theorem 5 and the
+    tail bound stop *retrieval*: the first two shrink the ``evaluated``
+    column, the last two shrink ``scan_depth``.
+    """
+    table = generate_synthetic_table(config or SyntheticConfig())
+    query = TopKQuery(k=k)
+    result = ExperimentTable(
+        title=f"Pruning ablation (k={k}, p={threshold})",
+        columns=[
+            "rules_enabled",
+            "scan_depth",
+            "evaluated",
+            "pruned",
+            "runtime",
+            "answer_size",
+        ],
+        notes=f"table={table.name}, n={len(table)}",
+    )
+    for label, flags in ABLATION_STEPS.items():
+        if flags is None:
+            answer, seconds = measure(
+                lambda: exact_ptk_query(
+                    table, query, threshold, variant=ExactVariant.RC_LR, pruning=False
+                )
+            )
+        else:
+            answer, seconds = measure(
+                lambda f=flags: exact_ptk_query(
+                    table,
+                    query,
+                    threshold,
+                    variant=ExactVariant.RC_LR,
+                    pruning_flags=f,
+                )
+            )
+        result.add_row(
+            label,
+            answer.stats.scan_depth,
+            answer.stats.tuples_evaluated,
+            answer.stats.tuples_pruned,
+            seconds,
+            len(answer),
+        )
+    return result

@@ -1,0 +1,130 @@
+"""ASCII charts for experiment tables (no plotting dependency).
+
+The paper's evaluation is figures; in a terminal-only environment the
+benchmarks render their series as compact ASCII charts so trends and
+crossovers are visible at a glance::
+
+    render_chart(sweep, x="k", series=["runtime_rc", "runtime_rc_lr"])
+
+Each series gets a marker; the y-axis auto-scales (optionally
+logarithmically, which suits runtime series spanning decades).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import ExperimentTable
+
+#: Markers assigned to series in order.
+MARKERS = "ox*+#@%&"
+
+
+def _scale(value: float, low: float, high: float, log: bool) -> float:
+    """Map a value into [0, 1] under the chosen axis scale."""
+    if log:
+        value, low, high = (
+            math.log10(max(value, 1e-12)),
+            math.log10(max(low, 1e-12)),
+            math.log10(max(high, 1e-12)),
+        )
+    if high <= low:
+        return 0.5
+    return (value - low) / (high - low)
+
+
+def render_chart(
+    table: ExperimentTable,
+    x: str,
+    series: Sequence[str],
+    height: int = 12,
+    width: Optional[int] = None,
+    log_y: bool = False,
+) -> str:
+    """Render selected columns of an experiment table as an ASCII chart.
+
+    :param table: the experiment data.
+    :param x: column used for the x axis (labels only; points are
+        spaced evenly, matching how sweep values are chosen).
+    :param series: y columns to plot, each with its own marker.
+    :param height: chart rows.
+    :param width: chart columns; default spreads points 8 cells apart.
+    :param log_y: log-scale the y axis (for runtime series).
+    :returns: the chart with a legend line, ready to print.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if len(series) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+    xs = table.column(x)
+    n_points = len(xs)
+    if n_points == 0:
+        return f"(no data for chart over {x})"
+    width = width or max(24, 8 * n_points)
+
+    values: List[List[float]] = [
+        [float(v) for v in table.column(name)] for name in series
+    ]
+    flat = [v for column in values for v in column]
+    low, high = min(flat), max(flat)
+
+    grid = [[" "] * width for _ in range(height)]
+    for s, column in enumerate(values):
+        marker = MARKERS[s]
+        for i, value in enumerate(column):
+            col = (
+                int(round(i * (width - 1) / (n_points - 1)))
+                if n_points > 1
+                else width // 2
+            )
+            row = height - 1 - int(
+                round(_scale(value, low, high, log_y) * (height - 1))
+            )
+            row = min(max(row, 0), height - 1)
+            # later series win collisions; close enough for a glance
+            grid[row][col] = marker
+
+    def label(value: float) -> str:
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.2g}"
+
+    axis_width = max(len(label(low)), len(label(high)))
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = label(high).rjust(axis_width)
+        elif r == height - 1:
+            prefix = label(low).rjust(axis_width)
+        else:
+            prefix = " " * axis_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * axis_width + " +" + "-" * width)
+    x_labels = "  ".join(str(v) for v in xs)
+    lines.append(" " * (axis_width + 2) + f"{x}: {x_labels}")
+    legend = "  ".join(
+        f"{MARKERS[s]}={name}" for s, name in enumerate(series)
+    )
+    scale_note = " (log y)" if log_y else ""
+    lines.append(" " * (axis_width + 2) + legend + scale_note)
+    return "\n".join(lines)
+
+
+def chart_for_runtime_sweep(table: ExperimentTable, x: str) -> str:
+    """Convenience: the Figure-5 style runtime chart (log y)."""
+    series = [
+        name
+        for name in (
+            "runtime_rc",
+            "runtime_rc_ar",
+            "runtime_rc_lr",
+            "runtime_sampling",
+        )
+        if name in table.columns
+    ]
+    return render_chart(table, x=x, series=series, log_y=True)

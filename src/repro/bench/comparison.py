@@ -1,0 +1,134 @@
+"""Example tables and the Section 6.1 semantics comparison.
+
+* :func:`panda_example_tables` regenerates Tables 2 and 3 of the paper
+  (possible worlds of the panda data and the top-2 probabilities).
+* :func:`iceberg_comparison` reruns the Section 6.1 study — PT-k vs
+  U-TopK vs U-KRanks with ``k = 10``, ``p = 0.5`` — on the simulated
+  iceberg sightings table, producing the paper's Tables 5 and 6 shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bench.harness import ExperimentTable
+from repro.datagen.iceberg import IcebergConfig, generate_iceberg_table
+from repro.datagen.sensors import panda_table
+from repro.model.table import UncertainTable
+from repro.model.worlds import enumerate_possible_worlds
+from repro.query.engine import SemanticsComparison, UncertainDB
+from repro.query.topk import TopKQuery
+
+
+def panda_worlds_table() -> ExperimentTable:
+    """Table 2: every possible world of the panda data with its top-2."""
+    table = panda_table()
+    query = TopKQuery(k=2)
+    by_id = {t.tid: t for t in table}
+    result = ExperimentTable(
+        title="Table 2: possible worlds of the panda records",
+        columns=["world", "probability", "top2"],
+    )
+    worlds = sorted(
+        enumerate_possible_worlds(table),
+        key=lambda w: sorted(str(t) for t in w.tuple_ids),
+    )
+    for world in worlds:
+        members = [by_id[tid] for tid in world.tuple_ids]
+        top = query.answer_on_world(members)
+        result.add_row(
+            "{" + ", ".join(sorted(world.tuple_ids)) + "}",
+            world.probability,
+            ", ".join(t.tid for t in top),
+        )
+    return result
+
+
+def panda_probabilities_table() -> ExperimentTable:
+    """Table 3: exact top-2 probability of every panda record."""
+    db = UncertainDB()
+    db.register(panda_table())
+    probabilities = db.topk_probabilities("panda_sightings", k=2)
+    result = ExperimentTable(
+        title="Table 3: top-2 probabilities of the panda records",
+        columns=["tuple", "top2_probability"],
+    )
+    for tid in sorted(probabilities, key=str):
+        result.add_row(tid, probabilities[tid])
+    return result
+
+
+@dataclass
+class IcebergStudy:
+    """Everything the Section 6.1 study produces.
+
+    :param comparison: the three semantics' answers.
+    :param answer_table: Tables 5/6-style summary of every mentioned
+        tuple: drift score, membership probability, top-k probability,
+        and which semantics selected it.
+    """
+
+    comparison: SemanticsComparison
+    answer_table: ExperimentTable
+
+
+def iceberg_comparison(
+    k: int = 10,
+    threshold: float = 0.5,
+    config: Optional[IcebergConfig] = None,
+    table: Optional[UncertainTable] = None,
+) -> IcebergStudy:
+    """Rerun the Section 6.1 comparison on (simulated) iceberg data."""
+    table = table if table is not None else generate_iceberg_table(config)
+    db = UncertainDB()
+    db.register(table, name="iceberg")
+    comparison = db.compare_semantics("iceberg", k=k, threshold=threshold)
+
+    ptk_set = comparison.ptk.answer_set
+    utopk_set = set(comparison.utopk.vector)
+    ukranks_set = set(comparison.ukranks.tuple_ids)
+
+    summary = ExperimentTable(
+        title=(
+            f"Section 6.1 comparison on {table.name} "
+            f"(k={k}, p={threshold}; "
+            f"U-TopK vector probability={comparison.utopk.probability:.4g})"
+        ),
+        columns=[
+            "tuple",
+            "drifted_days",
+            "membership_prob",
+            "topk_prob",
+            "in_PTk",
+            "in_UTopK",
+            "in_UKRanks",
+        ],
+    )
+    ranked = TopKQuery(k=k).ranking.rank_table(table)
+    position = {t.tid: i for i, t in enumerate(ranked)}
+    for tid in sorted(comparison.mentioned_tuples(), key=lambda t: position[t]):
+        tup = table.get(tid)
+        summary.add_row(
+            tid,
+            tup.score,
+            tup.probability,
+            comparison.topk_probabilities.get(tid, 0.0),
+            tid in ptk_set,
+            tid in utopk_set,
+            tid in ukranks_set,
+        )
+    return IcebergStudy(comparison=comparison, answer_table=summary)
+
+
+def ukranks_table(study: IcebergStudy) -> ExperimentTable:
+    """Table 5: the U-KRanks winner and probability at every rank."""
+    result = ExperimentTable(
+        title="Table 5: U-KRanks answers (rank, tuple, probability at rank)",
+        columns=["rank", "tuple", "probability_at_rank"],
+    )
+    for rank, (tid, probability) in enumerate(
+        study.comparison.ukranks.winners, start=1
+    ):
+        result.add_row(rank, tid, probability)
+    return result

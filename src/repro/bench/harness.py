@@ -1,0 +1,78 @@
+"""Measurement plumbing shared by every benchmark module."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def measure(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``fn`` once and return ``(result, elapsed_seconds)``.
+
+    Wall-clock via ``time.perf_counter``; the paper's figures compare
+    *relative* runtimes of algorithm variants, for which single-shot
+    wall-clock on identical inputs is adequate (the pytest-benchmark
+    wrappers add repetition where it matters).
+    """
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class ExperimentTable:
+    """One experiment's output: named columns, one row per sweep point.
+
+    :param title: experiment title (e.g. ``"Figure 4(a): scan depth vs
+        expected membership probability"``).
+    :param columns: column names, x-axis first.
+    :param rows: row values aligned with ``columns``.
+    :param notes: free-form provenance (workload parameters, seeds).
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, by name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def run_sweep(
+    title: str,
+    x_name: str,
+    x_values: Sequence[Any],
+    metrics: Sequence[str],
+    point_fn: Callable[[Any], Dict[str, Any]],
+    notes: str = "",
+) -> ExperimentTable:
+    """Evaluate ``point_fn`` at every x value and tabulate the metrics.
+
+    :param point_fn: maps one x value to a metric-name -> value dict;
+        must supply every name in ``metrics``.
+    """
+    table = ExperimentTable(
+        title=title, columns=[x_name, *metrics], notes=notes
+    )
+    for x in x_values:
+        point = point_fn(x)
+        table.add_row(x, *[point[m] for m in metrics])
+    return table

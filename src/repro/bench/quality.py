@@ -1,0 +1,132 @@
+"""Figure 6: approximation quality of the sampling method.
+
+Panels (a)/(b): average relative error of the estimated top-k
+probabilities vs sample size, against the Chernoff–Hoeffding reference
+bound, for two values of k.  Panels (c)/(d): precision and recall of the
+sampled PT-k answer set vs sample size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable
+from repro.core.exact import exact_ptk_query, exact_topk_probabilities
+from repro.core.sampling import SamplingConfig, sampled_topk_probabilities
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.model.table import UncertainTable
+from repro.query.topk import TopKQuery
+from repro.stats.bounds import chernoff_hoeffding_error_bound
+from repro.stats.metrics import average_relative_error, precision_recall
+
+#: Sample sizes swept in Figure 6 (the paper sweeps to a few thousand).
+DEFAULT_SAMPLE_SIZES: Sequence[int] = (200, 500, 1000, 2000, 4000)
+
+
+def quality_experiment(
+    k: int,
+    threshold: float = 0.3,
+    sample_sizes: Sequence[int] = DEFAULT_SAMPLE_SIZES,
+    config: Optional[SyntheticConfig] = None,
+    delta: float = 0.05,
+    seed: int = 11,
+    table: Optional[UncertainTable] = None,
+) -> ExperimentTable:
+    """Error rate, CH bound, precision and recall vs sample size.
+
+    The exact probabilities and exact answer set are computed once
+    (RC+LR, no approximation); each sample size then runs the sampler
+    with progressive stopping disabled so the drawn size is exactly the
+    x value.
+
+    :param table: pass a pre-generated table to share one workload
+        across several k values (as the paper's panels do).
+    """
+    if table is None:
+        table = generate_synthetic_table(config or SyntheticConfig(seed=seed))
+    query = TopKQuery(k=k)
+    exact_probabilities = exact_topk_probabilities(table, query)
+    exact_answer = exact_ptk_query(table, query, threshold)
+
+    result = ExperimentTable(
+        title=f"Figure 6: sampling quality (k={k}, p={threshold})",
+        columns=[
+            "sample_size",
+            "error_rate",
+            "ch_bound",
+            "precision",
+            "recall",
+        ],
+        notes=f"table={table.name}, |answer|={len(exact_answer)}, delta={delta}",
+    )
+    for size in sample_sizes:
+        rng = np.random.default_rng(seed + size)
+        sampling = sampled_topk_probabilities(
+            table,
+            query,
+            config=SamplingConfig(sample_size=size, progressive=False),
+            rng=rng,
+        )
+        error = average_relative_error(
+            exact_probabilities, sampling.estimates, threshold
+        )
+        ranked = query.ranking.rank_table(query.selected(table))
+        predicted = [
+            t.tid for t in ranked if sampling.estimate_of(t.tid) >= threshold
+        ]
+        precision, recall = precision_recall(exact_answer.answers, predicted)
+        result.add_row(
+            size,
+            error,
+            chernoff_hoeffding_error_bound(size, delta),
+            precision,
+            recall,
+        )
+    return result
+
+
+def convergence_experiment(
+    k: int,
+    threshold: float = 0.3,
+    config: Optional[SyntheticConfig] = None,
+    seed: int = 11,
+    tolerances: Sequence[float] = (0.02, 0.01, 0.005, 0.002),
+    table: Optional[UncertainTable] = None,
+) -> ExperimentTable:
+    """Progressive-stopping behaviour: units drawn and quality vs ``phi``.
+
+    Supplementary to Figure 6: shows the (d, phi) rule trading samples
+    for accuracy, with the Theorem-6 budget as the ceiling.
+
+    :param table: pass a pre-generated table to share one workload with
+        the other Figure-6 panels.
+    """
+    if table is None:
+        table = generate_synthetic_table(config or SyntheticConfig(seed=seed))
+    query = TopKQuery(k=k)
+    exact_probabilities = exact_topk_probabilities(table, query)
+
+    result = ExperimentTable(
+        title=f"Progressive sampling convergence (k={k}, p={threshold})",
+        columns=["phi", "units_drawn", "budget", "converged_early", "error_rate"],
+        notes=f"table={table.name}, d=100",
+    )
+    for phi in tolerances:
+        sampling = sampled_topk_probabilities(
+            table,
+            query,
+            config=SamplingConfig(tolerance=phi, seed=seed),
+        )
+        error = average_relative_error(
+            exact_probabilities, sampling.estimates, threshold
+        )
+        result.add_row(
+            phi,
+            sampling.units_drawn,
+            sampling.budget,
+            sampling.converged_early,
+            error,
+        )
+    return result

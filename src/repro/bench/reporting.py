@@ -1,0 +1,49 @@
+"""Fixed-width rendering of experiment tables for terminal output."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.bench.harness import ExperimentTable
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(table: ExperimentTable) -> str:
+    """Render an :class:`ExperimentTable` as an aligned text table."""
+    header = list(table.columns)
+    body: List[List[str]] = [
+        [_format_cell(value) for value in row] for row in table.rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {table.title} =="]
+    if table.notes:
+        lines.append(f"   ({table.notes})")
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(table: ExperimentTable) -> None:
+    """Render and print (convenience for benchmark scripts)."""
+    print()
+    print(render_table(table))

@@ -1,0 +1,179 @@
+"""One-shot experiment runner: every paper artifact into one report.
+
+``python -m repro.bench.runner [--scale S] [--out report.md]`` runs the
+full experiment suite programmatically (the same code paths the pytest
+benchmarks drive) and writes a single markdown report with every table.
+Useful for regenerating EXPERIMENTS.md numbers without pytest plumbing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.ablation import (
+    example5_costs,
+    pruning_ablation,
+    reordering_cost_experiment,
+)
+from repro.bench.comparison import (
+    iceberg_comparison,
+    panda_probabilities_table,
+    panda_worlds_table,
+    ukranks_table,
+)
+from repro.bench.harness import ExperimentTable
+from repro.bench.quality import quality_experiment
+from repro.bench.reporting import render_table
+from repro.bench.scalability import scalability_vs_rules, scalability_vs_tuples
+from repro.bench.sweeps import (
+    SweepSettings,
+    figure4_view,
+    figure5_view,
+    sweep_axis,
+)
+from repro.datagen.iceberg import IcebergConfig
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+
+
+def run_all(scale: float = 0.5, seed: int = 7) -> List[ExperimentTable]:
+    """Run every experiment at the given workload scale.
+
+    :returns: all experiment tables, in the DESIGN.md experiment order.
+    """
+    tables: List[ExperimentTable] = []
+
+    # E1 — the worked example
+    tables.append(panda_worlds_table())
+    tables.append(panda_probabilities_table())
+
+    # E2 — iceberg comparison
+    study = iceberg_comparison(
+        k=10,
+        threshold=0.5,
+        config=IcebergConfig(
+            n_tuples=max(300, int(4231 * scale)),
+            n_rules=max(50, int(825 * scale)),
+        ),
+    )
+    tables.append(ukranks_table(study))
+    tables.append(study.answer_table)
+
+    # E3/E4 — the four sweeps (Figures 4 and 5 views)
+    settings = SweepSettings(scale=scale, seed=seed)
+    for axis in ("membership", "rule_complexity", "k", "threshold"):
+        sweep = sweep_axis(axis, settings=settings)
+        tables.append(figure4_view(sweep))
+        tables.append(figure5_view(sweep))
+
+    # E5 — sampling quality at two k values over one shared workload
+    workload = generate_synthetic_table(
+        SyntheticConfig(
+            n_tuples=max(500, int(20_000 * scale)),
+            n_rules=max(50, int(2_000 * scale)),
+            seed=11,
+        )
+    )
+    tables.append(quality_experiment(k=max(5, int(200 * scale)), table=workload))
+    tables.append(quality_experiment(k=max(20, int(1_000 * scale)), table=workload))
+
+    # E6 — scalability
+    tables.append(scalability_vs_tuples(scale=scale, seed=seed))
+    tables.append(scalability_vs_rules(scale=scale, seed=seed))
+
+    # E7 — reordering cost (plus the hand-worked Example 5 values)
+    costs = example5_costs()
+    example5 = ExperimentTable(
+        title="Example 5 Equation-5 costs (paper: aggressive 15, lazy 12)",
+        columns=["strategy", "cost"],
+    )
+    example5.add_row("aggressive", costs["aggressive"])
+    example5.add_row("lazy", costs["lazy"])
+    tables.append(example5)
+    tables.append(
+        reordering_cost_experiment(
+            n_tuples=max(500, int(4_000 * scale)),
+            n_rules=max(50, int(400 * scale)),
+            k=max(10, int(100 * scale)),
+        )
+    )
+
+    # E8 — pruning ablation
+    tables.append(
+        pruning_ablation(
+            config=SyntheticConfig(
+                n_tuples=max(500, int(20_000 * scale)),
+                n_rules=max(50, int(2_000 * scale)),
+                seed=seed,
+            ),
+            k=max(10, int(200 * scale)),
+        )
+    )
+    return tables
+
+
+def write_report(
+    tables: List[ExperimentTable], path: Path, scale: float, elapsed: float
+) -> None:
+    """Render all tables (with charts for the figure sweeps) into one
+    markdown report file."""
+    from repro.bench.charts import render_chart
+
+    lines = [
+        "# Experiment report",
+        "",
+        f"Workload scale: {scale} (1.0 = the paper's sizes).  "
+        f"Total runtime: {elapsed:.1f}s.",
+        "",
+    ]
+    for table in tables:
+        lines.append("```")
+        lines.append(render_table(table))
+        if table.title.startswith("Figure 5") and len(table.rows) > 1:
+            lines.append("")
+            lines.append(
+                render_chart(
+                    table,
+                    x=table.columns[0],
+                    series=[c for c in table.columns[1:]],
+                    log_y=True,
+                )
+            )
+        elif table.title.startswith("Figure 4") and len(table.rows) > 1:
+            lines.append("")
+            lines.append(
+                render_chart(
+                    table,
+                    x=table.columns[0],
+                    series=[c for c in table.columns[1:]],
+                )
+            )
+        lines.append("```")
+        lines.append("")
+    path.write_text("\n".join(lines))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.runner",
+        description="run every paper experiment and write one report",
+    )
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", type=Path, default=Path("experiment_report.md")
+    )
+    args = parser.parse_args(argv)
+    start = time.perf_counter()
+    tables = run_all(scale=args.scale, seed=args.seed)
+    elapsed = time.perf_counter() - start
+    write_report(tables, args.out, args.scale, elapsed)
+    print(f"wrote {len(tables)} experiment tables to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Figures 4 and 5: scan depth and runtime vs workload parameters.
+
+One *sweep point* generates a synthetic table (Section 6.2 defaults
+unless the swept axis overrides a parameter) and measures, on identical
+input:
+
+* the exact algorithm's scan depth, answer-set size, and per-variant
+  runtime / subset-probability-extension counts (RC, RC+AR, RC+LR);
+* the sampling algorithm's average sample length and runtime.
+
+Figure 4 reads the depth/length/answer columns; Figure 5 reads the
+runtime columns.  The four panels of each figure are the four axes:
+
+====================  =========================================
+axis                  paper x-axis
+====================  =========================================
+``membership``        expected membership probability (4a/5a)
+``rule_complexity``   expected number of tuples per rule (4b/5b)
+``k``                 parameter k (4c/5c)
+``threshold``         probability threshold p (4d/5d)
+====================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Sequence
+
+from repro.bench.harness import ExperimentTable, measure, run_sweep
+from repro.core.exact import ExactVariant, exact_ptk_query
+from repro.core.sampling import SamplingConfig, sampled_ptk_query
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.query.topk import TopKQuery
+
+#: Sweep values for each axis, shaped like the paper's x-axes.
+DEFAULT_AXIS_VALUES: Dict[str, Sequence[Any]] = {
+    "membership": [0.1, 0.3, 0.5, 0.7, 0.9],
+    "rule_complexity": [2, 4, 6, 8, 10],
+    "k": [50, 100, 200, 400, 800],
+    "threshold": [0.1, 0.3, 0.5, 0.7, 0.9],
+}
+
+#: Metric columns produced at every sweep point.
+SWEEP_METRICS = [
+    "scan_depth",
+    "sample_length",
+    "answer_size",
+    "runtime_rc",
+    "runtime_rc_ar",
+    "runtime_rc_lr",
+    "runtime_sampling",
+    "ext_rc",
+    "ext_rc_ar",
+    "ext_rc_lr",
+]
+
+
+@dataclass
+class SweepSettings:
+    """Workload and query defaults for the Figure 4/5 sweeps.
+
+    Paper defaults: 20,000 tuples, 2,000 rules, ``|R| ~ N(5,2)``,
+    independent probabilities ``N(0.5,0.2)``, rule probabilities
+    ``N(0.7,0.2)``, ``k = 200``, ``p = 0.3``.
+
+    :param scale: uniform shrink factor applied to ``n_tuples``,
+        ``n_rules`` and ``k`` — lets tests and quick runs keep the
+        paper's shape at a fraction of the cost.  ``1.0`` reproduces the
+        paper's sizes.
+    """
+
+    n_tuples: int = 20_000
+    n_rules: int = 2_000
+    rule_size_mean: float = 5.0
+    membership_mean: float = 0.5
+    rule_prob_mean: float = 0.7
+    k: int = 200
+    threshold: float = 0.3
+    seed: int = 7
+    scale: float = 1.0
+    sampling: Optional[SamplingConfig] = None
+
+    def scaled(self, value: int) -> int:
+        """Apply the shrink factor, keeping at least 1."""
+        return max(1, int(round(value * self.scale)))
+
+    def synthetic_config(self, **overrides: Any) -> SyntheticConfig:
+        """The generator config at one sweep point."""
+        params = {
+            "n_tuples": self.scaled(self.n_tuples),
+            "n_rules": self.scaled(self.n_rules),
+            "rule_size_mean": self.rule_size_mean,
+            "independent_prob_mean": self.membership_mean,
+            "rule_prob_mean": self.rule_prob_mean,
+            "seed": self.seed,
+        }
+        params.update(overrides)
+        return SyntheticConfig(**params)
+
+
+def measure_point(
+    settings: SweepSettings,
+    axis: str,
+    value: Any,
+) -> Dict[str, Any]:
+    """All sweep metrics at one ``(axis, value)`` point."""
+    k = settings.scaled(settings.k)
+    threshold = settings.threshold
+    overrides: Dict[str, Any] = {}
+    if axis == "membership":
+        overrides["independent_prob_mean"] = value
+        overrides["rule_prob_mean"] = min(1.0, value + 0.2)
+    elif axis == "rule_complexity":
+        overrides["rule_size_mean"] = value
+        # keep the tuple budget feasible when rules grow
+        max_rules = settings.scaled(settings.n_tuples) // max(2, int(value) + 2)
+        overrides["n_rules"] = min(settings.scaled(settings.n_rules), max_rules)
+    elif axis == "k":
+        k = settings.scaled(value)
+    elif axis == "threshold":
+        threshold = value
+    else:
+        raise ValueError(
+            f"unknown axis {axis!r}; expected one of {sorted(DEFAULT_AXIS_VALUES)}"
+        )
+
+    table = generate_synthetic_table(settings.synthetic_config(**overrides))
+    query = TopKQuery(k=k)
+
+    point: Dict[str, Any] = {}
+    for variant, runtime_key, ext_key in (
+        (ExactVariant.RC, "runtime_rc", "ext_rc"),
+        (ExactVariant.RC_AR, "runtime_rc_ar", "ext_rc_ar"),
+        (ExactVariant.RC_LR, "runtime_rc_lr", "ext_rc_lr"),
+    ):
+        answer, seconds = measure(
+            lambda v=variant: exact_ptk_query(table, query, threshold, variant=v)
+        )
+        point[runtime_key] = seconds
+        point[ext_key] = answer.stats.subset_extensions
+        if variant is ExactVariant.RC_LR:
+            point["scan_depth"] = answer.stats.scan_depth
+            point["answer_size"] = len(answer)
+
+    sampling_config = settings.sampling or SamplingConfig(seed=settings.seed)
+    sampled, seconds = measure(
+        lambda: sampled_ptk_query(table, query, threshold, config=sampling_config)
+    )
+    point["runtime_sampling"] = seconds
+    point["sample_length"] = sampled.stats.avg_sample_length
+    return point
+
+
+def sweep_axis(
+    axis: str,
+    values: Optional[Sequence[Any]] = None,
+    settings: Optional[SweepSettings] = None,
+) -> ExperimentTable:
+    """Run the full Figure 4/5 sweep along one axis."""
+    settings = settings or SweepSettings()
+    values = values if values is not None else DEFAULT_AXIS_VALUES[axis]
+    notes = (
+        f"n={settings.scaled(settings.n_tuples)}, "
+        f"rules={settings.scaled(settings.n_rules)}, "
+        f"k={settings.scaled(settings.k)}, p={settings.threshold}, "
+        f"seed={settings.seed}"
+    )
+    return run_sweep(
+        title=f"Figures 4/5 sweep over {axis}",
+        x_name=axis,
+        x_values=list(values),
+        metrics=SWEEP_METRICS,
+        point_fn=lambda v: measure_point(settings, axis, v),
+        notes=notes,
+    )
+
+
+def figure4_view(sweep: ExperimentTable) -> ExperimentTable:
+    """Project a sweep onto the Figure 4 columns (scan-depth panel)."""
+    keep = [sweep.columns[0], "scan_depth", "sample_length", "answer_size"]
+    view = ExperimentTable(
+        title=sweep.title.replace("Figures 4/5", "Figure 4"),
+        columns=keep,
+        notes=sweep.notes,
+    )
+    for row in sweep.as_dicts():
+        view.add_row(*[row[c] for c in keep])
+    return view
+
+
+def figure5_view(sweep: ExperimentTable) -> ExperimentTable:
+    """Project a sweep onto the Figure 5 columns (runtime panel)."""
+    keep = [
+        sweep.columns[0],
+        "runtime_rc",
+        "runtime_rc_ar",
+        "runtime_rc_lr",
+        "runtime_sampling",
+    ]
+    view = ExperimentTable(
+        title=sweep.title.replace("Figures 4/5", "Figure 5"),
+        columns=keep,
+        notes=sweep.notes,
+    )
+    for row in sweep.as_dicts():
+        view.add_row(*[row[c] for c in keep])
+    return view

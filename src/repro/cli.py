@@ -1,0 +1,270 @@
+"""Command-line interface: query and generate uncertain tables.
+
+Usage (also available as ``python -m repro``)::
+
+    # generate datasets
+    python -m repro generate panda --out panda.json
+    python -m repro generate synthetic --tuples 5000 --rules 500 --out s.json
+    python -m repro generate iceberg --out ice.json
+
+    # inspect a table
+    python -m repro info panda.json
+    python -m repro worlds panda.json          # small tables only
+
+    # run queries
+    python -m repro query panda.json -k 2 -p 0.35
+    python -m repro query panda.json -k 2 --semantics utopk
+    python -m repro query panda.json -k 2 --semantics ukranks
+    python -m repro query s.json -k 50 -p 0.3 --sample 2000
+
+Tables are JSON documents (see :mod:`repro.io.jsonio`) or CSV pairs
+(pass the stem; see :mod:`repro.io.csvio`) — the format is inferred
+from the extension.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.exact import ExactVariant, exact_ptk_query
+from repro.core.explain import explain_tuple, format_explanation
+from repro.core.sampling import SamplingConfig, sampled_ptk_query
+from repro.datagen.iceberg import IcebergConfig, generate_iceberg_table
+from repro.datagen.sensors import panda_table
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.exceptions import ReproError
+from repro.io.csvio import read_table_csv, write_table_csv
+from repro.io.jsonio import read_table_json, write_table_json
+from repro.model.table import UncertainTable
+from repro.model.worlds import count_possible_worlds, enumerate_possible_worlds
+from repro.query.parser import parse_predicate
+from repro.query.topk import TopKQuery
+from repro.semantics.extras import global_topk
+from repro.semantics.ukranks import ukranks_query
+from repro.semantics.utopk import utopk_query
+
+
+def load_table(path: str) -> UncertainTable:
+    """Read a table from JSON (``.json``) or a CSV pair (stem or either file)."""
+    p = Path(path)
+    if p.suffix == ".json":
+        return read_table_json(p)
+    stem = str(p)
+    for suffix in (".tuples.csv", ".rules.csv"):
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+            break
+    return read_table_csv(stem)
+
+
+def save_table(table: UncertainTable, path: str) -> None:
+    """Write a table as JSON (``.json``) or a CSV pair (any other path)."""
+    p = Path(path)
+    if p.suffix == ".json":
+        write_table_json(table, p)
+    else:
+        write_table_csv(table, p.with_suffix("") if p.suffix else p)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "panda":
+        table = panda_table()
+    elif args.dataset == "synthetic":
+        table = generate_synthetic_table(
+            SyntheticConfig(
+                n_tuples=args.tuples,
+                n_rules=args.rules,
+                rule_size_mean=args.rule_size,
+                independent_prob_mean=args.prob_mean,
+                seed=args.seed,
+            )
+        )
+    else:  # iceberg
+        table = generate_iceberg_table(
+            IcebergConfig(n_tuples=args.tuples, n_rules=args.rules, seed=args.seed)
+        )
+    save_table(table, args.out)
+    print(
+        f"wrote {len(table)} tuples, {len(table.multi_rules())} rules "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    table = load_table(args.table)
+    rules = table.multi_rules()
+    print(f"table:           {table.name}")
+    print(f"tuples:          {len(table)}")
+    print(f"multi-tuple rules: {len(rules)}")
+    if rules:
+        sizes = [r.length for r in rules]
+        print(f"rule sizes:      min {min(sizes)}, max {max(sizes)}")
+    print(f"expected world size: {table.expected_size():.2f}")
+    count = count_possible_worlds(table)
+    shown = f"{count:,}" if count < 10**15 else f"~10^{len(str(count)) - 1}"
+    print(f"possible worlds: {shown}")
+    return 0
+
+
+def _cmd_worlds(args: argparse.Namespace) -> int:
+    table = load_table(args.table)
+    worlds = sorted(
+        enumerate_possible_worlds(table, limit=args.limit),
+        key=lambda w: -w.probability,
+    )
+    for world in worlds:
+        members = ", ".join(sorted(str(t) for t in world.tuple_ids))
+        print(f"Pr={world.probability:.6f}  {{{members}}}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    table = load_table(args.table)
+    if args.where:
+        query = TopKQuery(k=args.k, predicate=parse_predicate(args.where))
+    else:
+        query = TopKQuery(k=args.k)
+    if args.semantics == "ptk":
+        if args.threshold is None:
+            print("error: PT-k queries require --threshold/-p", file=sys.stderr)
+            return 2
+        if args.sample:
+            answer = sampled_ptk_query(
+                table,
+                query,
+                args.threshold,
+                config=SamplingConfig(
+                    sample_size=args.sample, progressive=False, seed=args.seed
+                ),
+            )
+        else:
+            answer = exact_ptk_query(
+                table, query, args.threshold, variant=ExactVariant(args.variant)
+            )
+        print(f"# PT-{args.k} answers with Pr >= {args.threshold} ({answer.method})")
+        for pair in answer.ranked_answers():
+            print(f"{pair.tid}\t{pair.probability:.6f}")
+        print(
+            f"# scanned {answer.stats.scan_depth} tuples; "
+            f"stopped by {answer.stats.stopped_by}",
+            file=sys.stderr,
+        )
+    elif args.semantics == "utopk":
+        answer = utopk_query(table, query)
+        print(f"# most probable top-{args.k} vector, Pr={answer.probability:.6g}")
+        for tid in answer.vector:
+            print(tid)
+    elif args.semantics == "ukranks":
+        answer = ukranks_query(table, query)
+        print(f"# most probable tuple per rank (1..{args.k})")
+        for rank, (tid, probability) in enumerate(answer.winners, 1):
+            print(f"{rank}\t{tid}\t{probability:.6f}")
+    else:  # global-topk
+        print(f"# {args.k} tuples of highest top-{args.k} probability")
+        for tid, probability in global_topk(table, query):
+            print(f"{tid}\t{probability:.6f}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    table = load_table(args.table)
+    explanation = explain_tuple(table, TopKQuery(k=args.k), args.tid)
+    print(format_explanation(explanation, limit=args.limit))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Probabilistic threshold top-k queries on uncertain data",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a dataset")
+    generate.add_argument(
+        "dataset", choices=["panda", "synthetic", "iceberg"]
+    )
+    generate.add_argument("--out", required=True, help="output path (.json or CSV stem)")
+    generate.add_argument("--tuples", type=int, default=20_000)
+    generate.add_argument("--rules", type=int, default=2_000)
+    generate.add_argument("--rule-size", type=float, default=5.0)
+    generate.add_argument("--prob-mean", type=float, default=0.5)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.set_defaults(fn=_cmd_generate)
+
+    info = commands.add_parser("info", help="summarise a table")
+    info.add_argument("table")
+    info.set_defaults(fn=_cmd_info)
+
+    worlds = commands.add_parser(
+        "worlds", help="enumerate possible worlds (small tables)"
+    )
+    worlds.add_argument("table")
+    worlds.add_argument("--limit", type=int, default=10_000)
+    worlds.set_defaults(fn=_cmd_worlds)
+
+    query = commands.add_parser("query", help="answer a top-k query")
+    query.add_argument("table")
+    query.add_argument("-k", type=int, required=True)
+    query.add_argument(
+        "-p", "--threshold", type=float, default=None, help="PT-k threshold"
+    )
+    query.add_argument(
+        "--semantics",
+        choices=["ptk", "utopk", "ukranks", "global-topk"],
+        default="ptk",
+    )
+    query.add_argument(
+        "--variant",
+        choices=[v.value for v in ExactVariant],
+        default=ExactVariant.RC_LR.value,
+        help="exact algorithm variant",
+    )
+    query.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="use the sampling algorithm with this many units",
+    )
+    query.add_argument("--seed", type=int, default=7)
+    query.add_argument(
+        "--where",
+        default=None,
+        help="predicate expression, e.g. \"score > 10 and location = 'B'\"",
+    )
+    query.set_defaults(fn=_cmd_query)
+
+    explain = commands.add_parser(
+        "explain", help="explain one tuple's top-k probability"
+    )
+    explain.add_argument("table")
+    explain.add_argument("tid", help="tuple id to explain")
+    explain.add_argument("-k", type=int, required=True)
+    explain.add_argument(
+        "--limit", type=int, default=5, help="suppressors to show"
+    )
+    explain.set_defaults(fn=_cmd_explain)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

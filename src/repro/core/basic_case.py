@@ -1,0 +1,89 @@
+"""The basic case: exact top-k probabilities when all tuples are independent.
+
+Section 4.2 of the paper.  With the tuples sorted into the ranking order
+``t_1 .. t_n``, tuple ``t_i`` is in the top-k exactly when fewer than ``k``
+of its dominant set ``S_{t_i} = {t_1 .. t_{i-1}}`` appear, so
+
+.. math::
+
+    Pr^k(t_i) = Pr(t_i) \\sum_{j=0}^{k-1} Pr(S_{t_{i-1}}, j)
+
+One forward scan maintains the subset-probability vector of the growing
+prefix; total time O(kn).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.subset_probability import SubsetProbabilityVector
+from repro.exceptions import QueryError
+from repro.model.tuples import UncertainTuple
+
+
+def topk_probabilities_independent(
+    ranked: Sequence[UncertainTuple], k: int
+) -> Dict[Any, float]:
+    """Exact ``Pr^k`` for every tuple of an all-independent ranked list.
+
+    :param ranked: tuples already in the ranking order, best first.
+    :param k: the top-k size.
+    :returns: mapping tuple id -> top-k probability.
+    :raises QueryError: if ``k`` is not positive.
+
+    This is the O(kn) algorithm of Section 4.2; it assumes independence
+    and silently gives wrong answers if rule-involved tuples are passed
+    (use :func:`repro.core.exact.exact_topk_probabilities` then).
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    vector = SubsetProbabilityVector(k)
+    result: Dict[Any, float] = {}
+    for tup in ranked:
+        result[tup.tid] = tup.probability * vector.probability_fewer_than(k)
+        vector.extend(tup.probability)
+    return result
+
+
+def topk_probabilities_from_probs(
+    probabilities: Sequence[float], k: int
+) -> np.ndarray:
+    """Vectorised variant over bare probabilities (positions as ids).
+
+    :returns: array ``r`` with ``r[i] = Pr^k(t_{i+1})`` for the ranked
+        list whose membership probabilities are ``probabilities``.
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    vector = SubsetProbabilityVector(k)
+    out = np.empty(len(probabilities), dtype=np.float64)
+    for i, p in enumerate(probabilities):
+        out[i] = p * vector.probability_fewer_than(k)
+        vector.extend(p)
+    return out
+
+
+def position_probabilities_independent(
+    ranked: Sequence[UncertainTuple], k: int
+) -> Dict[Any, List[float]]:
+    """Position probabilities ``Pr(t_i, j)`` for ``j = 1..k`` (Equation 3).
+
+    ``Pr(t_i, j) = Pr(t_i) * Pr(S_{t_{i-1}}, j-1)``: the probability that
+    ``t_i`` appears and is ranked exactly ``j``-th.  Used by the U-KRanks
+    baseline in the independent case.
+
+    :returns: mapping tuple id -> list of k probabilities (index 0 is
+        rank 1).
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    vector = SubsetProbabilityVector(k)
+    result: Dict[Any, List[float]] = {}
+    for tup in ranked:
+        result[tup.tid] = [
+            tup.probability * vector.probability_at(j) for j in range(k)
+        ]
+        vector.extend(tup.probability)
+    return result

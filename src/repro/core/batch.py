@@ -1,0 +1,85 @@
+"""Batch PT-k answering: many (k, p) queries over one scan.
+
+Dashboards and report generators routinely ask several threshold
+queries over the same table and ranking (different k for different
+panels, several thresholds for sensitivity).  Since the subset-
+probability vector computed for the largest k contains every smaller
+k's answer as a prefix sum (see :mod:`repro.core.profile`), all queries
+can share a single RC+LR scan.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.profile import topk_probability_profile
+from repro.core.results import AlgorithmStats, PTKAnswer
+from repro.exceptions import QueryError
+from repro.model.table import UncertainTable
+from repro.query.ranking import RankingFunction, by_score
+from repro.query.topk import TopKQuery
+
+
+def batch_ptk_queries(
+    table: UncertainTable,
+    requests: Sequence[Tuple[int, float]],
+    ranking: RankingFunction | None = None,
+) -> List[PTKAnswer]:
+    """Answer several ``(k, threshold)`` PT-k queries in one scan.
+
+    :param requests: ``(k, p)`` pairs; validated up front.
+    :param ranking: shared ranking function.
+    :returns: one :class:`PTKAnswer` per request, in request order.
+        Each answer carries the full probability map for its k (sliced
+        from the shared profile), so per-request behaviour matches
+        :func:`repro.core.exact.exact_ptk_query` with ``pruning=False``.
+    """
+    if not requests:
+        return []
+    for k, threshold in requests:
+        if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+            raise QueryError(f"k must be a positive integer, got {k!r}")
+        if not (0.0 < threshold <= 1.0):
+            raise QueryError(
+                f"probability threshold must be in (0, 1], got {threshold!r}"
+            )
+    ranking = ranking or by_score()
+    max_k = max(k for k, _ in requests)
+    query = TopKQuery(k=max_k, ranking=ranking)
+    profiles = topk_probability_profile(table, query)
+    ranked = ranking.rank_table(query.selected(table))
+
+    answers: List[PTKAnswer] = []
+    for k, threshold in requests:
+        probabilities: Dict[Any, float] = {
+            tid: float(profile[k - 1]) for tid, profile in profiles.items()
+        }
+        answer = PTKAnswer(k=k, threshold=threshold, method="batch")
+        answer.probabilities = probabilities
+        answer.answers = [
+            tup.tid for tup in ranked if probabilities[tup.tid] >= threshold
+        ]
+        answer.stats = AlgorithmStats(
+            scan_depth=len(ranked), tuples_evaluated=len(ranked)
+        )
+        answers.append(answer)
+    return answers
+
+
+def threshold_sweep(
+    table: UncertainTable,
+    k: int,
+    thresholds: Sequence[float],
+    ranking: RankingFunction | None = None,
+) -> Dict[float, List[Any]]:
+    """Answer one k at many thresholds (a common dashboard pattern).
+
+    :returns: threshold -> answer tuple ids (ranking order).
+    """
+    answers = batch_ptk_queries(
+        table, [(k, threshold) for threshold in thresholds], ranking=ranking
+    )
+    return {
+        threshold: answer.answers
+        for threshold, answer in zip(thresholds, answers)
+    }

@@ -1,0 +1,277 @@
+"""The exact PT-k algorithm (Figure 3) in its three variants.
+
+The engine scans the ranked list once.  For each retrieved tuple it
+
+1. maintains the compressed dominant set incrementally
+   (:class:`~repro.core.rule_compression.DominantSetScan`),
+2. orders the units with the configured reordering strategy and evaluates
+   the subset-probability DP, reusing the shared prefix
+   (:class:`~repro.core.reordering.PrefixSharedDP`),
+3. computes ``Pr^k(t) = Pr(t) * Pr(|T(t)| < k present)`` (Equation 4),
+4. applies the pruning rules (Theorems 3–5) and the tail stop bound.
+
+Variants (Section 6.2):
+
+* ``RC`` — rule-tuple compression only; every tuple's DP is recomputed
+  from scratch.
+* ``RC+AR`` — compression plus aggressive reordering with prefix sharing.
+* ``RC+LR`` — compression plus lazy reordering with prefix sharing (the
+  paper's best performer).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.pruning import PruningFlags, PruningTracker
+from repro.core.reordering import (
+    AggressiveReordering,
+    CanonicalOrder,
+    FreshDP,
+    LazyReordering,
+    PrefixSharedDP,
+    ReorderingStrategy,
+)
+from repro.core.results import PTKAnswer
+from repro.core.rule_compression import (
+    CompressionUnit,
+    DominantSetScan,
+    rule_index_of_table,
+)
+from repro.exceptions import QueryError
+from repro.model.rules import GenerationRule
+from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
+from repro.query.access import RankedStream
+from repro.query.topk import TopKQuery
+
+
+class ExactVariant(enum.Enum):
+    """Algorithm variants compared throughout Section 6.2."""
+
+    RC = "RC"
+    RC_AR = "RC+AR"
+    RC_LR = "RC+LR"
+
+    @property
+    def strategy(self) -> ReorderingStrategy:
+        """Unit-ordering strategy used by this variant."""
+        if self is ExactVariant.RC:
+            return CanonicalOrder()
+        if self is ExactVariant.RC_AR:
+            return AggressiveReordering()
+        return LazyReordering()
+
+    @property
+    def shares_prefix(self) -> bool:
+        """True when the variant keeps a shared-prefix DP cache."""
+        return self is not ExactVariant.RC
+
+
+def _validate_threshold(threshold: float) -> None:
+    if not (0.0 < threshold <= 1.0):
+        raise QueryError(
+            f"probability threshold must be in (0, 1], got {threshold!r}"
+        )
+
+
+def _rule_probabilities(
+    table: UncertainTable, rule_of: Mapping[Any, GenerationRule]
+) -> Dict[Any, float]:
+    """``Pr(R)`` for every multi-tuple rule present in ``rule_of``."""
+    out: Dict[Any, float] = {}
+    for rule in rule_of.values():
+        if rule.rule_id not in out:
+            out[rule.rule_id] = table.rule_probability(rule)
+    return out
+
+
+class ExactPTKEngine:
+    """One-shot executor for a PT-k query over a ranked stream.
+
+    Most callers should use the module-level functions
+    :func:`exact_ptk_query` / :func:`exact_topk_probabilities`; the
+    engine class exists so benchmarks can inspect intermediate state.
+
+    :param ranked: full ranked list behind the stream (rank positions of
+        rule members must be known up front; tuples are still *retrieved*
+        progressively so scan depth is meaningful).
+    :param rule_of: maps tuple id -> multi-tuple rule.
+    :param rule_probability: maps rule id -> ``Pr(R)``.
+    :param k: top-k size.
+    :param threshold: probability threshold p.
+    :param variant: RC / RC+AR / RC+LR.
+    :param pruning: disable to force a full scan computing every ``Pr^k``
+        (used for ground truth, U-KRanks, and the pruning ablation).
+    :param stop_check_interval: how often the tail stop bound is checked.
+    """
+
+    def __init__(
+        self,
+        ranked: Sequence[UncertainTuple],
+        rule_of: Mapping[Any, GenerationRule],
+        rule_probability: Mapping[Any, float],
+        k: int,
+        threshold: float,
+        variant: ExactVariant = ExactVariant.RC_LR,
+        pruning: bool = True,
+        stop_check_interval: int = 16,
+        pruning_flags: Optional[PruningFlags] = None,
+    ) -> None:
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        _validate_threshold(threshold)
+        self.k = k
+        self.threshold = threshold
+        self.variant = variant
+        self.pruning = pruning
+        self._stream = RankedStream(ranked, presorted=True)
+        self._scan = DominantSetScan(ranked, rule_of)
+        self._strategy = variant.strategy
+        # cap = k + 1: entries 0..k-1 feed Pr^k, entry k serves nothing
+        # here but keeps vector shapes uniform with the tail bound.
+        cap = k + 1
+        self._dp = PrefixSharedDP(cap) if variant.shares_prefix else FreshDP(cap)
+        self._previous_order: List[CompressionUnit] = []
+        self._tracker = PruningTracker(
+            k=k,
+            threshold=threshold,
+            rule_of=rule_of,
+            table_rule_probability=rule_probability,
+            stop_check_interval=stop_check_interval,
+            flags=pruning_flags,
+        )
+
+    def run(self) -> PTKAnswer:
+        """Execute the scan and return the complete answer object."""
+        answer = PTKAnswer(k=self.k, threshold=self.threshold, method=self.variant.value)
+        stats = answer.stats
+        for tup in self._stream:
+            self._tracker.note_first_encounter(tup)
+            skip_reason = self._tracker.should_skip(tup) if self.pruning else None
+            if skip_reason is None:
+                probability = self._evaluate(tup)
+                stats.tuples_evaluated += 1
+                answer.probabilities[tup.tid] = probability
+                if probability >= self.threshold:
+                    answer.answers.append(tup.tid)
+                self._tracker.observe(tup, probability)
+            else:
+                if skip_reason == "membership":
+                    stats.tuples_pruned_membership += 1
+                else:
+                    stats.tuples_pruned_same_rule += 1
+                self._tracker.observe_skipped(tup, skip_reason)
+            self._scan.advance(tup)
+            if self.pruning:
+                stop_reason = self._tracker.should_stop(self._scan)
+                if stop_reason is not None:
+                    stats.stopped_by = stop_reason
+                    break
+        stats.scan_depth = self._stream.scan_depth
+        stats.subset_extensions = self._dp.extensions
+        return answer
+
+    def _evaluate(self, tup: UncertainTuple) -> float:
+        """Equation 4 over the compressed dominant set of ``tup``."""
+        units = self._scan.units_for(tup)
+        order = self._strategy.order_units(units, self._previous_order)
+        vector = self._dp.vector_for(order)
+        if self.variant.shares_prefix:
+            self._previous_order = order
+        fewer_than_k = float(vector[: self.k].sum())
+        # Guard against float drift above 1.
+        fewer_than_k = min(fewer_than_k, 1.0)
+        return tup.probability * fewer_than_k
+
+
+def exact_ptk_query(
+    table: UncertainTable,
+    query: TopKQuery,
+    threshold: float,
+    variant: ExactVariant = ExactVariant.RC_LR,
+    pruning: bool = True,
+    stop_check_interval: int = 16,
+    pruning_flags: Optional[PruningFlags] = None,
+) -> PTKAnswer:
+    """Answer a PT-k query exactly (the paper's main algorithm).
+
+    :param table: the uncertain table ``T``.
+    :param query: the top-k query ``Q^k(P, f)``.
+    :param threshold: the probability threshold ``p`` in ``(0, 1]``.
+    :param variant: RC, RC+AR or RC+LR (default: the fastest, RC+LR).
+    :param pruning: set False to compute every tuple's probability.
+    :param pruning_flags: enable individual pruning rules (ablation);
+        ignored when ``pruning`` is False.
+    :returns: a :class:`~repro.core.results.PTKAnswer`.
+    """
+    selected = query.selected(table)
+    ranked = query.ranking.rank_table(selected)
+    rule_of = rule_index_of_table(selected)
+    rule_probability = _rule_probabilities(selected, rule_of)
+    engine = ExactPTKEngine(
+        ranked,
+        rule_of,
+        rule_probability,
+        k=query.k,
+        threshold=threshold,
+        variant=variant,
+        pruning=pruning,
+        stop_check_interval=stop_check_interval,
+        pruning_flags=pruning_flags,
+    )
+    return engine.run()
+
+
+def exact_topk_probabilities(
+    table: UncertainTable,
+    query: TopKQuery,
+    variant: ExactVariant = ExactVariant.RC_LR,
+) -> Dict[Any, float]:
+    """``Pr^k`` for *every* tuple satisfying the predicate (full scan).
+
+    Equivalent to a PT-k query with an infinitesimal threshold and
+    pruning disabled; used for ground-truth comparisons, result tables,
+    and the alternative-semantics baselines.
+    """
+    answer = exact_ptk_query(
+        table,
+        query,
+        threshold=1e-300,
+        variant=variant,
+        pruning=False,
+    )
+    return answer.probabilities
+
+
+def exact_position_probabilities(
+    table: UncertainTable,
+    query: TopKQuery,
+) -> Dict[Any, List[float]]:
+    """Position probabilities ``Pr(t, j)`` for ``j = 1..k``, with rules.
+
+    ``Pr(t, j) = Pr(t) * Pr(exactly j-1 of T(t) appear)`` — the rule-aware
+    generalisation of Equation 3 used by the U-KRanks baseline.
+
+    :returns: mapping tuple id -> list of k probabilities (index 0 is
+        rank 1).
+    """
+    selected = query.selected(table)
+    ranked = query.ranking.rank_table(selected)
+    rule_of = rule_index_of_table(selected)
+    scan = DominantSetScan(ranked, rule_of)
+    strategy = LazyReordering()
+    dp = PrefixSharedDP(query.k + 1)
+    previous: List[CompressionUnit] = []
+    result: Dict[Any, List[float]] = {}
+    for tup in ranked:
+        units = scan.units_for(tup)
+        order = strategy.order_units(units, previous)
+        vector = dp.vector_for(order)
+        previous = order
+        result[tup.tid] = [
+            tup.probability * float(vector[j]) for j in range(query.k)
+        ]
+        scan.advance(tup)
+    return result

@@ -1,0 +1,243 @@
+"""Prefix-sharing reordering of compressed dominant sets (Section 4.3.2).
+
+Equation 4 is order-insensitive: the subset-probability DP over ``T(t_i)``
+may fold the units in any order.  Consecutive tuples' compressed dominant
+sets overlap heavily, so ordering the shared units first lets the DP
+vector computed for ``t_i`` be *reused* for ``t_{i+1}`` up to their
+longest common prefix.  The number of DP extensions actually performed is
+the cost the paper counts (Equation 5):
+
+.. math::
+
+    Cost = \\sum_i \\big(|L(t_{i+1})| - |Prefix(L(t_i), L(t_{i+1}))|\\big)
+
+Two ordering strategies from the paper:
+
+* **Aggressive** — independent tuples and completed rule-tuples first (in
+  ranking order), then open rule-tuples ordered by their next member's
+  rank, descending (rules about to change go last).
+* **Lazy** — keep the longest still-valid prefix of the previous order
+  untouched, then append the remaining units using the aggressive
+  ordering heuristics.  The paper proves lazy never costs more than
+  aggressive; the ``bench_reordering_cost`` benchmark measures both.
+
+Unit identity is the frozen set of compressed member ids
+(:class:`~repro.core.rule_compression.CompressionUnit.members`), so a
+rule-tuple absorbed a new member is — correctly — a *different* unit and
+invalidates any cached prefix containing the old one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence
+
+import numpy as np
+
+from repro.core.rule_compression import CompressionUnit
+from repro.core.subset_probability import SubsetProbabilityVector
+
+
+def _closed_then_open(units: Sequence[CompressionUnit]) -> List[CompressionUnit]:
+    """Aggressive ordering heuristic applied to a bag of units.
+
+    Closed units (independent tuples and completed rule-tuples) come
+    first, ordered by the scan position at which they reached their
+    final form (``last_rank`` — matching the paper's Example 5, where a
+    freshly completed rule-tuple lands at the rear of the closed block);
+    open rule-tuples come last, ordered by next-member rank *descending*
+    so the unit that will change soonest sits at the very rear.
+    """
+    closed = sorted(
+        (u for u in units if not u.is_open), key=lambda u: u.last_rank
+    )
+    open_units = sorted(
+        (u for u in units if u.is_open),
+        key=lambda u: u.next_rank,
+        reverse=True,
+    )
+    return closed + open_units
+
+
+class ReorderingStrategy:
+    """Base class: turns the needed units into a concrete DP order.
+
+    Strategies are stateless with respect to correctness — any
+    permutation yields the same probabilities — and differ only in how
+    much of the previous order's prefix they preserve.
+    """
+
+    name = "base"
+
+    def order_units(
+        self,
+        needed: Sequence[CompressionUnit],
+        previous: Sequence[CompressionUnit],
+    ) -> List[CompressionUnit]:
+        raise NotImplementedError  # pragma: no cover
+
+
+class CanonicalOrder(ReorderingStrategy):
+    """No reordering: units in ranking order of their best member.
+
+    This is the order the plain RC variant conceptually uses; combined
+    with a from-scratch DP it reproduces the paper's "RC" baseline.
+    """
+
+    name = "canonical"
+
+    def order_units(
+        self,
+        needed: Sequence[CompressionUnit],
+        previous: Sequence[CompressionUnit],
+    ) -> List[CompressionUnit]:
+        return sorted(needed, key=lambda u: u.first_rank)
+
+
+class AggressiveReordering(ReorderingStrategy):
+    """The paper's aggressive method: closed units first, always."""
+
+    name = "aggressive"
+
+    def order_units(
+        self,
+        needed: Sequence[CompressionUnit],
+        previous: Sequence[CompressionUnit],
+    ) -> List[CompressionUnit]:
+        return _closed_then_open(needed)
+
+
+class LazyReordering(ReorderingStrategy):
+    """The paper's lazy method: maximal reuse of the previous order.
+
+    The longest prefix of ``previous`` whose units all still occur in
+    ``needed`` (same identity) is kept verbatim; the remaining needed
+    units are appended closed-first / open-by-next-rank-descending.
+    """
+
+    name = "lazy"
+
+    def order_units(
+        self,
+        needed: Sequence[CompressionUnit],
+        previous: Sequence[CompressionUnit],
+    ) -> List[CompressionUnit]:
+        needed_by_key: Dict[FrozenSet, CompressionUnit] = {
+            u.members: u for u in needed
+        }
+        prefix: List[CompressionUnit] = []
+        for unit in previous:
+            if unit.members in needed_by_key:
+                prefix.append(needed_by_key.pop(unit.members))
+            else:
+                break
+        return prefix + _closed_then_open(list(needed_by_key.values()))
+
+
+class PrefixSharedDP:
+    """Subset-probability DP with a shared-prefix snapshot cache.
+
+    Keeps the current unit order and one vector snapshot per prefix
+    length.  :meth:`vector_for` realigns the cache to a requested order,
+    reusing the longest common prefix and extending only past it; the
+    number of extensions performed is the Equation-5 cost, exposed as
+    :attr:`extensions`.
+
+    :param cap: vector cap (``k`` entries suffice for ``Pr^k``; the exact
+        engine uses ``k + 1`` to also serve the early-stop bound).
+    """
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self._order: List[CompressionUnit] = []
+        empty = SubsetProbabilityVector(cap)
+        self._snapshots: List[np.ndarray] = [empty.snapshot()]
+        self.extensions = 0
+
+    def _common_prefix_length(self, order: Sequence[CompressionUnit]) -> int:
+        limit = min(len(self._order), len(order))
+        i = 0
+        while i < limit and self._order[i].members == order[i].members:
+            i += 1
+        return i
+
+    def vector_for(self, order: Sequence[CompressionUnit]) -> np.ndarray:
+        """The DP vector over ``order``, reusing the cached prefix.
+
+        :returns: read-only array of ``Pr(T, j)`` for ``j = 0..cap-1``.
+        """
+        keep = self._common_prefix_length(order)
+        del self._order[keep:]
+        del self._snapshots[keep + 1 :]
+        if keep < len(order):
+            vector = SubsetProbabilityVector.from_snapshot(
+                self._snapshots[keep], size=keep
+            )
+            for unit in order[keep:]:
+                vector.extend(unit.probability)
+                self._order.append(unit)
+                self._snapshots.append(vector.snapshot())
+            self.extensions += vector.extension_count
+        return self._snapshots[len(order)]
+
+    @property
+    def depth(self) -> int:
+        """Length of the currently cached order."""
+        return len(self._order)
+
+
+class FreshDP:
+    """From-scratch DP evaluation (the plain RC variant).
+
+    Shares the :class:`PrefixSharedDP` interface so the exact engine is
+    agnostic; every call recomputes the whole vector, so ``extensions``
+    grows by the full unit count each time — exactly the cost profile the
+    paper ascribes to rule-tuple compression without reordering.
+    """
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.extensions = 0
+
+    def vector_for(self, order: Sequence[CompressionUnit]) -> np.ndarray:
+        vector = SubsetProbabilityVector(self.cap)
+        for unit in order:
+            vector.extend(unit.probability)
+        self.extensions += vector.extension_count
+        return vector.snapshot()
+
+
+def reordering_cost(
+    orders: Sequence[Sequence[CompressionUnit]],
+) -> int:
+    """Equation-5 cost of a sequence of per-tuple unit orders.
+
+    ``Cost = sum_i (|L(t_{i+1})| - |Prefix(L(t_i), L(t_{i+1}))|)`` —
+    counting the very first order in full, matching how the DP cache
+    actually pays for it.
+    """
+    cost = 0
+    previous: Sequence[CompressionUnit] = []
+    for order in orders:
+        limit = min(len(previous), len(order))
+        shared = 0
+        while shared < limit and previous[shared].members == order[shared].members:
+            shared += 1
+        cost += len(order) - shared
+        previous = order
+    return cost
+
+
+def strategy_by_name(name: str) -> ReorderingStrategy:
+    """Look up a strategy by its short name (canonical/aggressive/lazy)."""
+    strategies: Dict[str, ReorderingStrategy] = {
+        CanonicalOrder.name: CanonicalOrder(),
+        AggressiveReordering.name: AggressiveReordering(),
+        LazyReordering.name: LazyReordering(),
+    }
+    try:
+        return strategies[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown reordering strategy {name!r}; "
+            f"choose one of {sorted(strategies)}"
+        ) from None

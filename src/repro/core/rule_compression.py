@@ -1,0 +1,297 @@
+"""Rule-tuple compression: making dominant sets independent (Section 4.3.1).
+
+For a tuple ``t_i`` in the ranked list, each multi-tuple rule ``R`` falls
+into one of three cases:
+
+* **Case 1** — every member of ``R`` is ranked at or below ``t_i``: the
+  rule cannot affect ``Pr^k(t_i)`` and is ignored (Theorem 1).
+* **Case 2** — every member is ranked above ``t_i`` (*completed* rule):
+  since at most one member appears, the whole rule collapses into one
+  *rule-tuple* with probability ``Pr(R)`` (Corollary 1).
+* **Case 3** — ``t_i`` sits between members of ``R`` (*open* rule):
+
+  - if ``t_i`` is not in ``R``, the members ranked above ``t_i``
+    (``R_left``) collapse into one rule-tuple with their summed
+    probability;
+  - if ``t_i`` is in ``R``, every other member of ``R`` is removed from
+    the dominant set entirely, because no rule-mate can coexist with
+    ``t_i`` (Corollary 2).
+
+The result — independent tuples kept as-is, plus one rule-tuple per
+relevant rule — is the *compressed dominant set* ``T(t_i)``; all its
+units are mutually independent, so Theorem 2 applies.
+
+Two implementations live here:
+
+* :func:`compressed_dominant_set` builds ``T(t_i)`` from scratch for one
+  tuple (clear, used as ground truth in tests);
+* :class:`DominantSetScan` maintains the unit set incrementally while the
+  exact algorithm scans the ranked list, which is what makes the single
+  forward pass of Figure 3 possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from repro.model.rules import GenerationRule
+from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
+
+
+@dataclass(frozen=True)
+class CompressionUnit:
+    """One independent unit of a compressed dominant set.
+
+    A unit is either a single independent tuple or a rule-tuple that
+    compresses every already-scanned member of one multi-tuple rule.
+
+    :param members: ids of the original tuples compressed into the unit.
+        Unit *identity* for prefix sharing is this frozen set: two units
+        are interchangeable in a DP prefix iff they compress exactly the
+        same tuples (and hence carry the same probability).
+    :param probability: membership probability of the unit (the tuple's
+        own probability, or the sum over compressed members, capped at 1).
+    :param rule_id: id of the source rule for rule-tuples, ``None`` for
+        independent tuples.
+    :param first_rank: rank index (0-based) of the unit's best-ranked
+        member; gives rule-agnostic canonical ordering.
+    :param last_rank: rank index of the unit's worst-ranked compressed
+        member — the scan position at which the unit reached its current
+        form.  The aggressive reordering of Section 4.3.2 orders closed
+        units by it (the paper's Example 5 places the freshly completed
+        rule-tuple ``t_{4,5,10}`` *after* ``t_9``).
+    :param next_rank: rank index of the source rule's next not-yet-scanned
+        member, or ``None`` when the rule is completed (or the unit is an
+        independent tuple).  Open rule-tuples are exactly those with a
+        ``next_rank``; the reordering heuristics key on it.
+    """
+
+    members: FrozenSet[Any]
+    probability: float
+    rule_id: Optional[Any]
+    first_rank: int
+    last_rank: int
+    next_rank: Optional[int]
+
+    @property
+    def is_rule_tuple(self) -> bool:
+        """True when the unit compresses members of a multi-tuple rule."""
+        return self.rule_id is not None
+
+    @property
+    def is_open(self) -> bool:
+        """True for rule-tuples whose rule still has unseen members."""
+        return self.next_rank is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "open" if self.is_open else ("rule" if self.is_rule_tuple else "ind")
+        names = ",".join(sorted(str(m) for m in self.members))
+        return f"Unit<{tag}:{names}:p={self.probability:.3g}>"
+
+
+def _clamp_probability(total: float) -> float:
+    """Cap a summed rule probability at 1 (guards float accumulation)."""
+    return min(total, 1.0)
+
+
+def compressed_dominant_set(
+    ranked: Sequence[UncertainTuple],
+    rule_of: Mapping[Any, GenerationRule],
+    index: int,
+) -> List[CompressionUnit]:
+    """Build ``T(t_i)`` from scratch for the tuple at ``ranked[index]``.
+
+    :param ranked: the full ranked list, best first.
+    :param rule_of: maps tuple id -> its multi-tuple rule (tuples absent
+        from the mapping are independent).
+    :param index: 0-based position of the target tuple in ``ranked``.
+    :returns: the units of the compressed dominant set in canonical order
+        (by ``first_rank``).  The caller may reorder them freely — the
+        subset-probability DP is order-insensitive.
+
+    This is the reference implementation of Cases 1–3; the exact
+    algorithm uses the incremental :class:`DominantSetScan` instead.
+    """
+    target = ranked[index]
+    rank_of = {tup.tid: i for i, tup in enumerate(ranked)}
+    target_rule = rule_of.get(target.tid)
+
+    units: List[CompressionUnit] = []
+    seen_rules: Dict[Any, List[UncertainTuple]] = {}
+    for i in range(index):
+        tup = ranked[i]
+        rule = rule_of.get(tup.tid)
+        if rule is None:
+            units.append(
+                CompressionUnit(
+                    members=frozenset([tup.tid]),
+                    probability=tup.probability,
+                    rule_id=None,
+                    first_rank=i,
+                    last_rank=i,
+                    next_rank=None,
+                )
+            )
+        else:
+            if target_rule is not None and rule.rule_id == target_rule.rule_id:
+                continue  # Corollary 2: rule-mates of t_i are removed
+            seen_rules.setdefault(rule.rule_id, []).append(tup)
+
+    for rule_id, members in seen_rules.items():
+        rule = rule_of[members[0].tid]
+        member_ranks = sorted(rank_of[tid] for tid in rule.tuple_ids if tid in rank_of)
+        unseen = [r for r in member_ranks if r > index]
+        member_rank_values = [rank_of[m.tid] for m in members]
+        units.append(
+            CompressionUnit(
+                members=frozenset(m.tid for m in members),
+                probability=_clamp_probability(sum(m.probability for m in members)),
+                rule_id=rule_id,
+                first_rank=min(member_rank_values),
+                last_rank=max(member_rank_values),
+                next_rank=unseen[0] if unseen else None,
+            )
+        )
+    units.sort(key=lambda u: u.first_rank)
+    return units
+
+
+class DominantSetScan:
+    """Incrementally maintained compressed dominant sets during one scan.
+
+    The exact algorithm processes the ranked list ``t_1 .. t_n`` front to
+    back.  This tracker is fed each tuple *after* it is processed
+    (:meth:`advance`) and can report, *before* processing ``t_i``, the
+    units of ``T(t_i)`` (:meth:`units_for`).
+
+    Internal state:
+
+    * independent tuples become immutable single-member units once;
+    * each multi-tuple rule has at most one live rule-tuple unit, rebuilt
+      whenever another of its members is scanned (the unit's identity
+      changes, which is exactly what invalidates shared DP prefixes).
+
+    :param ranked: full ranked list (needed up front to know each rule's
+        member positions; the *retrieval* of tuples is still progressive —
+        this tracker never looks at tuples beyond what :meth:`advance`
+        has been fed, except for rank positions, which a real system
+        would obtain from the rule catalogue).
+    :param rule_of: maps tuple id -> its multi-tuple rule.
+    """
+
+    def __init__(
+        self,
+        ranked: Sequence[UncertainTuple],
+        rule_of: Mapping[Any, GenerationRule],
+    ) -> None:
+        self._rule_of = rule_of
+        self._rank_of = {tup.tid: i for i, tup in enumerate(ranked)}
+        # Sorted member ranks per rule, used to find each rule's next
+        # unseen member in O(1) per advance.
+        self._rule_member_ranks: Dict[Any, List[int]] = {}
+        for tup in ranked:
+            rule = rule_of.get(tup.tid)
+            if rule is not None and rule.rule_id not in self._rule_member_ranks:
+                ranks = sorted(
+                    self._rank_of[tid]
+                    for tid in rule.tuple_ids
+                    if tid in self._rank_of
+                )
+                self._rule_member_ranks[rule.rule_id] = ranks
+        self._independent_units: List[CompressionUnit] = []
+        # rule_id -> (member ids in scan order, probability sum, seen count)
+        self._rule_seen: Dict[Any, List[Any]] = {}
+        self._rule_prob: Dict[Any, float] = {}
+        self._rule_unit_cache: Dict[Any, CompressionUnit] = {}
+        self._scanned = 0
+
+    @property
+    def scanned(self) -> int:
+        """Number of tuples folded into the dominant set so far."""
+        return self._scanned
+
+    def advance(self, tup: UncertainTuple) -> None:
+        """Fold one processed tuple into the (future) dominant sets."""
+        rule = self._rule_of.get(tup.tid)
+        rank = self._rank_of[tup.tid]
+        if rule is None:
+            self._independent_units.append(
+                CompressionUnit(
+                    members=frozenset([tup.tid]),
+                    probability=tup.probability,
+                    rule_id=None,
+                    first_rank=rank,
+                    last_rank=rank,
+                    next_rank=None,
+                )
+            )
+        else:
+            seen = self._rule_seen.setdefault(rule.rule_id, [])
+            seen.append(tup.tid)
+            self._rule_prob[rule.rule_id] = (
+                self._rule_prob.get(rule.rule_id, 0.0) + tup.probability
+            )
+            self._rebuild_rule_unit(rule.rule_id)
+        self._scanned += 1
+
+    def _rebuild_rule_unit(self, rule_id: Any) -> None:
+        seen = self._rule_seen[rule_id]
+        member_ranks = self._rule_member_ranks[rule_id]
+        unseen_index = len(seen)
+        next_rank = (
+            member_ranks[unseen_index] if unseen_index < len(member_ranks) else None
+        )
+        seen_ranks = [self._rank_of[tid] for tid in seen]
+        self._rule_unit_cache[rule_id] = CompressionUnit(
+            members=frozenset(seen),
+            probability=_clamp_probability(self._rule_prob[rule_id]),
+            rule_id=rule_id,
+            first_rank=min(seen_ranks),
+            last_rank=max(seen_ranks),
+            next_rank=next_rank,
+        )
+
+    def rule_unit(self, rule_id: Any) -> Optional[CompressionUnit]:
+        """Current rule-tuple unit of ``rule_id`` (``None`` if unseen)."""
+        return self._rule_unit_cache.get(rule_id)
+
+    def units_for(self, tup: UncertainTuple) -> List[CompressionUnit]:
+        """Units of ``T(tup)`` — excludes ``tup``'s own rule (Corollary 2).
+
+        The result order is canonical (independent units in scan order,
+        then rule units); the reordering strategies permute it.
+        """
+        own_rule = self._rule_of.get(tup.tid)
+        own_rule_id = own_rule.rule_id if own_rule is not None else None
+        units = list(self._independent_units)
+        for rule_id, unit in self._rule_unit_cache.items():
+            if rule_id != own_rule_id:
+                units.append(unit)
+        return units
+
+    def excluded_unit_for(self, tup: UncertainTuple) -> Optional[CompressionUnit]:
+        """The rule-tuple unit suppressed by Corollary 2 for ``tup``.
+
+        ``None`` when ``tup`` is independent or none of its rule-mates
+        have been scanned yet.
+        """
+        own_rule = self._rule_of.get(tup.tid)
+        if own_rule is None:
+            return None
+        return self._rule_unit_cache.get(own_rule.rule_id)
+
+    def all_units(self) -> List[CompressionUnit]:
+        """Every live unit (no Corollary-2 exclusion) — used by the
+        early-stop bound, which must cover arbitrary future tuples."""
+        return list(self._independent_units) + list(self._rule_unit_cache.values())
+
+
+def rule_index_of_table(table: UncertainTable) -> Dict[Any, GenerationRule]:
+    """Map each tuple id to its multi-tuple rule (independents omitted)."""
+    index: Dict[Any, GenerationRule] = {}
+    for rule in table.multi_rules():
+        for tid in rule.tuple_ids:
+            index[tid] = rule
+    return index

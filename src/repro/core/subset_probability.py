@@ -1,0 +1,196 @@
+"""Subset probabilities ``Pr(S, j)``: the Poisson-binomial dynamic program.
+
+``Pr(S, j)`` is the probability that exactly ``j`` tuples of an
+*independent* set ``S`` appear in a possible world (Section 4.2).
+Theorem 2 gives the recurrence
+
+.. math::
+
+    Pr(S_i, 0) &= Pr(S_{i-1}, 0) (1 - Pr(t_i)) \\\\
+    Pr(S_i, j) &= Pr(S_{i-1}, j-1) Pr(t_i) + Pr(S_{i-1}, j) (1 - Pr(t_i))
+
+i.e. the distribution of the number of successes among independent
+Bernoulli trials (a Poisson-binomial distribution), truncated at a cap:
+PT-k answering only ever needs ``j <= k``, so the vector keeps entries
+``0..cap-1`` and drops the tail mass.
+
+:class:`SubsetProbabilityVector` is the mutable DP state.  The exact
+algorithm's prefix-sharing cache stores one (immutable snapshot of a)
+vector per shared prefix position; each extension is O(cap) and is the
+unit of cost counted by Equation 5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.model.tuples import validate_probability
+
+
+class SubsetProbabilityVector:
+    """Truncated distribution of "how many of the units appear".
+
+    :param cap: number of entries kept; the vector represents
+        ``Pr(S, 0) .. Pr(S, cap-1)``.  PT-k needs ``cap = k`` for top-k
+        probabilities and ``cap = k + 1`` for the early-stop bound, so
+        callers choose.
+    :param values: optional initial entries (defaults to the empty set:
+        ``Pr(emptyset, 0) = 1``).
+
+    The vector tracks ``size`` (number of units folded in) and
+    ``extension_count`` (number of O(cap) extensions performed since
+    construction), which the reordering benchmarks read as the
+    Equation-5 cost.
+    """
+
+    __slots__ = ("_values", "size", "extension_count")
+
+    def __init__(self, cap: int, values: np.ndarray | None = None) -> None:
+        if cap <= 0:
+            raise QueryError(f"subset-probability cap must be positive, got {cap}")
+        if values is None:
+            self._values = np.zeros(cap, dtype=np.float64)
+            self._values[0] = 1.0
+            self.size = 0
+        else:
+            if values.shape != (cap,):
+                raise QueryError(
+                    f"initial values must have shape ({cap},), got {values.shape}"
+                )
+            self._values = values.astype(np.float64, copy=True)
+            self.size = -1  # unknown; caller-managed
+        self.extension_count = 0
+
+    @property
+    def cap(self) -> int:
+        """Number of entries kept (``j`` ranges over ``0..cap-1``)."""
+        return int(self._values.shape[0])
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the current entries."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def probability_at(self, j: int) -> float:
+        """``Pr(S, j)`` for ``0 <= j < cap``."""
+        if j < 0 or j >= self.cap:
+            raise QueryError(f"j must be in [0, {self.cap}), got {j}")
+        return float(self._values[j])
+
+    def probability_fewer_than(self, j: int) -> float:
+        """``Pr(|S ∩ W| < j)`` — the factor in Equation 4 (``j = k``).
+
+        ``j`` may be at most ``cap`` (summing the whole stored vector).
+        """
+        if j < 0 or j > self.cap:
+            raise QueryError(f"j must be in [0, {self.cap}], got {j}")
+        return float(math.fsum(self._values[:j].tolist()))
+
+    def probability_at_most(self, j: int) -> float:
+        """``Pr(|S ∩ W| <= j)`` for ``j < cap``."""
+        return self.probability_fewer_than(j + 1)
+
+    # ------------------------------------------------------------------
+    # Extension (the DP step of Theorem 2)
+    # ------------------------------------------------------------------
+    def extend(self, probability: float) -> None:
+        """Fold one more independent unit with the given probability.
+
+        This is one application of the Theorem-2 recurrence and the unit
+        of cost in Equation 5.
+        """
+        p = validate_probability(probability, what="unit probability")
+        v = self._values
+        shifted = np.empty_like(v)
+        shifted[0] = 0.0
+        shifted[1:] = v[:-1]
+        # v_new[j] = v[j-1] * p + v[j] * (1 - p)
+        np.multiply(v, 1.0 - p, out=v)
+        v += shifted * p
+        self.size += 1
+        self.extension_count += 1
+
+    def extend_many(self, probabilities: Iterable[float]) -> None:
+        """Fold a sequence of independent units, in order."""
+        for p in probabilities:
+            self.extend(p)
+
+    def copy(self) -> "SubsetProbabilityVector":
+        """An independent copy with the same entries and size.
+
+        The copy's ``extension_count`` restarts at zero; cost accounting
+        belongs to whoever performs extensions.
+        """
+        clone = SubsetProbabilityVector(self.cap, values=self._values)
+        clone.size = self.size
+        return clone
+
+    def snapshot(self) -> np.ndarray:
+        """An immutable copy of the entries (for prefix caches)."""
+        snap = self._values.copy()
+        snap.flags.writeable = False
+        return snap
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: np.ndarray, size: int
+    ) -> "SubsetProbabilityVector":
+        """Rebuild a vector from a :meth:`snapshot` (used by the cache)."""
+        vec = cls(int(snapshot.shape[0]), values=np.asarray(snapshot))
+        vec.size = size
+        return vec
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(f"{x:.4g}" for x in self._values[:4])
+        return f"SubsetProbabilityVector(size={self.size}, cap={self.cap}, [{head}...])"
+
+
+def subset_probabilities(
+    probabilities: Sequence[float], cap: int
+) -> np.ndarray:
+    """``Pr(S, j)`` for ``j = 0..cap-1`` over an independent set.
+
+    Convenience one-shot wrapper around :class:`SubsetProbabilityVector`.
+
+    :param probabilities: membership probabilities of the units of ``S``.
+    :param cap: number of entries to return.
+    :returns: array of shape ``(cap,)``.
+    """
+    vector = SubsetProbabilityVector(cap)
+    vector.extend_many(probabilities)
+    return vector.snapshot()
+
+
+def poisson_binomial_pmf(probabilities: Sequence[float]) -> np.ndarray:
+    """The full (untruncated) Poisson-binomial pmf over ``0..len(S)``.
+
+    Useful for tests and for the statistics module; the exact algorithm
+    itself always works with the truncated vector.
+    """
+    n = len(probabilities)
+    vector = SubsetProbabilityVector(n + 1)
+    vector.extend_many(probabilities)
+    return vector.snapshot()
+
+
+def prefix_subset_probabilities(
+    probabilities: Sequence[float], cap: int
+) -> List[np.ndarray]:
+    """Snapshots of ``Pr(S_i, ·)`` for every prefix ``S_i`` of the units.
+
+    ``result[i]`` is the vector after folding the first ``i`` units
+    (``result[0]`` is the empty-set vector).  This is exactly the shape
+    of the prefix-sharing cache of Section 4.3.2.
+    """
+    vector = SubsetProbabilityVector(cap)
+    snapshots = [vector.snapshot()]
+    for p in probabilities:
+        vector.extend(p)
+        snapshots.append(vector.snapshot())
+    return snapshots

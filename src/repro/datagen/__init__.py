@@ -1,0 +1,23 @@
+"""Workload and dataset generators.
+
+* :mod:`~repro.datagen.sensors` — the paper's running example (Table 1):
+  six panda-detection records with two exclusiveness rules.
+* :mod:`~repro.datagen.synthetic` — the Section 6.2 synthetic workloads:
+  normal-distributed membership probabilities, rule probabilities and
+  rule sizes, fully parameterised and seeded.
+* :mod:`~repro.datagen.iceberg` — a simulator standing in for the IIP
+  Iceberg Sightings Database 2006 used in Section 6.1 (see DESIGN.md for
+  the substitution rationale).
+"""
+
+from repro.datagen.iceberg import IcebergConfig, generate_iceberg_table
+from repro.datagen.sensors import panda_table
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+
+__all__ = [
+    "IcebergConfig",
+    "SyntheticConfig",
+    "generate_iceberg_table",
+    "generate_synthetic_table",
+    "panda_table",
+]

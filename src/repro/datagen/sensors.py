@@ -1,0 +1,99 @@
+"""The paper's running example: panda-detection sensor records (Table 1).
+
+Six sighting records of an endangered species, two of which pairs were
+produced by co-located sensors at the same time and therefore exclude
+each other (rules ``R2 xor R3`` and ``R5 xor R6``).  Table 3 of the paper
+gives the exact top-2 probabilities this data must produce:
+
+======  =====
+tuple   Pr^2
+======  =====
+R1      0.3
+R2      0.4
+R3      0.38
+R4      0.202
+R5      0.704
+R6      0.014
+======  =====
+
+The quickstart example and several tests are built on this table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.model.table import UncertainTable
+
+#: Exact top-2 probabilities from Table 3 of the paper.
+PANDA_TOP2_PROBABILITIES: Dict[str, float] = {
+    "R1": 0.3,
+    "R2": 0.4,
+    "R3": 0.38,
+    "R4": 0.202,
+    "R5": 0.704,
+    "R6": 0.014,
+}
+
+#: Expected PT-2 answer at threshold 0.35 (Example 1 of the paper).
+PANDA_PT2_ANSWER_AT_035 = {"R2", "R3", "R5"}
+
+
+def panda_table() -> UncertainTable:
+    """Build Table 1 of the paper: the panda-counting records.
+
+    Scores are the detection durations in minutes; each record carries
+    its location, timestamp and sensor id as attributes.
+    """
+    table = UncertainTable(name="panda_sightings")
+    table.add("R1", 25, 0.3, location="A", time="6/2/06 2:14", sensor="S101")
+    table.add("R2", 21, 0.4, location="B", time="7/3/06 4:07", sensor="S206")
+    table.add("R3", 13, 0.5, location="B", time="7/3/06 4:09", sensor="S231")
+    table.add("R4", 12, 1.0, location="A", time="4/12/06 20:32", sensor="S101")
+    table.add("R5", 17, 0.8, location="E", time="3/13/06 22:31", sensor="S063")
+    table.add("R6", 11, 0.2, location="E", time="3/13/06 22:28", sensor="S732")
+    table.add_exclusive("rule_B", "R2", "R3")
+    table.add_exclusive("rule_E", "R5", "R6")
+    return table
+
+
+def example2_table() -> UncertainTable:
+    """The ranked list of Table 4 (Example 2), all tuples independent.
+
+    Scores are descending positions so the default ranking reproduces the
+    list order ``t1 .. t9``.
+    """
+    probabilities = [0.7, 0.2, 1.0, 0.3, 0.5, 0.8, 0.1, 0.8, 0.1]
+    table = UncertainTable(name="example2")
+    for i, p in enumerate(probabilities, start=1):
+        table.add(f"t{i}", score=100 - i, probability=p)
+    return table
+
+
+def example3_table() -> UncertainTable:
+    """Example 3: Table 4 plus rules ``t2 xor t4 xor t9`` and ``t5 xor t7``.
+
+    The paper reports ``Pr^3(t6) = 0.32`` on this table.
+    """
+    table = example2_table()
+    table.name = "example3"
+    table.add_exclusive("R1", "t2", "t4", "t9")
+    table.add_exclusive("R2", "t5", "t7")
+    return table
+
+
+def example5_table() -> UncertainTable:
+    """Example 5's structure: 11 tuples, rules ``t1 xor t2 xor t8 xor t11``
+    and ``t4 xor t5 xor t10``.
+
+    The paper does not give probabilities for this example (it only
+    discusses orderings), so uniform 0.2 keeps rule sums legal.  Used by
+    the reordering tests, which check unit *orders* and the Equation-5
+    costs (aggressive 15 vs lazy 12).
+    """
+    table = UncertainTable(name="example5")
+    for i in range(1, 12):
+        table.add(f"t{i}", score=100 - i, probability=0.2)
+    table.add_exclusive("R1", "t1", "t2", "t8", "t11")
+    table.add_exclusive("R2", "t4", "t5", "t10")
+    return table

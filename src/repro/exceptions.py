@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-classes separate model
+validation problems (bad probabilities, malformed rules) from query-time
+problems (bad parameters, unknown tuples).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError):
+    """A data-model object violates an invariant.
+
+    Raised when a tuple has a membership probability outside ``(0, 1]``,
+    when a generation rule's total probability exceeds 1, when a tuple is
+    referenced by more than one rule, and similar structural problems.
+    """
+
+
+class DuplicateTupleError(ValidationError):
+    """Two tuples in one table share the same tuple id."""
+
+
+class UnknownTupleError(ReproError):
+    """An operation referenced a tuple id that is not in the table."""
+
+
+class RuleConflictError(ValidationError):
+    """A tuple is involved in more than one multi-tuple generation rule.
+
+    The paper (Section 2) assumes each tuple is involved in at most one
+    generation rule; this library enforces that assumption.
+    """
+
+
+class QueryError(ReproError):
+    """A query was malformed (e.g. ``k <= 0`` or a threshold outside (0,1])."""
+
+
+class SamplingError(ReproError):
+    """The sampling subsystem was configured inconsistently."""
+
+
+class EnumerationLimitError(ReproError):
+    """Possible-world enumeration would exceed the configured safety limit.
+
+    Enumeration is exponential in the number of generation rules; this
+    error protects callers from accidentally enumerating astronomically
+    many worlds.  Raise the limit explicitly if the blow-up is intended.
+    """

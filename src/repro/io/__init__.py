@@ -1,0 +1,22 @@
+"""Persistence of uncertain tables: CSV (tuples + rules files) and JSON.
+
+* :mod:`~repro.io.csvio` — two-file layout mirroring how uncertain-data
+  sets are usually shipped: a tuples CSV (id, score, probability, extra
+  attribute columns) and a rules CSV (rule id, member list).
+* :mod:`~repro.io.jsonio` — a single self-contained JSON document, handy
+  for fixtures and experiment snapshots.
+
+Both round-trip exactly: ``read(write(table)) == table`` in tuples,
+probabilities, attributes and rules.
+"""
+
+from repro.io.csvio import read_table_csv, write_table_csv
+from repro.io.jsonio import read_table_json, table_to_dict, write_table_json
+
+__all__ = [
+    "read_table_csv",
+    "read_table_json",
+    "table_to_dict",
+    "write_table_csv",
+    "write_table_json",
+]

@@ -1,0 +1,84 @@
+"""JSON persistence: one self-contained document per uncertain table.
+
+Schema::
+
+    {
+      "name": "...",
+      "tuples": [
+        {"tid": ..., "score": ..., "probability": ..., "attributes": {...}},
+        ...
+      ],
+      "rules": [
+        {"rule_id": ..., "members": [...]},
+        ...
+      ]
+    }
+
+Attribute values must be JSON-serialisable; tuple ids round-trip exactly
+for JSON-native id types (strings, ints).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.exceptions import ValidationError
+from repro.model.table import UncertainTable
+
+
+def table_to_dict(table: UncertainTable) -> Dict[str, Any]:
+    """The JSON-ready dictionary form of a table."""
+    return {
+        "name": table.name,
+        "tuples": [
+            {
+                "tid": tup.tid,
+                "score": float(tup.score),
+                "probability": float(tup.probability),
+                "attributes": dict(tup.attributes),
+            }
+            for tup in table
+        ],
+        "rules": [
+            {"rule_id": rule.rule_id, "members": list(rule.tuple_ids)}
+            for rule in table.multi_rules()
+        ],
+    }
+
+
+def table_from_dict(document: Dict[str, Any]) -> UncertainTable:
+    """Rebuild a table from :func:`table_to_dict` output.
+
+    :raises ValidationError: when required keys are missing.
+    """
+    try:
+        name = document.get("name", "uncertain_table")
+        table = UncertainTable(name=name)
+        for entry in document["tuples"]:
+            table.add(
+                entry["tid"],
+                score=entry["score"],
+                probability=entry["probability"],
+                **entry.get("attributes", {}),
+            )
+        for entry in document.get("rules", []):
+            table.add_exclusive(entry["rule_id"], *entry["members"])
+    except KeyError as missing:
+        raise ValidationError(f"table document missing key {missing}") from None
+    table.validate()
+    return table
+
+
+def write_table_json(table: UncertainTable, path: Union[str, Path]) -> None:
+    """Write the table as a JSON document (overwrites)."""
+    with open(path, "w") as handle:
+        json.dump(table_to_dict(table), handle, indent=2)
+
+
+def read_table_json(path: Union[str, Path]) -> UncertainTable:
+    """Read a table written by :func:`write_table_json`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    return table_from_dict(document)

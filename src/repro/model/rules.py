@@ -1,0 +1,89 @@
+"""Generation rules: exclusiveness constraints between uncertain tuples.
+
+A generation rule ``R : t_{r_1} XOR ... XOR t_{r_m}`` constrains that at
+most one of the involved tuples appears in any possible world.  The rule's
+probability is the sum of the involved tuples' membership probabilities and
+must not exceed 1 (Section 2 of the paper).  A *singleton* rule involves a
+single tuple and is the implicit rule of every independent tuple; the table
+only stores *multi-tuple* rules explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class GenerationRule:
+    """An exclusiveness (XOR) constraint over a set of tuple ids.
+
+    :param rule_id: unique identifier of the rule within its table.
+    :param tuple_ids: the ids of the tuples involved, in any order.  Ids
+        must be distinct; the rule's semantics do not depend on the order.
+
+    The rule object is pure structure: probabilities live on the tuples,
+    and :meth:`repro.model.table.UncertainTable.rule_probability` derives
+    ``Pr(R)`` as their sum.
+    """
+
+    rule_id: Any
+    tuple_ids: Tuple[Any, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ids = tuple(self.tuple_ids)
+        if len(ids) == 0:
+            raise ValidationError(f"rule {self.rule_id!r} involves no tuples")
+        if len(set(ids)) != len(ids):
+            raise ValidationError(
+                f"rule {self.rule_id!r} lists a tuple more than once: {ids!r}"
+            )
+        object.__setattr__(self, "tuple_ids", ids)
+
+    @property
+    def length(self) -> int:
+        """Number of tuples involved in the rule (``|R|`` in the paper)."""
+        return len(self.tuple_ids)
+
+    @property
+    def is_singleton(self) -> bool:
+        """True if the rule involves exactly one tuple."""
+        return len(self.tuple_ids) == 1
+
+    @property
+    def is_multi(self) -> bool:
+        """True if the rule involves more than one tuple."""
+        return len(self.tuple_ids) > 1
+
+    def involves(self, tid: Any) -> bool:
+        """True if ``tid`` is one of the tuples constrained by this rule."""
+        return tid in self.tuple_ids
+
+    def restricted_to(self, keep: Sequence[Any]) -> "GenerationRule | None":
+        """Project the rule onto a subset of tuple ids.
+
+        Used when applying a query predicate: tuples failing the predicate
+        are removed from the table, and each rule is projected onto the
+        surviving tuples (Section 4 of the paper).  Returns ``None`` when
+        no involved tuple survives.
+        """
+        keep_set = keep if isinstance(keep, (set, frozenset)) else set(keep)
+        surviving = tuple(tid for tid in self.tuple_ids if tid in keep_set)
+        if not surviving:
+            return None
+        return GenerationRule(rule_id=self.rule_id, tuple_ids=surviving)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.tuple_ids)
+
+    def __len__(self) -> int:
+        return len(self.tuple_ids)
+
+    def __contains__(self, tid: Any) -> bool:
+        return tid in self.tuple_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        members = " xor ".join(repr(t) for t in self.tuple_ids)
+        return f"GenerationRule({self.rule_id!r}: {members})"

@@ -1,0 +1,76 @@
+"""Table statistics: the catalog summary the planner works from.
+
+A real system would maintain these in its catalog; here they are
+computed on demand in one pass over the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.model.table import UncertainTable
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """One-pass summary of an uncertain table.
+
+    :param n_tuples: tuple count.
+    :param n_rules: multi-tuple rule count.
+    :param mean_probability: mean membership probability over tuples.
+    :param std_probability: its standard deviation.
+    :param expected_world_size: ``Σ Pr(t)`` — the mean possible-world
+        cardinality.
+    :param mean_rule_size: mean members per multi-tuple rule (0 if none).
+    :param max_rule_size: largest rule (0 if none).
+    :param mean_rule_probability: mean ``Pr(R)`` over multi-tuple rules.
+    :param rule_tuple_fraction: fraction of tuples involved in rules.
+    :param probability_histogram: 10-bin histogram of membership
+        probabilities over (0, 1].
+    """
+
+    n_tuples: int
+    n_rules: int
+    mean_probability: float
+    std_probability: float
+    expected_world_size: float
+    mean_rule_size: float
+    max_rule_size: int
+    mean_rule_probability: float
+    rule_tuple_fraction: float
+    probability_histogram: Tuple[int, ...]
+
+
+def collect_statistics(table: UncertainTable) -> TableStatistics:
+    """Compute :class:`TableStatistics` in one pass."""
+    probabilities = np.array([t.probability for t in table], dtype=np.float64)
+    n = int(probabilities.shape[0])
+    rules = table.multi_rules()
+    rule_sizes = [rule.length for rule in rules]
+    rule_probabilities = [table.rule_probability(rule) for rule in rules]
+    rule_tuples = sum(rule_sizes)
+    if n:
+        histogram, _ = np.histogram(probabilities, bins=10, range=(0.0, 1.0))
+        mean = float(probabilities.mean())
+        std = float(probabilities.std())
+        total = float(probabilities.sum())
+    else:
+        histogram = np.zeros(10, dtype=int)
+        mean = std = total = 0.0
+    return TableStatistics(
+        n_tuples=n,
+        n_rules=len(rules),
+        mean_probability=mean,
+        std_probability=std,
+        expected_world_size=total,
+        mean_rule_size=(sum(rule_sizes) / len(rules)) if rules else 0.0,
+        max_rule_size=max(rule_sizes) if rules else 0,
+        mean_rule_probability=(
+            sum(rule_probabilities) / len(rules) if rules else 0.0
+        ),
+        rule_tuple_fraction=(rule_tuples / n) if n else 0.0,
+        probability_histogram=tuple(int(c) for c in histogram),
+    )

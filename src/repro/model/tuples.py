@@ -1,0 +1,87 @@
+"""Uncertain tuples: the atomic unit of the possible-worlds model.
+
+An uncertain tuple pairs an ordinary relational tuple (here: a score used
+for ranking plus an arbitrary attribute mapping) with a *membership
+probability* — the probability that the tuple exists at all.  Tuples are
+immutable value objects; tables and algorithms never mutate them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import ValidationError
+
+#: Tolerance used throughout the library when comparing probabilities.
+PROBABILITY_ATOL = 1e-9
+
+
+def validate_probability(value: float, *, what: str = "probability") -> float:
+    """Validate that ``value`` is a probability in ``(0, 1]``.
+
+    The model requires strictly positive membership probabilities (a tuple
+    with probability 0 never exists and carries no information).  A tiny
+    numerical overshoot above 1 (within :data:`PROBABILITY_ATOL`) is
+    clamped to exactly 1 so that rule probabilities computed as sums of
+    floats do not spuriously fail validation.
+
+    :param value: the candidate probability.
+    :param what: noun used in the error message.
+    :returns: the validated (possibly clamped) probability.
+    :raises ValidationError: if the value is not in ``(0, 1]``.
+    """
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{what} must be a real number, got {value!r}")
+    if math.isnan(value) or math.isinf(value):
+        raise ValidationError(f"{what} must be finite, got {value!r}")
+    if value <= 0.0:
+        raise ValidationError(f"{what} must be > 0, got {value!r}")
+    if value > 1.0 + PROBABILITY_ATOL:
+        raise ValidationError(f"{what} must be <= 1, got {value!r}")
+    return min(float(value), 1.0)
+
+
+@dataclass(frozen=True)
+class UncertainTuple:
+    """A tuple with a membership probability.
+
+    :param tid: unique identifier within its table.  Any hashable value is
+        accepted; strings and integers are typical.
+    :param score: the value the default ranking function orders by
+        (descending).  In the paper's running example this is the sighting
+        duration / number of drifted days.
+    :param probability: membership probability ``Pr(t)`` in ``(0, 1]``.
+    :param attributes: optional extra payload (location, timestamp, ...);
+        never interpreted by the algorithms but carried through query
+        answers so applications can render results.
+    """
+
+    tid: Any
+    score: float
+    probability: float
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        validated = validate_probability(self.probability, what=f"Pr({self.tid})")
+        if validated != self.probability:
+            object.__setattr__(self, "probability", validated)
+        if not isinstance(self.score, (int, float)) or isinstance(self.score, bool):
+            raise ValidationError(
+                f"score of tuple {self.tid!r} must be a real number, got {self.score!r}"
+            )
+        if math.isnan(self.score):
+            raise ValidationError(f"score of tuple {self.tid!r} must not be NaN")
+
+    def with_probability(self, probability: float) -> "UncertainTuple":
+        """Return a copy of this tuple with a different membership probability."""
+        return UncertainTuple(
+            tid=self.tid,
+            score=self.score,
+            probability=probability,
+            attributes=self.attributes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UncertainTuple(tid={self.tid!r}, score={self.score!r}, p={self.probability:.4g})"

@@ -1,0 +1,141 @@
+"""Possible-world enumeration and probabilities (Equation 1 of the paper).
+
+A *possible world* ``W`` of an uncertain table ``T`` picks, for every
+generation rule ``R``, either exactly one involved tuple (mandatory when
+``Pr(R) = 1``) or no tuple (allowed when ``Pr(R) < 1``).  Its existence
+probability is
+
+.. math::
+
+    Pr(W) = \\prod_{R: |R \\cap W| = 1} Pr(R \\cap W)
+            \\prod_{R: R \\cap W = \\emptyset} (1 - Pr(R))
+
+Enumeration is exponential (``prod (|R|+1)`` over open rules) and is used
+only as ground truth for tests and tiny examples; the library guards it
+with an explicit world-count limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import EnumerationLimitError
+from repro.model.rules import GenerationRule
+from repro.model.table import UncertainTable
+from repro.model.tuples import PROBABILITY_ATOL
+
+#: Default cap on the number of worlds :func:`enumerate_possible_worlds`
+#: will produce before raising :class:`EnumerationLimitError`.
+DEFAULT_WORLD_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One possible world: a set of tuple ids and its existence probability."""
+
+    tuple_ids: FrozenSet[Any]
+    probability: float
+
+    def __contains__(self, tid: Any) -> bool:
+        return tid in self.tuple_ids
+
+    def __len__(self) -> int:
+        return len(self.tuple_ids)
+
+
+def _rule_is_certain(table: UncertainTable, rule: GenerationRule) -> bool:
+    """True when ``Pr(R) = 1`` so exactly one member must appear."""
+    return table.rule_probability(rule) >= 1.0 - PROBABILITY_ATOL
+
+
+def count_possible_worlds(table: UncertainTable) -> int:
+    """Number of possible worlds of ``table`` (Section 2).
+
+    ``|W| = prod_{Pr(R)=1} |R|  *  prod_{Pr(R)<1} (|R| + 1)``
+    """
+    count = 1
+    for rule in table.rules():
+        if _rule_is_certain(table, rule):
+            count *= rule.length
+        else:
+            count *= rule.length + 1
+    return count
+
+
+def _rule_choices(
+    table: UncertainTable, rule: GenerationRule
+) -> List[Tuple[Optional[Any], float]]:
+    """Per-rule alternatives as ``(chosen tid or None, probability factor)``.
+
+    The ``None`` alternative (no member appears) carries probability
+    ``1 - Pr(R)`` and is omitted when the rule is certain.
+    """
+    choices: List[Tuple[Optional[Any], float]] = [
+        (tid, table.probability(tid)) for tid in rule.tuple_ids
+    ]
+    if not _rule_is_certain(table, rule):
+        choices.append((None, 1.0 - table.rule_probability(rule)))
+    return choices
+
+
+def enumerate_possible_worlds(
+    table: UncertainTable,
+    limit: int = DEFAULT_WORLD_LIMIT,
+) -> Iterator[PossibleWorld]:
+    """Yield every possible world of ``table`` with its probability.
+
+    :param limit: safety cap; enumeration of a table whose world count
+        exceeds it raises :class:`EnumerationLimitError` *before* any work.
+    :raises EnumerationLimitError: when the table has more than ``limit``
+        possible worlds.
+    """
+    total = count_possible_worlds(table)
+    if total > limit:
+        raise EnumerationLimitError(
+            f"table {table.name!r} has {total} possible worlds, "
+            f"which exceeds the enumeration limit of {limit}"
+        )
+    rules = table.rules()
+    per_rule = [_rule_choices(table, rule) for rule in rules]
+    for combo in itertools.product(*per_rule):
+        probability = 1.0
+        members: List[Any] = []
+        for tid, factor in combo:
+            probability *= factor
+            if tid is not None:
+                members.append(tid)
+        if probability <= 0.0:
+            continue
+        yield PossibleWorld(tuple_ids=frozenset(members), probability=probability)
+
+
+def world_probability(table: UncertainTable, tuple_ids: Sequence[Any]) -> float:
+    """Probability of the specific world containing exactly ``tuple_ids``.
+
+    Computed directly from Equation 1 without enumeration.  Returns 0 for
+    sets that are not legal possible worlds (e.g. two tuples from one rule,
+    or a certain rule with no member present).
+    """
+    present = set(tuple_ids)
+    for tid in present:
+        table.get(tid)  # raise on unknown ids
+    probability = 1.0
+    for rule in table.rules():
+        chosen = [tid for tid in rule.tuple_ids if tid in present]
+        if len(chosen) > 1:
+            return 0.0
+        if len(chosen) == 1:
+            probability *= table.probability(chosen[0])
+        else:
+            if _rule_is_certain(table, rule):
+                return 0.0
+            probability *= 1.0 - table.rule_probability(rule)
+    return probability
+
+
+def total_probability(worlds: Sequence[PossibleWorld]) -> float:
+    """Sum of world probabilities; equals 1 for a complete enumeration."""
+    return math.fsum(w.probability for w in worlds)

@@ -1,0 +1,44 @@
+"""Query substrate: predicates, ranking functions, certain top-k, ranked access.
+
+A PT-k query ``Q^k(P, f)`` (Section 2) consists of a predicate ``P``, a
+ranking function ``f``, and a result size ``k``.  This package provides:
+
+* :mod:`~repro.query.predicates` — composable tuple predicates,
+* :mod:`~repro.query.ranking` — ranking functions inducing the total order
+  ``<=_f`` used throughout the algorithms,
+* :mod:`~repro.query.topk` — top-k evaluation over a *certain* set of
+  tuples (i.e. over one possible world),
+* :mod:`~repro.query.access` — a ranked, progressive tuple stream that
+  stands in for TA-style ranked retrieval and records scan depth,
+* :mod:`~repro.query.engine` — the user-facing facade tying the model, the
+  exact algorithm, the sampler, and the alternative semantics together.
+  (Import it as ``repro.query.engine`` — it sits above :mod:`repro.core`,
+  so re-exporting it here would create an import cycle.)
+"""
+
+from repro.query.access import RankedStream
+from repro.query.predicates import (
+    AlwaysTrue,
+    AttributeEquals,
+    AttributePredicate,
+    Predicate,
+    ScoreAbove,
+    ScoreBelow,
+)
+from repro.query.ranking import RankingFunction, by_attribute, by_score
+from repro.query.topk import TopKQuery, top_k_of_world
+
+__all__ = [
+    "AlwaysTrue",
+    "AttributeEquals",
+    "AttributePredicate",
+    "Predicate",
+    "RankedStream",
+    "RankingFunction",
+    "ScoreAbove",
+    "ScoreBelow",
+    "TopKQuery",
+    "by_attribute",
+    "by_score",
+    "top_k_of_world",
+]

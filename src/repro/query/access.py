@@ -1,0 +1,112 @@
+"""Ranked, progressive tuple access with scan-depth accounting.
+
+Section 4.4 of the paper assumes tuples satisfying the query predicate can
+be retrieved "in batch ... in the ranking order" (e.g. by an adaptation of
+the TA algorithm).  :class:`RankedStream` is that abstraction: a cursor
+over the ranked list of ``P(T)`` that
+
+* yields tuples one at a time, best first,
+* counts how many tuples have been pulled (the *scan depth* reported in
+  Figures 4 and 7), and
+* lets the exact algorithm stop early once the pruning rules prove that
+  no unseen tuple can pass the probability threshold.
+
+The stream materialises the sorted list lazily on first access, standing
+in for the ranked index a real DBMS would provide; algorithms only ever
+interact with the cursor interface, so swapping in a genuinely external
+ranked source requires no algorithm changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
+from repro.query.ranking import RankingFunction, by_score
+
+
+class RankedStream:
+    """A cursor over tuples in the ranking order, best first.
+
+    :param tuples: tuples already filtered by the query predicate.
+    :param ranking: ranking function; defaults to descending score.
+    :param presorted: set True when ``tuples`` is already in ranking
+        order, skipping the sort (used by benchmarks that treat "the
+        generation of the ranked list as a black box", Section 6.2).
+    """
+
+    def __init__(
+        self,
+        tuples: Sequence[UncertainTuple],
+        ranking: Optional[RankingFunction] = None,
+        presorted: bool = False,
+    ) -> None:
+        self.ranking = ranking or by_score()
+        if presorted:
+            self._ranked: List[UncertainTuple] = list(tuples)
+        else:
+            self._ranked = self.ranking.order(tuples)
+        self._cursor = 0
+
+    @classmethod
+    def from_table(
+        cls,
+        table: UncertainTable,
+        ranking: Optional[RankingFunction] = None,
+    ) -> "RankedStream":
+        """Build a stream over all tuples of ``table``."""
+        return cls(list(table), ranking=ranking)
+
+    # ------------------------------------------------------------------
+    # Cursor interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Total number of tuples behind the stream (``|P(T)|``)."""
+        return len(self._ranked)
+
+    @property
+    def scan_depth(self) -> int:
+        """Number of tuples retrieved so far."""
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every tuple has been retrieved."""
+        return self._cursor >= len(self._ranked)
+
+    def next_tuple(self) -> Optional[UncertainTuple]:
+        """Retrieve the next tuple in ranking order, or ``None`` at the end."""
+        if self._cursor >= len(self._ranked):
+            return None
+        tup = self._ranked[self._cursor]
+        self._cursor += 1
+        return tup
+
+    def peek(self) -> Optional[UncertainTuple]:
+        """The next tuple without advancing the cursor (``None`` at end)."""
+        if self._cursor >= len(self._ranked):
+            return None
+        return self._ranked[self._cursor]
+
+    def __iter__(self) -> Iterator[UncertainTuple]:
+        while True:
+            tup = self.next_tuple()
+            if tup is None:
+                return
+            yield tup
+
+    def rewind(self) -> None:
+        """Reset the cursor (scan depth restarts from zero)."""
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Whole-list access (for algorithms that need the full ranking)
+    # ------------------------------------------------------------------
+    def full_ranked_list(self) -> List[UncertainTuple]:
+        """The complete ranked list *without* advancing the scan counter.
+
+        Used by the sampler and the alternative-semantics baselines, whose
+        cost accounting is separate from the exact algorithm's scan depth.
+        """
+        return list(self._ranked)

@@ -1,0 +1,226 @@
+"""The user-facing query engine facade.
+
+:class:`UncertainDB` is the "database" a downstream application talks
+to: it registers named uncertain tables and answers ranking queries
+under every semantics the library implements —
+
+* ``ptk`` / ``ptk-sampled`` — the paper's probabilistic threshold top-k,
+* ``utopk`` — most probable top-k vector,
+* ``ukranks`` — most probable tuple per rank,
+* ``global-topk`` — the k tuples of highest top-k probability,
+
+plus raw per-tuple probability reports.  Examples and the Section 6.1
+comparison are written against this facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.exact import (
+    ExactVariant,
+    exact_ptk_query,
+    exact_topk_probabilities,
+)
+from repro.core.results import PTKAnswer
+from repro.core.sampling import SamplingConfig, sampled_ptk_query
+from repro.exceptions import QueryError, UnknownTupleError
+from repro.model.table import UncertainTable
+from repro.query.topk import TopKQuery
+from repro.semantics.extras import expected_ranks, global_topk
+from repro.semantics.ukranks import UKRanksAnswer, ukranks_query
+from repro.semantics.utopk import UTopKAnswer, utopk_query
+
+
+@dataclass
+class SemanticsComparison:
+    """Answers of all three published semantics on one query (Section 6.1).
+
+    :param ptk: the PT-k answer at the supplied threshold.
+    :param utopk: the most probable top-k vector.
+    :param ukranks: the per-rank winners.
+    :param topk_probabilities: exact ``Pr^k`` of every tuple appearing in
+        any of the three answers (the paper's Table 6 view).
+    """
+
+    ptk: PTKAnswer
+    utopk: UTopKAnswer
+    ukranks: UKRanksAnswer
+    topk_probabilities: Dict[Any, float]
+
+    def mentioned_tuples(self) -> List[Any]:
+        """Every tuple id referenced by at least one of the answers."""
+        mentioned: List[Any] = []
+        seen = set()
+        for tid in (
+            list(self.ptk.answers)
+            + list(self.utopk.vector)
+            + self.ukranks.tuple_ids
+        ):
+            if tid not in seen:
+                seen.add(tid)
+                mentioned.append(tid)
+        return mentioned
+
+
+class UncertainDB:
+    """A registry of uncertain tables with a query front-end.
+
+    ::
+
+        db = UncertainDB()
+        db.register(panda_table())
+        answer = db.ptk("panda_sightings", k=2, threshold=0.35)
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, UncertainTable] = {}
+
+    # ------------------------------------------------------------------
+    # Catalogue
+    # ------------------------------------------------------------------
+    def register(self, table: UncertainTable, name: Optional[str] = None) -> str:
+        """Register a table under ``name`` (default: the table's name).
+
+        :returns: the name the table is registered under.
+        :raises QueryError: if the name is already taken.
+        """
+        key = name or table.name
+        if key in self._tables:
+            raise QueryError(f"a table named {key!r} is already registered")
+        self._tables[key] = table
+        return key
+
+    def table(self, name: str) -> UncertainTable:
+        """Look up a registered table."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTupleError(f"no table registered as {name!r}") from None
+
+    def tables(self) -> List[str]:
+        """Names of all registered tables."""
+        return list(self._tables)
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the registry."""
+        self.table(name)
+        del self._tables[name]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def ptk(
+        self,
+        name: str,
+        k: int,
+        threshold: float,
+        query: Optional[TopKQuery] = None,
+        variant: ExactVariant = ExactVariant.RC_LR,
+        pruning: bool = True,
+    ) -> PTKAnswer:
+        """Exact PT-k query against a registered table."""
+        return exact_ptk_query(
+            self.table(name),
+            query or TopKQuery(k=k),
+            threshold,
+            variant=variant,
+            pruning=pruning,
+        )
+
+    def ptk_sampled(
+        self,
+        name: str,
+        k: int,
+        threshold: float,
+        query: Optional[TopKQuery] = None,
+        config: Optional[SamplingConfig] = None,
+    ) -> PTKAnswer:
+        """Approximate PT-k query via the sampling method."""
+        return sampled_ptk_query(
+            self.table(name), query or TopKQuery(k=k), threshold, config=config
+        )
+
+    def utopk(
+        self, name: str, k: int, query: Optional[TopKQuery] = None
+    ) -> UTopKAnswer:
+        """U-TopK query (most probable top-k vector)."""
+        return utopk_query(self.table(name), query or TopKQuery(k=k))
+
+    def ukranks(
+        self, name: str, k: int, query: Optional[TopKQuery] = None
+    ) -> UKRanksAnswer:
+        """U-KRanks query (most probable tuple per rank)."""
+        return ukranks_query(self.table(name), query or TopKQuery(k=k))
+
+    def global_topk(
+        self, name: str, k: int, query: Optional[TopKQuery] = None
+    ) -> List[Tuple[Any, float]]:
+        """Global-Topk: the k tuples of highest top-k probability."""
+        return global_topk(self.table(name), query or TopKQuery(k=k))
+
+    def expected_rank_topk(
+        self, name: str, k: int, query: Optional[TopKQuery] = None
+    ) -> List[Tuple[Any, float]]:
+        """Expected-rank top-k (Cormode et al. semantics)."""
+        from repro.semantics.expected_rank import expected_rank_topk
+
+        return expected_rank_topk(self.table(name), query or TopKQuery(k=k))
+
+    def topk_probabilities(
+        self, name: str, k: int, query: Optional[TopKQuery] = None
+    ) -> Dict[Any, float]:
+        """Exact ``Pr^k`` of every tuple satisfying the predicate."""
+        return exact_topk_probabilities(self.table(name), query or TopKQuery(k=k))
+
+    def expected_ranks(
+        self, name: str, query: Optional[TopKQuery] = None
+    ) -> Dict[Any, float]:
+        """Conditional expected rank of every tuple (see semantics.extras)."""
+        return expected_ranks(self.table(name), query or TopKQuery(k=1))
+
+    def explain_plan(self, name: str, k: int, threshold: float) -> dict:
+        """Planning-time cost report for a PT-k query.
+
+        :returns: a dict with the predicted scan depth / fraction (see
+            :mod:`repro.query.planner`) and the heuristic exact-vs-
+            sampling recommendation.
+        """
+        from repro.query.planner import choose_method, estimate_scan_depth
+
+        table = self.table(name)
+        estimate = estimate_scan_depth(table, k, threshold)
+        return {
+            "table": name,
+            "n_tuples": len(table),
+            "estimated_scan_depth": estimate.depth,
+            "estimated_fraction": estimate.fraction,
+            "recommended_method": choose_method(table, k, threshold),
+        }
+
+    def compare_semantics(
+        self,
+        name: str,
+        k: int,
+        threshold: float,
+        query: Optional[TopKQuery] = None,
+    ) -> SemanticsComparison:
+        """Run PT-k, U-TopK and U-KRanks side by side (the Section 6.1 study)."""
+        table = self.table(name)
+        query = query or TopKQuery(k=k)
+        ptk = exact_ptk_query(table, query, threshold)
+        utopk = utopk_query(table, query)
+        ukranks = ukranks_query(table, query)
+        probabilities = exact_topk_probabilities(table, query)
+        mentioned = (
+            set(ptk.answers) | set(utopk.vector) | set(ukranks.tuple_ids)
+        )
+        return SemanticsComparison(
+            ptk=ptk,
+            utopk=utopk,
+            ukranks=ukranks,
+            topk_probabilities={
+                tid: probabilities[tid] for tid in mentioned if tid in probabilities
+            },
+        )

@@ -1,0 +1,228 @@
+"""A small predicate expression language for the CLI and scripts.
+
+Grammar (case-insensitive keywords)::
+
+    expr     := or_expr
+    or_expr  := and_expr ("or" and_expr)*
+    and_expr := not_expr ("and" not_expr)*
+    not_expr := "not" not_expr | "(" expr ")" | comparison
+    comparison := field op literal
+    field    := "score" | "probability" | identifier  (identifier = attribute)
+    op       := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+    literal  := number | quoted string | bareword
+
+Examples::
+
+    score > 10
+    score > 10 and probability >= 0.5
+    location = 'B' or (score <= 3 and not source = "SAT-H")
+
+Parses to the composable :class:`~repro.query.predicates.Predicate`
+objects the query layer already uses, so parsed predicates behave
+identically to hand-built ones (including rule projection).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.exceptions import QueryError
+from repro.model.tuples import UncertainTuple
+from repro.query.predicates import Predicate
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(
+        (?P<number>-?\d+\.?\d*([eE][-+]?\d+)?)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<op><=|>=|==|!=|=|<|>)
+      | (?P<lparen>\()
+      | (?P<rparen>\))
+      | (?P<word>[A-Za-z_][A-Za-z_0-9.-]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: Any
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QueryError(
+                f"cannot tokenize predicate at: {remainder[:30]!r}"
+            )
+        position = match.end()
+        if match.group("number") is not None:
+            tokens.append(_Token("literal", float(match.group("number"))))
+        elif match.group("string") is not None:
+            tokens.append(_Token("literal", match.group("string")[1:-1]))
+        elif match.group("op") is not None:
+            tokens.append(_Token("op", match.group("op")))
+        elif match.group("lparen") is not None:
+            tokens.append(_Token("lparen", "("))
+        elif match.group("rparen") is not None:
+            tokens.append(_Token("rparen", ")"))
+        else:
+            word = match.group("word")
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(_Token(lowered, lowered))
+            else:
+                tokens.append(_Token("word", word))
+    return tokens
+
+
+@dataclass
+class _Comparison(Predicate):
+    """A single ``field op literal`` comparison."""
+
+    field_name: str
+    op: str
+    literal: Any
+
+    def _value_of(self, tup: UncertainTuple):
+        if self.field_name == "score":
+            return tup.score
+        if self.field_name == "probability":
+            return tup.probability
+        sentinel = object()
+        value = tup.attributes.get(self.field_name, sentinel)
+        return None if value is sentinel else value
+
+    def __call__(self, tup: UncertainTuple) -> bool:
+        value = self._value_of(tup)
+        if value is None:
+            return False
+        literal = self.literal
+        # numeric comparison against numeric-looking attribute strings
+        if isinstance(literal, float) and isinstance(value, str):
+            try:
+                value = float(value)
+            except ValueError:
+                return False
+        try:
+            if self.op in ("=", "=="):
+                return value == literal
+            if self.op == "!=":
+                return value != literal
+            if self.op == "<":
+                return value < literal
+            if self.op == "<=":
+                return value <= literal
+            if self.op == ">":
+                return value > literal
+            if self.op == ">=":
+                return value >= literal
+        except TypeError:
+            return False
+        raise QueryError(f"unknown operator {self.op!r}")  # pragma: no cover
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of predicate expression")
+        self._position += 1
+        return token
+
+    def parse(self) -> Predicate:
+        predicate = self._or_expr()
+        if self._peek() is not None:
+            raise QueryError(
+                f"unexpected trailing token {self._peek().value!r}"
+            )
+        return predicate
+
+    def _or_expr(self) -> Predicate:
+        left = self._and_expr()
+        while self._peek() is not None and self._peek().kind == "or":
+            self._advance()
+            left = left | self._and_expr()
+        return left
+
+    def _and_expr(self) -> Predicate:
+        left = self._not_expr()
+        while self._peek() is not None and self._peek().kind == "and":
+            self._advance()
+            left = left & self._not_expr()
+        return left
+
+    def _not_expr(self) -> Predicate:
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of predicate expression")
+        if token.kind == "not":
+            self._advance()
+            return ~self._not_expr()
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._or_expr()
+            closing = self._advance()
+            if closing.kind != "rparen":
+                raise QueryError("expected ')' in predicate expression")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Predicate:
+        field_token = self._advance()
+        if field_token.kind != "word":
+            raise QueryError(
+                f"expected a field name, got {field_token.value!r}"
+            )
+        op_token = self._advance()
+        if op_token.kind != "op":
+            raise QueryError(
+                f"expected a comparison operator after "
+                f"{field_token.value!r}, got {op_token.value!r}"
+            )
+        literal_token = self._advance()
+        if literal_token.kind == "word":
+            literal: Any = literal_token.value  # bareword string
+        elif literal_token.kind == "literal":
+            literal = literal_token.value
+        else:
+            raise QueryError(
+                f"expected a literal after {op_token.value!r}, got "
+                f"{literal_token.value!r}"
+            )
+        return _Comparison(
+            field_name=field_token.value, op=op_token.value, literal=literal
+        )
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a predicate expression into a :class:`Predicate`.
+
+    :raises QueryError: on any syntax error (message points at the
+        offending token).
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryError("empty predicate expression")
+    return _Parser(tokens).parse()

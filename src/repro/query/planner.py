@@ -1,0 +1,159 @@
+"""Query planning: predicting PT-k scan depth from table statistics.
+
+Figure 7's headline — scan depth depends on k, not on the table size —
+has a quantitative core: the tail stop bound fires at the first prefix
+whose membership-probability mass ``M_i = Σ_{j<=i} Pr(t_j)`` makes
+``Pr(N <= k)`` fall below the threshold, where ``N`` is the
+Poisson-binomial count of the prefix.  By the normal approximation this
+happens near
+
+.. math::
+
+    M_D \\approx k + z_p \\sqrt{k}
+
+(with ``z_p`` the threshold's normal quantile and variance bounded by
+the mean), so the expected depth is roughly ``(k + z_p sqrt(k)) / μ``
+for mean membership probability ``μ``.
+
+:func:`estimate_scan_depth` implements both the cheap closed form and a
+more careful per-prefix walk over the actual probabilities (still
+O(depth), no DP); the accuracy of each against the measured depth is a
+test and a benchmark.  A cost-based optimizer would use this to decide
+between the exact algorithm and the sampler — :func:`choose_method`
+encodes that heuristic, mirroring the paper's observation that each has
+its edge (exact for small k, sampling for large k).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.model.statistics import TableStatistics, collect_statistics
+from repro.model.table import UncertainTable
+from repro.exceptions import QueryError
+from repro.stats.intervals import normal_quantile
+
+
+@dataclass(frozen=True)
+class ScanDepthEstimate:
+    """Predicted retrieval cost of a PT-k query.
+
+    :param depth: predicted number of tuples retrieved.
+    :param fraction: predicted fraction of ``P(T)`` retrieved.
+    :param mass_target: the prefix probability mass at which the tail
+        bound is expected to fire (``~ k + z sqrt(k)``).
+    """
+
+    depth: int
+    fraction: float
+    mass_target: float
+
+
+def _mass_target(k: int, threshold: float) -> float:
+    """Prefix mass at which ``Pr(N <= k)`` drops below the threshold."""
+    # z-quantile of the stop threshold; Pr(N <= k) ~ Phi((k - M)/sqrt(V))
+    # with V <= M, so M ~ k + z * sqrt(k) is the crossing point.
+    z = normal_quantile(1.0 - 2.0 * min(threshold, 0.49999))
+    return k + z * math.sqrt(max(k, 1))
+
+
+def estimate_scan_depth(
+    table: UncertainTable,
+    k: int,
+    threshold: float,
+    statistics: Optional[TableStatistics] = None,
+) -> ScanDepthEstimate:
+    """Closed-form scan-depth prediction from summary statistics.
+
+    Uses only the mean membership probability (catalog information) —
+    deliberately *not* the ranked list — so it is a planning-time
+    estimate.
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    if not (0.0 < threshold <= 1.0):
+        raise QueryError(
+            f"probability threshold must be in (0, 1], got {threshold!r}"
+        )
+    statistics = statistics or collect_statistics(table)
+    n = statistics.n_tuples
+    if n == 0:
+        return ScanDepthEstimate(depth=0, fraction=0.0, mass_target=0.0)
+    target = _mass_target(k, threshold)
+    mean = max(statistics.mean_probability, 1e-9)
+    depth = min(n, int(math.ceil(target / mean)))
+    return ScanDepthEstimate(
+        depth=depth, fraction=depth / n, mass_target=target
+    )
+
+
+def estimate_scan_depth_exactish(
+    table: UncertainTable,
+    k: int,
+    threshold: float,
+) -> ScanDepthEstimate:
+    """Per-prefix refinement: walk the actual ranked probabilities.
+
+    Still O(depth) and DP-free: accumulates the true prefix mass and
+    stops at the first prefix reaching the mass target.  More accurate
+    than the closed form when membership probabilities correlate with
+    rank (as in the iceberg data).
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    if not (0.0 < threshold <= 1.0):
+        raise QueryError(
+            f"probability threshold must be in (0, 1], got {threshold!r}"
+        )
+    ranked = table.ranked_tuples()
+    n = len(ranked)
+    if n == 0:
+        return ScanDepthEstimate(depth=0, fraction=0.0, mass_target=0.0)
+    target = _mass_target(k, threshold)
+    mass = 0.0
+    for depth, tup in enumerate(ranked, start=1):
+        mass += tup.probability
+        if mass >= target:
+            return ScanDepthEstimate(
+                depth=depth, fraction=depth / n, mass_target=target
+            )
+    return ScanDepthEstimate(depth=n, fraction=1.0, mass_target=target)
+
+
+def choose_method(
+    table: UncertainTable,
+    k: int,
+    threshold: float,
+    sample_budget: int = 1107,
+    statistics: Optional[TableStatistics] = None,
+) -> str:
+    """Heuristic exact-vs-sampling choice (the paper's "each has its edge").
+
+    Exact cost grows superlinearly in the scan depth (depth * average
+    dominant-set work); sampling cost is ``budget * expected sample
+    length`` with sample length ~ depth.  The crossover therefore sits
+    where depth exceeds roughly the sample budget; below it the exact
+    algorithm's single deep scan is cheaper than a thousand shallow ones.
+
+    :returns: ``"exact"`` or ``"sampling"``.
+    """
+    estimate = estimate_scan_depth(table, k, threshold, statistics=statistics)
+    # exact work ~ depth^2 DP-unit touches; sampling ~ budget * depth
+    exact_cost = float(estimate.depth) ** 2
+    sampling_cost = float(sample_budget) * max(estimate.depth, 1)
+    return "exact" if exact_cost <= sampling_cost else "sampling"
+
+
+def depth_curve(
+    table: UncertainTable,
+    ks: List[int],
+    threshold: float,
+) -> List[ScanDepthEstimate]:
+    """Estimates across several k values (planning diagnostics)."""
+    statistics = collect_statistics(table)
+    return [
+        estimate_scan_depth(table, k, threshold, statistics=statistics)
+        for k in ks
+    ]

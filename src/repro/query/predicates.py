@@ -1,0 +1,127 @@
+"""Composable predicates over uncertain tuples.
+
+The predicate ``P`` of a PT-k query selects which tuples participate in
+the ranking at all: the query is answered over ``P(T)`` (Section 4).
+Predicates here are small callable objects supporting ``&``, ``|`` and
+``~`` composition, so benchmark and example code can build selections
+declaratively::
+
+    pred = ScoreAbove(10) & AttributeEquals("location", "B")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.model.tuples import UncertainTuple
+
+
+class Predicate:
+    """Base class for tuple predicates.
+
+    Subclasses implement :meth:`__call__`.  Instances compose with the
+    bitwise operators: ``p & q`` (and), ``p | q`` (or), ``~p`` (not).
+    """
+
+    def __call__(self, tup: UncertainTuple) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return _And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return _Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return _Not(self)
+
+
+@dataclass
+class _And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def __call__(self, tup: UncertainTuple) -> bool:
+        return self.left(tup) and self.right(tup)
+
+
+@dataclass
+class _Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def __call__(self, tup: UncertainTuple) -> bool:
+        return self.left(tup) or self.right(tup)
+
+
+@dataclass
+class _Not(Predicate):
+    inner: Predicate
+
+    def __call__(self, tup: UncertainTuple) -> bool:
+        return not self.inner(tup)
+
+
+class AlwaysTrue(Predicate):
+    """The trivial predicate; selects every tuple.
+
+    This is the default of :class:`repro.query.topk.TopKQuery` and matches
+    the synthetic experiments of Section 6.2, where "all tuples satisfy
+    the predicates in the top-k queries".
+    """
+
+    def __call__(self, tup: UncertainTuple) -> bool:
+        return True
+
+
+@dataclass
+class ScoreAbove(Predicate):
+    """Selects tuples whose ranking score is strictly above ``threshold``."""
+
+    threshold: float
+
+    def __call__(self, tup: UncertainTuple) -> bool:
+        return tup.score > self.threshold
+
+
+@dataclass
+class ScoreBelow(Predicate):
+    """Selects tuples whose ranking score is strictly below ``threshold``."""
+
+    threshold: float
+
+    def __call__(self, tup: UncertainTuple) -> bool:
+        return tup.score < self.threshold
+
+
+@dataclass
+class AttributeEquals(Predicate):
+    """Selects tuples whose attribute ``name`` equals ``value``.
+
+    Tuples lacking the attribute are rejected.
+    """
+
+    name: str
+    value: Any
+
+    def __call__(self, tup: UncertainTuple) -> bool:
+        sentinel = object()
+        return tup.attributes.get(self.name, sentinel) == self.value
+
+
+@dataclass
+class AttributePredicate(Predicate):
+    """Selects tuples for which ``test(attributes[name])`` holds.
+
+    Tuples lacking the attribute are rejected (no exception is raised),
+    which makes heterogeneous tables safe to filter.
+    """
+
+    name: str
+    test: Callable[[Any], bool]
+
+    def __call__(self, tup: UncertainTuple) -> bool:
+        if self.name not in tup.attributes:
+            return False
+        return bool(self.test(tup.attributes[self.name]))

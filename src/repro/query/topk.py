@@ -1,0 +1,85 @@
+"""Top-k queries over certain data — the per-world primitive.
+
+``Q^k(W)`` (Section 2) applies an ordinary top-k query to one possible
+world ``W``: rank the world's tuples by ``f`` and keep the best ``k``.
+:class:`TopKQuery` bundles the predicate, ranking function and ``k`` of a
+query; the PT-k, U-TopK and U-KRanks engines all consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.exceptions import QueryError
+from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
+from repro.query.predicates import AlwaysTrue, Predicate
+from repro.query.ranking import RankingFunction, by_score
+
+
+@dataclass
+class TopKQuery:
+    """A top-k query ``Q^k(P, f)``.
+
+    :param k: result size; must be positive.
+    :param predicate: tuple selection ``P``; defaults to all tuples.
+    :param ranking: ranking function ``f``; defaults to descending score.
+    """
+
+    k: int
+    predicate: Predicate = field(default_factory=AlwaysTrue)
+    ranking: RankingFunction = field(default_factory=by_score)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k <= 0:
+            raise QueryError(f"k must be a positive integer, got {self.k!r}")
+
+    def selected(self, table: UncertainTable) -> UncertainTable:
+        """``P(T)``: the table projected onto tuples satisfying ``P``.
+
+        Generation rules are projected alongside (Section 4).  The
+        trivial predicate short-circuits: the table itself is returned
+        (callers must not mutate query inputs, so sharing is safe).
+        """
+        if isinstance(self.predicate, AlwaysTrue):
+            return table
+        return self.filter_table(table)
+
+    def filter_table(self, table: UncertainTable) -> UncertainTable:
+        """Alias of :meth:`selected`, kept for readability at call sites."""
+        return table.filter(self.predicate, name=f"{table.name}_P")
+
+    def ranked_list(self, table: UncertainTable) -> List[UncertainTuple]:
+        """All tuples of ``P(table)`` in the ranking order, best first."""
+        return self.ranking.rank_table(self.selected(table))
+
+    def answer_on_world(
+        self, tuples: Sequence[UncertainTuple]
+    ) -> List[UncertainTuple]:
+        """``Q^k(W)``: the top-k tuples among a certain set of tuples.
+
+        The predicate is applied, tuples are ranked by ``f`` and the best
+        ``k`` are returned (fewer when the world is small).
+        """
+        passing = [t for t in tuples if self.predicate(t)]
+        return self.ranking.order(passing)[: self.k]
+
+
+def top_k_of_world(
+    tuples: Sequence[UncertainTuple],
+    k: int,
+    ranking: Optional[RankingFunction] = None,
+) -> List[UncertainTuple]:
+    """Standalone ``Q^k(W)`` helper with the trivial predicate."""
+    query = TopKQuery(k=k, ranking=ranking or by_score())
+    return query.answer_on_world(tuples)
+
+
+def top_k_ids_of_world(
+    tuples: Sequence[UncertainTuple],
+    k: int,
+    ranking: Optional[RankingFunction] = None,
+) -> List[Any]:
+    """Ids of the top-k tuples of one world, ranking order preserved."""
+    return [t.tid for t in top_k_of_world(tuples, k, ranking)]

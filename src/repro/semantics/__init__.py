@@ -1,0 +1,40 @@
+"""Alternative uncertain top-k semantics and the naive baseline.
+
+The paper positions PT-k against two earlier semantics (Soliman, Ilyas &
+Chang, ICDE 2007), compared head-to-head in Section 6.1:
+
+* **U-TopK** (:mod:`~repro.semantics.utopk`) — the *vector* of k tuples
+  most likely to be exactly the top-k list of a possible world.
+* **U-KRanks** (:mod:`~repro.semantics.ukranks`) — for each rank
+  ``i <= k``, the tuple most likely to be ranked exactly ``i``-th.
+
+Plus:
+
+* :mod:`~repro.semantics.naive` — exact PT-k by enumerating every
+  possible world: exponential, but the ground truth every fast algorithm
+  is tested against.
+* :mod:`~repro.semantics.extras` — additional derived semantics
+  (Global-Topk selection, expected ranks) used by examples and the
+  comparison tooling.
+"""
+
+from repro.semantics.expected_rank import expected_rank_topk, expected_rank_values
+from repro.semantics.naive import (
+    naive_ptk_answer,
+    naive_topk_probabilities,
+    naive_position_probabilities,
+)
+from repro.semantics.ukranks import UKRanksAnswer, ukranks_query
+from repro.semantics.utopk import UTopKAnswer, utopk_query
+
+__all__ = [
+    "UKRanksAnswer",
+    "UTopKAnswer",
+    "expected_rank_topk",
+    "expected_rank_values",
+    "naive_position_probabilities",
+    "naive_ptk_answer",
+    "naive_topk_probabilities",
+    "ukranks_query",
+    "utopk_query",
+]

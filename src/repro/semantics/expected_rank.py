@@ -1,0 +1,104 @@
+"""Expected-rank top-k: the rank-aggregation semantics (Cormode et al.).
+
+A later strand of the uncertain top-k literature (Cormode, Li & Yi,
+ICDE 2009) ranks tuples by *expected rank*: in a possible world ``W``,
+
+.. math::
+
+    rank(t, W) = |\\{t' \\in W : t' \\prec_f t\\}| \\text{ if } t \\in W,
+    \\qquad rank(t, W) = |W| \\text{ otherwise}
+
+(an absent tuple ranks after everything present), and the answer is the
+k tuples with the smallest ``E[rank(t)]``.  Including it here rounds
+out the semantics-comparison tooling — it behaves differently from both
+PT-k and U-TopK/U-KRanks on the same data.
+
+Linearity of expectation gives a closed form (no DP needed).  With
+``D(t)`` = tuples ranked above ``t``, ``R(t)`` = ``t``'s rule-mates:
+
+* present part: ``Σ_{t' ∈ D(t) \\ R(t)} Pr(t) Pr(t')``
+  (rule-mates can never coexist with ``t``);
+* absent part: ``Σ_{t' ∈ R(t)} Pr(t')  +  Σ_{t' ∉ R(t), t' ≠ t}
+  Pr(t') (1 − Pr(t))``
+  (a rule-mate of ``t`` being present *implies* ``t`` absent, so its
+  joint probability is just ``Pr(t')``).
+
+Both sums come from two table-wide prefix totals, so the whole ranking
+costs O(n) after sorting — validated against enumeration in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.rule_compression import rule_index_of_table
+from repro.exceptions import QueryError
+from repro.model.table import UncertainTable
+from repro.query.topk import TopKQuery
+
+
+def expected_rank_values(
+    table: UncertainTable, query: TopKQuery
+) -> Dict[Any, float]:
+    """``E[rank(t)]`` for every tuple satisfying the predicate.
+
+    Ranks are 0-based (the best possible expected rank is 0: always
+    present, nothing above).  See the module docstring for the closed
+    form.
+    """
+    selected = query.selected(table)
+    ranked = query.ranking.rank_table(selected)
+    rule_of = rule_index_of_table(selected)
+    total_mass = sum(t.probability for t in ranked)
+
+    # per-rule total mass (for the rule-mate corrections)
+    rule_mass: Dict[Any, float] = {}
+    for tup in ranked:
+        rule = rule_of.get(tup.tid)
+        if rule is not None:
+            rule_mass[rule.rule_id] = (
+                rule_mass.get(rule.rule_id, 0.0) + tup.probability
+            )
+
+    result: Dict[Any, float] = {}
+    prefix_mass = 0.0  # Σ Pr(t') over t' ranked above the current tuple
+    rule_prefix_mass: Dict[Any, float] = {}  # same, restricted per rule
+    for tup in ranked:
+        rule = rule_of.get(tup.tid)
+        rule_id = rule.rule_id if rule is not None else None
+        p = tup.probability
+        own_rule_above = rule_prefix_mass.get(rule_id, 0.0) if rule_id else 0.0
+        # an independent tuple behaves like a singleton rule: its "rule"
+        # mass is just its own probability (no rule-mates)
+        own_rule_total = rule_mass.get(rule_id, p) if rule_id else p
+
+        # present part: dominants that can coexist with t
+        present = p * (prefix_mass - own_rule_above)
+        # absent part: rule-mates imply absence; others need (1 - p)
+        rule_mates_mass = own_rule_total - p
+        others_mass = total_mass - own_rule_total
+        absent = rule_mates_mass + (1.0 - p) * others_mass
+        result[tup.tid] = present + absent
+
+        prefix_mass += p
+        if rule_id is not None:
+            rule_prefix_mass[rule_id] = own_rule_above + p
+    return result
+
+
+def expected_rank_topk(
+    table: UncertainTable, query: TopKQuery
+) -> List[Tuple[Any, float]]:
+    """The k tuples of smallest expected rank.
+
+    Ties are broken by ranking position (better-ranked tuple wins).
+
+    :returns: list of ``(tuple id, expected rank)``, best first.
+    """
+    if query.k <= 0:
+        raise QueryError(f"k must be positive, got {query.k}")
+    values = expected_rank_values(table, query)
+    ranked = query.ranking.rank_table(query.selected(table))
+    position = {tup.tid: i for i, tup in enumerate(ranked)}
+    ordered = sorted(values.items(), key=lambda kv: (kv[1], position[kv[0]]))
+    return ordered[: query.k]

@@ -1,0 +1,61 @@
+"""Additional derived semantics built on top-k probabilities.
+
+These are not part of the reproduced paper's contribution but round out
+the comparison tooling (and correspond to semantics proposed in the
+follow-up literature):
+
+* **Global-Topk** — return the ``k`` tuples with the *highest* top-k
+  probability (a set of fixed size, unlike PT-k's threshold set).
+* **Expected rank** — the expected position of a tuple among the present
+  higher-ranked tuples, conditioned on the tuple being present; a cheap
+  scalar summary used by the examples for narrative output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.exact import exact_topk_probabilities
+from repro.core.rule_compression import DominantSetScan, rule_index_of_table
+from repro.model.table import UncertainTable
+from repro.query.topk import TopKQuery
+
+
+def global_topk(table: UncertainTable, query: TopKQuery) -> List[Tuple[Any, float]]:
+    """The k tuples with the highest top-k probability.
+
+    Ties are broken by ranking position (better-ranked tuple wins), which
+    keeps the answer deterministic.
+
+    :returns: list of (tuple id, top-k probability), probability
+        descending.
+    """
+    probabilities = exact_topk_probabilities(table, query)
+    ranked = query.ranking.rank_table(query.selected(table))
+    position = {tup.tid: i for i, tup in enumerate(ranked)}
+    ordered = sorted(
+        probabilities.items(), key=lambda kv: (-kv[1], position[kv[0]])
+    )
+    return ordered[: query.k]
+
+
+def expected_ranks(table: UncertainTable, query: TopKQuery) -> Dict[Any, float]:
+    """Expected rank of each tuple, conditioned on its presence.
+
+    Given that ``t`` appears, its rank is ``1 + (number of present
+    dominant tuples)``; with the compressed dominant set ``T(t)`` the
+    expectation is ``1 + sum of unit probabilities`` (linearity — no DP
+    needed).
+
+    :returns: mapping tuple id -> conditional expected rank (>= 1).
+    """
+    selected = query.selected(table)
+    ranked = query.ranking.rank_table(selected)
+    rule_of = rule_index_of_table(selected)
+    scan = DominantSetScan(ranked, rule_of)
+    result: Dict[Any, float] = {}
+    for tup in ranked:
+        units = scan.units_for(tup)
+        result[tup.tid] = 1.0 + sum(unit.probability for unit in units)
+        scan.advance(tup)
+    return result

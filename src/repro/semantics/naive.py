@@ -1,0 +1,110 @@
+"""Naive exact PT-k answering by possible-world enumeration.
+
+This is the baseline Section 2 dismisses as infeasible at scale — and
+precisely because it is a direct transcription of the definitions
+(Equations 1–2), it serves as the ground truth for every fast algorithm
+in the library.  All correctness tests cross-validate against it on
+small tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.results import AlgorithmStats, PTKAnswer
+from repro.exceptions import QueryError
+from repro.model.table import UncertainTable
+from repro.model.worlds import DEFAULT_WORLD_LIMIT, enumerate_possible_worlds
+from repro.query.topk import TopKQuery
+
+
+def naive_topk_probabilities(
+    table: UncertainTable,
+    query: TopKQuery,
+    world_limit: int = DEFAULT_WORLD_LIMIT,
+) -> Dict[Any, float]:
+    """``Pr^k`` for every tuple, straight from Equation 2.
+
+    Enumerates every possible world of ``P(table)``, applies the certain
+    top-k query to each, and accumulates world probabilities per member
+    of each top-k list.
+
+    :param world_limit: safety cap forwarded to the enumerator.
+    :returns: mapping tuple id -> exact top-k probability (tuples never
+        in any top-k get 0.0 entries, so the mapping covers all of
+        ``P(table)``).
+    """
+    selected = query.selected(table)
+    by_id = {tup.tid: tup for tup in selected}
+    result: Dict[Any, float] = {tid: 0.0 for tid in by_id}
+    for world in enumerate_possible_worlds(selected, limit=world_limit):
+        members = [by_id[tid] for tid in world.tuple_ids]
+        for tup in query.answer_on_world(members):
+            result[tup.tid] += world.probability
+    return result
+
+
+def naive_ptk_answer(
+    table: UncertainTable,
+    query: TopKQuery,
+    threshold: float,
+    world_limit: int = DEFAULT_WORLD_LIMIT,
+) -> PTKAnswer:
+    """The full PT-k answer by enumeration, in ranking order."""
+    if not (0.0 < threshold <= 1.0):
+        raise QueryError(
+            f"probability threshold must be in (0, 1], got {threshold!r}"
+        )
+    probabilities = naive_topk_probabilities(table, query, world_limit=world_limit)
+    ranked = query.ranking.rank_table(query.selected(table))
+    answer = PTKAnswer(k=query.k, threshold=threshold, method="naive")
+    answer.probabilities = probabilities
+    answer.answers = [
+        tup.tid for tup in ranked if probabilities[tup.tid] >= threshold
+    ]
+    answer.stats = AlgorithmStats(
+        scan_depth=len(ranked),
+        tuples_evaluated=len(ranked),
+        stopped_by="exhausted",
+    )
+    return answer
+
+
+def naive_position_probabilities(
+    table: UncertainTable,
+    query: TopKQuery,
+    world_limit: int = DEFAULT_WORLD_LIMIT,
+) -> Dict[Any, List[float]]:
+    """``Pr(t, j)`` for ``j = 1..k`` by enumeration (U-KRanks ground truth).
+
+    :returns: mapping tuple id -> list of k probabilities; index 0 is the
+        probability of being ranked first.
+    """
+    selected = query.selected(table)
+    by_id = {tup.tid: tup for tup in selected}
+    result: Dict[Any, List[float]] = {tid: [0.0] * query.k for tid in by_id}
+    for world in enumerate_possible_worlds(selected, limit=world_limit):
+        members = [by_id[tid] for tid in world.tuple_ids]
+        for position, tup in enumerate(query.answer_on_world(members)):
+            result[tup.tid][position] += world.probability
+    return result
+
+
+def naive_topk_vector_probabilities(
+    table: UncertainTable,
+    query: TopKQuery,
+    world_limit: int = DEFAULT_WORLD_LIMIT,
+) -> Dict[tuple, float]:
+    """Probability of each distinct top-k *vector* (U-TopK ground truth).
+
+    :returns: mapping (ordered tuple-id vector) -> total probability of
+        the worlds whose top-k list is exactly that vector.
+    """
+    selected = query.selected(table)
+    by_id = {tup.tid: tup for tup in selected}
+    result: Dict[tuple, float] = {}
+    for world in enumerate_possible_worlds(selected, limit=world_limit):
+        members = [by_id[tid] for tid in world.tuple_ids]
+        vector = tuple(t.tid for t in query.answer_on_world(members))
+        result[vector] = result.get(vector, 0.0) + world.probability
+    return result

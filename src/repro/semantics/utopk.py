@@ -1,0 +1,189 @@
+"""U-TopK queries: the most probable top-k vector (Soliman et al., 2007).
+
+A U-TopK query returns the length-k tuple vector with the highest
+probability of being *exactly* the top-k list of a possible world.  The
+paper compares PT-k answers against U-TopK on the iceberg data
+(Section 6.1), noting that the most probable vector can have a very low
+absolute probability (0.0299 there) and can omit tuples whose top-k
+probability is high.
+
+Implementation: best-first search over scan-prefix states, the approach
+of Soliman et al.  A state fixes, for a prefix of the ranked list, which
+tuples are in the top-k list; its probability is the product of
+
+* ``Pr(t)`` for each included tuple (conditioned through its rule:
+  including a member whose rule already skipped mass ``s`` contributes
+  ``Pr(t) / (1 - s)`` on top of the earlier skip factors, telescoping to
+  exactly ``Pr(t)``),
+* ``1 - Pr(t)`` for each excluded independent tuple, and
+* ``(1 - s - Pr(t)) / (1 - s)`` for each excluded rule member (``s`` =
+  mass of previously excluded members of the same rule), telescoping to
+  ``1 - sum of excluded members`` when the rule never fires.
+
+Every factor is at most 1, so a state's probability upper-bounds all of
+its descendants and the first *complete* state popped from the priority
+queue is the exact answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.rule_compression import rule_index_of_table
+from repro.exceptions import QueryError
+from repro.model.rules import GenerationRule
+from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
+from repro.query.topk import TopKQuery
+
+#: Default cap on search-state expansions before giving up.
+DEFAULT_MAX_EXPANSIONS = 2_000_000
+
+
+@dataclass(frozen=True)
+class UTopKAnswer:
+    """The most probable top-k vector and its probability.
+
+    :param vector: tuple ids in ranking order.  May be shorter than k
+        when the most probable outcome is a world with fewer than k
+        tuples (possible for very sparse tables).
+    :param probability: probability that the top-k list is exactly
+        ``vector``.
+    :param expansions: search states expanded (effort diagnostic).
+    """
+
+    vector: Tuple[Any, ...]
+    probability: float
+    expansions: int = 0
+
+
+@dataclass(order=True)
+class _State:
+    """A search state: assignment over the first ``position`` tuples."""
+
+    sort_key: float  # negative probability (heapq is a min-heap)
+    tiebreak: int = field(compare=True)
+    probability: float = field(compare=False, default=1.0)
+    position: int = field(compare=False, default=0)
+    chosen: Tuple[Any, ...] = field(compare=False, default=())
+    # rule id -> excluded-mass accumulated so far
+    rule_skipped: Tuple[Tuple[Any, float], ...] = field(compare=False, default=())
+    # rule ids whose member is already in `chosen`
+    rules_fired: frozenset = field(compare=False, default=frozenset())
+
+
+def _skipped_lookup(state: _State) -> Dict[Any, float]:
+    return dict(state.rule_skipped)
+
+
+def utopk_search(
+    ranked: Sequence[UncertainTuple],
+    rule_of: Mapping[Any, GenerationRule],
+    k: int,
+    max_expansions: int = DEFAULT_MAX_EXPANSIONS,
+) -> UTopKAnswer:
+    """Best-first search for the most probable top-k vector.
+
+    :param ranked: tuples in ranking order, best first.
+    :param rule_of: maps tuple id -> multi-tuple rule.
+    :param k: vector length.
+    :param max_expansions: safety cap on popped states.
+    :raises QueryError: when the cap is exceeded (pathological inputs).
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    counter = itertools.count()
+    heap: List[_State] = [_State(sort_key=-1.0, tiebreak=next(counter))]
+    expansions = 0
+    n = len(ranked)
+    while heap:
+        state = heapq.heappop(heap)
+        expansions += 1
+        if expansions > max_expansions:
+            raise QueryError(
+                f"U-TopK search exceeded {max_expansions} expansions; "
+                f"raise max_expansions for this workload"
+            )
+        if len(state.chosen) == k or state.position == n:
+            return UTopKAnswer(
+                vector=state.chosen,
+                probability=state.probability,
+                expansions=expansions,
+            )
+        tup = ranked[state.position]
+        rule = rule_of.get(tup.tid)
+        skipped = _skipped_lookup(state)
+        rule_id = rule.rule_id if rule is not None else None
+        s = skipped.get(rule_id, 0.0) if rule_id is not None else 0.0
+        fired = rule_id is not None and rule_id in state.rules_fired
+
+        # Child 1: include the tuple (impossible if its rule fired).
+        if not fired:
+            denom = 1.0 - s
+            if denom > 0.0:
+                include_probability = state.probability * (tup.probability / denom)
+                if include_probability > 0.0:
+                    heapq.heappush(
+                        heap,
+                        _State(
+                            sort_key=-include_probability,
+                            tiebreak=next(counter),
+                            probability=include_probability,
+                            position=state.position + 1,
+                            chosen=state.chosen + (tup.tid,),
+                            rule_skipped=state.rule_skipped,
+                            rules_fired=(
+                                state.rules_fired | {rule_id}
+                                if rule_id is not None
+                                else state.rules_fired
+                            ),
+                        ),
+                    )
+
+        # Child 2: exclude the tuple.
+        if rule_id is None:
+            exclude_factor = 1.0 - tup.probability
+            new_skipped = state.rule_skipped
+        elif fired:
+            exclude_factor = 1.0  # cannot appear anyway
+            new_skipped = state.rule_skipped
+        else:
+            denom = 1.0 - s
+            exclude_factor = (
+                (1.0 - s - tup.probability) / denom if denom > 0.0 else 0.0
+            )
+            updated = dict(skipped)
+            updated[rule_id] = s + tup.probability
+            new_skipped = tuple(sorted(updated.items(), key=lambda kv: str(kv[0])))
+        exclude_probability = state.probability * exclude_factor
+        if exclude_probability > 0.0:
+            heapq.heappush(
+                heap,
+                _State(
+                    sort_key=-exclude_probability,
+                    tiebreak=next(counter),
+                    probability=exclude_probability,
+                    position=state.position + 1,
+                    chosen=state.chosen,
+                    rule_skipped=new_skipped,
+                    rules_fired=state.rules_fired,
+                ),
+            )
+    # Only reachable when every branch had probability 0, which the model
+    # forbids (probabilities are strictly positive); keep a safe fallback.
+    return UTopKAnswer(vector=(), probability=0.0, expansions=expansions)
+
+
+def utopk_query(
+    table: UncertainTable,
+    query: TopKQuery,
+    max_expansions: int = DEFAULT_MAX_EXPANSIONS,
+) -> UTopKAnswer:
+    """Answer a U-TopK query on an uncertain table."""
+    selected = query.selected(table)
+    ranked = query.ranking.rank_table(selected)
+    rule_of = rule_index_of_table(selected)
+    return utopk_search(ranked, rule_of, query.k, max_expansions=max_expansions)

@@ -1,0 +1,27 @@
+"""Statistics utilities: concentration bounds, quality metrics, distributions.
+
+* :mod:`~repro.stats.bounds` — the Chernoff–Hoeffding sample-size bound of
+  Theorem 6 and the matching error bound plotted in Figure 6.
+* :mod:`~repro.stats.metrics` — precision / recall / average relative
+  error, the quality measures of Section 6.2.
+* :mod:`~repro.stats.distributions` — truncated-normal sampling helpers
+  used by the synthetic workload generator.
+"""
+
+from repro.stats.bounds import (
+    chernoff_hoeffding_error_bound,
+    chernoff_hoeffding_sample_size,
+)
+from repro.stats.metrics import (
+    average_relative_error,
+    f1_score,
+    precision_recall,
+)
+
+__all__ = [
+    "average_relative_error",
+    "chernoff_hoeffding_error_bound",
+    "chernoff_hoeffding_sample_size",
+    "f1_score",
+    "precision_recall",
+]

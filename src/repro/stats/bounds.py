@@ -1,0 +1,68 @@
+"""Concentration bounds for the sampling method (Theorem 6).
+
+Theorem 6 (from the Chernoff–Hoeffding bound of Angluin & Valiant): for
+relative error ``epsilon`` and failure probability ``delta``, a sample of
+
+.. math::
+
+    |S| \\ge \\frac{3 \\ln(2 / \\delta)}{\\epsilon^2}
+
+possible worlds guarantees, for every tuple ``t``,
+
+.. math::
+
+    \\Pr\\big[\\,|E_S[X_t] - E[X_t]| > \\epsilon E[X_t]\\,\\big] \\le \\delta.
+
+Figure 6 plots the inverse of this bound — the ``epsilon`` guaranteed by
+a given sample size — as the reference line against the measured error.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import SamplingError
+
+
+def chernoff_hoeffding_sample_size(epsilon: float, delta: float) -> int:
+    """Sample size guaranteeing relative error ``epsilon`` w.p. ``1-delta``.
+
+    :param epsilon: relative error target, > 0.
+    :param delta: failure probability, in (0, 1).
+    :returns: the (integer, rounded-up) Theorem-6 bound.
+    """
+    if epsilon <= 0:
+        raise SamplingError(f"epsilon must be positive, got {epsilon!r}")
+    if not (0.0 < delta < 1.0):
+        raise SamplingError(f"delta must be in (0, 1), got {delta!r}")
+    return math.ceil(3.0 * math.log(2.0 / delta) / (epsilon * epsilon))
+
+
+def chernoff_hoeffding_error_bound(sample_size: int, delta: float) -> float:
+    """The relative error guaranteed by a given sample size.
+
+    Inverts :func:`chernoff_hoeffding_sample_size`:
+    ``epsilon = sqrt(3 ln(2/delta) / |S|)``.  This is the theoretical
+    reference curve of Figure 6(a)/(b).
+    """
+    if sample_size <= 0:
+        raise SamplingError(f"sample_size must be positive, got {sample_size!r}")
+    if not (0.0 < delta < 1.0):
+        raise SamplingError(f"delta must be in (0, 1), got {delta!r}")
+    return math.sqrt(3.0 * math.log(2.0 / delta) / sample_size)
+
+
+def hoeffding_absolute_error_bound(sample_size: int, delta: float) -> float:
+    """Additive-error Hoeffding bound for a Bernoulli mean.
+
+    With probability at least ``1 - delta`` the empirical mean of
+    ``sample_size`` i.i.d. indicator draws is within
+    ``sqrt(ln(2/delta) / (2 |S|))`` of the true mean.  Useful as a
+    tighter diagnostic for tuples with small ``Pr^k`` where relative
+    error is uninformative.
+    """
+    if sample_size <= 0:
+        raise SamplingError(f"sample_size must be positive, got {sample_size!r}")
+    if not (0.0 < delta < 1.0):
+        raise SamplingError(f"delta must be in (0, 1), got {delta!r}")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * sample_size))

@@ -1,0 +1,69 @@
+"""Distribution helpers for workload generation.
+
+Section 6.2 draws membership probabilities, rule probabilities and rule
+sizes from normal distributions; drawn values must land in legal ranges
+(probabilities in (0, 1], rule sizes >= 2), so the generator uses
+*clipped* normal sampling: redraw is unnecessary for the paper's shapes,
+simple clipping preserves the mean well for the parameter ranges used.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+
+#: Smallest probability the generators will emit; avoids degenerate
+#: zero-probability tuples that the model forbids.
+MIN_PROBABILITY = 1e-3
+
+
+def clipped_normal(
+    rng: np.random.Generator,
+    mean: float,
+    std: float,
+    size: int,
+    low: float,
+    high: float,
+) -> np.ndarray:
+    """Normal draws clipped into ``[low, high]``.
+
+    :raises SamplingError: on a non-positive ``size`` or inverted bounds.
+    """
+    if size <= 0:
+        raise SamplingError(f"size must be positive, got {size}")
+    if low > high:
+        raise SamplingError(f"low {low} exceeds high {high}")
+    values = rng.normal(loc=mean, scale=std, size=size)
+    return np.clip(values, low, high)
+
+
+def probability_normal(
+    rng: np.random.Generator,
+    mean: float,
+    std: float,
+    size: int,
+    high: float = 1.0,
+) -> np.ndarray:
+    """Probabilities ~ clipped ``N(mean, std)`` in ``[MIN_PROBABILITY, high]``."""
+    return clipped_normal(rng, mean, std, size, MIN_PROBABILITY, high)
+
+
+def rule_size_normal(
+    rng: np.random.Generator,
+    mean: float,
+    std: float,
+    size: int,
+    minimum: int = 2,
+    maximum: Optional[int] = None,
+) -> np.ndarray:
+    """Integer rule sizes ~ rounded clipped ``N(mean, std)``, at least 2.
+
+    Multi-tuple rules need two or more members by definition; the paper's
+    default is ``N(5, 2)``.
+    """
+    high = float(maximum) if maximum is not None else float("inf")
+    values = clipped_normal(rng, mean, std, size, float(minimum), high)
+    return np.rint(values).astype(int)

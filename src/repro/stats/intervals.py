@@ -1,0 +1,173 @@
+"""Confidence intervals for sampled top-k probabilities.
+
+The paper's sampler reports point estimates; a practitioner acting on a
+threshold query usually wants to know *how sure* the sampler is that a
+tuple clears (or misses) the threshold.  The Wilson score interval is
+the standard choice for a Bernoulli mean at small-to-moderate sample
+sizes — unlike the Wald interval it behaves sanely at estimates near 0
+or 1, which is exactly where PT-k answer boundaries live.
+
+For estimate ``p̂ = s/n`` and normal quantile ``z``:
+
+.. math::
+
+    \\frac{p̂ + z^2/2n \\pm z \\sqrt{p̂(1-p̂)/n + z^2/4n^2}}{1 + z^2/n}
+
+:func:`classify_against_threshold` turns intervals into a three-way
+verdict — the whole interval above the threshold (sure in), the whole
+interval below (sure out), or straddling (undecided, i.e. draw more
+samples or fall back to the exact algorithm for those tuples).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.exceptions import SamplingError
+
+#: Normal quantiles for the confidence levels used in practice.
+_Z_BY_CONFIDENCE = {
+    0.8: 1.2815515655446004,
+    0.9: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.98: 2.3263478740408408,
+    0.99: 2.5758293035489004,
+}
+
+
+def normal_quantile(confidence: float) -> float:
+    """Two-sided normal quantile ``z`` for a confidence level.
+
+    Supports the standard levels directly and interpolates otherwise
+    using the Acklam-style rational approximation.
+    """
+    if not (0.0 < confidence < 1.0):
+        raise SamplingError(
+            f"confidence must be in (0, 1), got {confidence!r}"
+        )
+    if confidence in _Z_BY_CONFIDENCE:
+        return _Z_BY_CONFIDENCE[confidence]
+    return _inverse_normal_cdf(0.5 + confidence / 2.0)
+
+
+def _inverse_normal_cdf(p: float) -> float:
+    """Acklam's rational approximation of the standard normal quantile."""
+    # coefficients from Peter Acklam's algorithm (relative error < 1.15e-9)
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (
+            (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5])
+            * q
+        ) / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(
+        ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+    ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+
+
+def wilson_interval(
+    successes: float, samples: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a Bernoulli mean.
+
+    :param successes: number of positive draws (``estimate * samples``).
+    :param samples: number of draws, > 0.
+    :param confidence: two-sided confidence level in (0, 1).
+    :returns: ``(low, high)`` within [0, 1].
+    """
+    if samples <= 0:
+        raise SamplingError(f"samples must be positive, got {samples}")
+    if successes < 0 or successes > samples:
+        raise SamplingError(
+            f"successes must be in [0, {samples}], got {successes}"
+        )
+    z = normal_quantile(confidence)
+    n = float(samples)
+    p_hat = successes / n
+    z2 = z * z
+    denominator = 1.0 + z2 / n
+    centre = p_hat + z2 / (2.0 * n)
+    margin = z * math.sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n))
+    low = max(0.0, (centre - margin) / denominator)
+    high = min(1.0, (centre + margin) / denominator)
+    return low, high
+
+
+@dataclass(frozen=True)
+class ThresholdVerdicts:
+    """Three-way classification of tuples against a PT-k threshold.
+
+    :param sure_in: interval entirely at/above the threshold.
+    :param sure_out: interval entirely below the threshold.
+    :param undecided: interval straddles the threshold — candidates for
+        more samples or an exact re-check.
+    """
+
+    sure_in: Tuple[Any, ...]
+    sure_out: Tuple[Any, ...]
+    undecided: Tuple[Any, ...]
+
+
+def classify_against_threshold(
+    estimates: Dict[Any, float],
+    samples: int,
+    threshold: float,
+    confidence: float = 0.95,
+    population: Tuple[Any, ...] = (),
+) -> ThresholdVerdicts:
+    """Classify sampled tuples as surely-in / surely-out / undecided.
+
+    :param estimates: tuple id -> estimated ``Pr^k`` (tuples absent are
+        treated as estimate 0 when listed in ``population``).
+    :param samples: sample units behind the estimates.
+    :param threshold: the PT-k threshold p.
+    :param confidence: per-tuple confidence level of the intervals.
+    :param population: optional full candidate list, so never-sampled
+        tuples (estimate 0) are still classified.
+    """
+    if not (0.0 < threshold <= 1.0):
+        raise SamplingError(
+            f"threshold must be in (0, 1], got {threshold!r}"
+        )
+    sure_in: List[Any] = []
+    sure_out: List[Any] = []
+    undecided: List[Any] = []
+    candidates = dict(estimates)
+    for tid in population:
+        candidates.setdefault(tid, 0.0)
+    for tid, estimate in candidates.items():
+        low, high = wilson_interval(
+            estimate * samples, samples, confidence=confidence
+        )
+        if low >= threshold:
+            sure_in.append(tid)
+        elif high < threshold:
+            sure_out.append(tid)
+        else:
+            undecided.append(tid)
+    key = str
+    return ThresholdVerdicts(
+        sure_in=tuple(sorted(sure_in, key=key)),
+        sure_out=tuple(sorted(sure_out, key=key)),
+        undecided=tuple(sorted(undecided, key=key)),
+    )

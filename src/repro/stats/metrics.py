@@ -1,0 +1,76 @@
+"""Answer-quality metrics for the sampling method (Section 6.2).
+
+The paper measures the sampler three ways:
+
+* **average error rate** — mean relative error of the estimated top-k
+  probability over tuples whose true probability passes the threshold:
+
+  .. math::
+
+      \\text{Error rate} = \\frac{\\sum_{Pr^k(t) > p}
+          |Pr^k(t) - \\hat{Pr}^k(t)| / Pr^k(t)}{|\\{t : Pr^k(t) > p\\}|}
+
+* **precision** — fraction of returned tuples that truly pass, and
+* **recall** — fraction of truly passing tuples that were returned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Set, Tuple
+
+
+def average_relative_error(
+    exact: Dict[Any, float],
+    estimated: Dict[Any, float],
+    threshold: float,
+) -> float:
+    """The paper's average error rate over above-threshold tuples.
+
+    :param exact: true top-k probabilities (must cover every tuple whose
+        true probability exceeds ``threshold``).
+    :param estimated: estimated probabilities; missing entries count as 0.
+    :param threshold: the probability threshold ``p``.
+    :returns: the mean relative error; 0 when no tuple passes.
+    """
+    passing = [(tid, pr) for tid, pr in exact.items() if pr > threshold]
+    if not passing:
+        return 0.0
+    total = 0.0
+    for tid, pr in passing:
+        total += abs(pr - estimated.get(tid, 0.0)) / pr
+    return total / len(passing)
+
+
+def precision_recall(
+    truth: Iterable[Any], predicted: Iterable[Any]
+) -> Tuple[float, float]:
+    """Precision and recall of a predicted answer set against the truth.
+
+    Conventions for empty sets: precision of an empty prediction is 1
+    (nothing wrong was returned); recall of an empty truth is 1 (nothing
+    was missed).  These keep sweeps well-defined at extreme thresholds.
+    """
+    truth_set: Set[Any] = set(truth)
+    predicted_set: Set[Any] = set(predicted)
+    hit = len(truth_set & predicted_set)
+    precision = hit / len(predicted_set) if predicted_set else 1.0
+    recall = hit / len(truth_set) if truth_set else 1.0
+    return precision, recall
+
+
+def f1_score(truth: Iterable[Any], predicted: Iterable[Any]) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    precision, recall = precision_recall(truth, predicted)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def max_absolute_error(
+    exact: Dict[Any, float], estimated: Dict[Any, float]
+) -> float:
+    """Worst-case additive estimation error over all tuples in ``exact``."""
+    worst = 0.0
+    for tid, pr in exact.items():
+        worst = max(worst, abs(pr - estimated.get(tid, 0.0)))
+    return worst

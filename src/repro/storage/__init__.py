@@ -1,0 +1,33 @@
+"""Storage substrate: paged heap files and ranked indexes with I/O costs.
+
+The paper assumes tuples "can be retrieved in batch ... in the ranking
+order" by a TA-style method over a ranked index, and its scan-depth
+figures are interesting precisely because retrieval has a per-tuple
+(really per-page) cost in a disk-resident system.  This subpackage
+builds that substrate:
+
+* :class:`~repro.storage.pages.Page` / :class:`~repro.storage.pages.HeapFile`
+  — fixed-capacity pages of tuple records with read accounting;
+* :class:`~repro.storage.index.RankedIndex` — the ranking order
+  materialised as a page sequence (a clustered index on the ranking
+  score), serving block-at-a-time ranked retrieval;
+* :class:`~repro.storage.index.PagedRankedStream` — a drop-in
+  :class:`~repro.query.access.RankedStream` whose cursor pulls pages on
+  demand and reports *page I/Os* alongside scan depth, so the exact
+  algorithm's early termination translates directly into saved I/O.
+
+Everything is in-memory (it is a cost model, not a persistence layer —
+persistence lives in :mod:`repro.io`), but the access pattern and the
+counters are the ones a buffer manager would see.
+"""
+
+from repro.storage.index import PagedRankedStream, RankedIndex
+from repro.storage.pages import DEFAULT_PAGE_CAPACITY, HeapFile, Page
+
+__all__ = [
+    "DEFAULT_PAGE_CAPACITY",
+    "HeapFile",
+    "Page",
+    "PagedRankedStream",
+    "RankedIndex",
+]

@@ -1,0 +1,179 @@
+"""Ranked indexes and paged ranked streams.
+
+:class:`RankedIndex` materialises the ranking order as its own page
+sequence (a clustered index on the ranking score): the tuples are laid
+out best-first, ``page_capacity`` per index page.  Ranked retrieval then
+reads index pages sequentially — the access pattern the TA-style method
+of Section 4.4 assumes — and the number of index pages read is the I/O
+cost of a query.
+
+:class:`PagedRankedStream` adapts the index to the
+:class:`~repro.query.access.RankedStream` interface consumed by the
+exact PT-k engine, so the engine's early termination (pruning) directly
+translates into pages *not* read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
+from repro.query.access import RankedStream
+from repro.query.ranking import RankingFunction, by_score
+from repro.storage.pages import DEFAULT_PAGE_CAPACITY, Page
+
+
+class RankedIndex:
+    """A clustered ranked index over an uncertain table.
+
+    :param table: the indexed table.
+    :param ranking: ranking function defining the order (descending
+        score by default).
+    :param page_capacity: tuples per index page.
+
+    Building the index sorts once (the analogue of index construction);
+    reads are counted per index page through :meth:`read_page`.
+    """
+
+    def __init__(
+        self,
+        table: UncertainTable,
+        ranking: Optional[RankingFunction] = None,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+    ) -> None:
+        self.ranking = ranking or by_score()
+        self.page_capacity = page_capacity
+        ranked = self.ranking.rank_table(table)
+        self._pages: List[Page] = []
+        for start in range(0, len(ranked), page_capacity):
+            page = Page(len(self._pages), page_capacity)
+            for record in ranked[start : start + page_capacity]:
+                page.append(record)
+            self._pages.append(page)
+        self._size = len(ranked)
+        self.pages_read = 0
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def read_page(self, page_id: int) -> Page:
+        """Fetch one index page, counting the read."""
+        self.pages_read += 1
+        return self._pages[page_id]
+
+    def top_pages(self, n_pages: int) -> List[UncertainTuple]:
+        """The best-ranked tuples of the first ``n_pages`` pages."""
+        records: List[UncertainTuple] = []
+        for page_id in range(min(n_pages, len(self._pages))):
+            records.extend(self.read_page(page_id).records())
+        return records
+
+    def reset_counters(self) -> None:
+        self.pages_read = 0
+
+
+class PagedRankedStream(RankedStream):
+    """A ranked stream backed by a :class:`RankedIndex`.
+
+    Pages are pulled lazily: the first ``next_tuple`` of each page costs
+    one index-page read.  ``pages_read`` on the index reflects exactly
+    how far the PT-k scan got, so::
+
+        index = RankedIndex(table)
+        stream = PagedRankedStream(index)
+        engine = ExactPTKEngine(stream.full_ranked_list(), ...)  # or use
+        # the convenience below
+
+    Most callers use :func:`ptk_query_over_index`, which wires the
+    stream into the exact engine and reports the I/O count.
+    """
+
+    def __init__(self, index: RankedIndex) -> None:
+        # Initialise the base class with an empty buffer; tuples arrive
+        # page by page.
+        super().__init__([], presorted=True)
+        self._index = index
+        self._next_page = 0
+
+    def _ensure_buffered(self, position: int) -> None:
+        while position >= len(self._ranked) and self._next_page < self._index.page_count:
+            page = self._index.read_page(self._next_page)
+            self._next_page += 1
+            self._ranked.extend(page.records())
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._index)
+
+    def next_tuple(self) -> Optional[UncertainTuple]:
+        self._ensure_buffered(self._cursor)
+        return super().next_tuple()
+
+    def peek(self) -> Optional[UncertainTuple]:
+        self._ensure_buffered(self._cursor)
+        return super().peek()
+
+    @property
+    def pages_read(self) -> int:
+        """Index pages pulled so far."""
+        return self._index.pages_read
+
+    def full_ranked_list(self) -> List[UncertainTuple]:
+        """Materialise everything (reads every remaining page)."""
+        self._ensure_buffered(len(self._index))
+        return list(self._ranked)
+
+
+def ptk_query_over_index(
+    index: RankedIndex,
+    k: int,
+    threshold: float,
+    variant=None,
+    table: Optional[UncertainTable] = None,
+):
+    """Answer a PT-k query through the paged index, reporting I/O.
+
+    :param table: the indexed table, needed when it has multi-tuple
+        rules (rule membership and rank positions are catalog metadata —
+        known without reading tuple pages; only the tuple *records* are
+        paged).
+    :returns: ``(answer, pages_read)`` — the usual
+        :class:`~repro.core.results.PTKAnswer` plus the number of index
+        pages the pruned scan actually touched.
+    """
+    from repro.core.exact import ExactPTKEngine, ExactVariant
+    from repro.core.rule_compression import rule_index_of_table
+
+    stream = PagedRankedStream(index)
+    ranked = index.top_pages(index.page_count)  # catalog view
+    index.reset_counters()
+    if table is not None:
+        rule_of = rule_index_of_table(table)
+        rule_probability = {
+            rule.rule_id: table.rule_probability(rule)
+            for rule in table.multi_rules()
+        }
+    else:
+        rule_of = {}
+        rule_probability = {}
+    engine = ExactPTKEngine(
+        ranked,
+        rule_of=rule_of,
+        rule_probability=rule_probability,
+        k=k,
+        threshold=threshold,
+        variant=variant or ExactVariant.RC_LR,
+    )
+    # Re-wire the engine's stream to the paged one so retrieval is paid
+    # per page.
+    engine._stream = stream
+    answer = engine.run()
+    return answer, index.pages_read

@@ -1,0 +1,136 @@
+"""Fixed-capacity pages and heap files with read accounting.
+
+A :class:`Page` holds up to ``capacity`` tuple records; a
+:class:`HeapFile` is a list of pages filled in insertion order.  Both
+count *reads*: every access through the public retrieval methods bumps
+the read counter once per page touched, which is the cost model the
+benchmark harness reports as I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Sequence
+
+from repro.exceptions import QueryError, UnknownTupleError
+from repro.model.tuples import UncertainTuple
+
+#: Default tuples per page; small enough that paging effects are visible
+#: on test-sized tables, large enough to be realistic for narrow records.
+DEFAULT_PAGE_CAPACITY = 64
+
+
+class Page:
+    """One fixed-capacity page of tuple records.
+
+    :param page_id: position of the page in its file.
+    :param capacity: maximum number of records.
+    """
+
+    __slots__ = ("page_id", "capacity", "_records")
+
+    def __init__(self, page_id: int, capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        if capacity <= 0:
+            raise QueryError(f"page capacity must be positive, got {capacity}")
+        self.page_id = page_id
+        self.capacity = capacity
+        self._records: List[UncertainTuple] = []
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._records) >= self.capacity
+
+    def append(self, record: UncertainTuple) -> None:
+        """Add a record; the caller guarantees the page is not full."""
+        if self.is_full:
+            raise QueryError(f"page {self.page_id} is full")
+        self._records.append(record)
+
+    def records(self) -> List[UncertainTuple]:
+        """The page's records (accounting is the file's job)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Page({self.page_id}, {len(self)}/{self.capacity})"
+
+
+class HeapFile:
+    """An append-only file of pages with a read counter.
+
+    :param page_capacity: records per page.
+
+    The heap is the *base* storage; ranked access goes through
+    :class:`~repro.storage.index.RankedIndex`, which stores row
+    locators (page id, slot) in ranking order.
+    """
+
+    def __init__(self, page_capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        self.page_capacity = page_capacity
+        self._pages: List[Page] = []
+        self._locators: dict = {}  # tid -> (page_id, slot)
+        self.pages_read = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert(self, record: UncertainTuple) -> tuple:
+        """Append a record, returning its ``(page_id, slot)`` locator."""
+        if record.tid in self._locators:
+            raise QueryError(f"heap already stores tuple {record.tid!r}")
+        if not self._pages or self._pages[-1].is_full:
+            self._pages.append(Page(len(self._pages), self.page_capacity))
+        page = self._pages[-1]
+        slot = len(page)
+        page.append(record)
+        locator = (page.page_id, slot)
+        self._locators[record.tid] = locator
+        return locator
+
+    def bulk_load(self, records: Sequence[UncertainTuple]) -> None:
+        """Insert many records in order."""
+        for record in records:
+            self.insert(record)
+
+    # ------------------------------------------------------------------
+    # Reads (counted)
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._locators)
+
+    def read_page(self, page_id: int) -> Page:
+        """Fetch one page, counting the read."""
+        if page_id < 0 or page_id >= len(self._pages):
+            raise QueryError(f"no page {page_id} (file has {len(self._pages)})")
+        self.pages_read += 1
+        return self._pages[page_id]
+
+    def fetch(self, tid: Any) -> UncertainTuple:
+        """Fetch one record by tuple id (one page read)."""
+        try:
+            page_id, slot = self._locators[tid]
+        except KeyError:
+            raise UnknownTupleError(f"heap has no tuple {tid!r}") from None
+        return self.read_page(page_id).records()[slot]
+
+    def locator_of(self, tid: Any) -> tuple:
+        """The ``(page_id, slot)`` of a record (catalog lookup, free)."""
+        try:
+            return self._locators[tid]
+        except KeyError:
+            raise UnknownTupleError(f"heap has no tuple {tid!r}") from None
+
+    def scan(self) -> Iterator[UncertainTuple]:
+        """Full scan in physical order, counting every page."""
+        for page_id in range(len(self._pages)):
+            for record in self.read_page(page_id).records():
+                yield record
+
+    def reset_counters(self) -> None:
+        """Zero the read counter (benchmarks call this between runs)."""
+        self.pages_read = 0

@@ -1,0 +1,88 @@
+"""Answer-set monitoring over a sliding window: deltas and alerts.
+
+Surveillance applications rarely want the full answer on every arrival —
+they want to know *what changed*: which records just became credible
+top-k members and which dropped out.  :class:`PTKMonitor` computes that
+delta after each arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set
+
+from repro.model.tuples import UncertainTuple
+from repro.stream.window import SlidingWindowPTK
+
+
+@dataclass(frozen=True)
+class AnswerDelta:
+    """Change of the PT-k answer set caused by one arrival.
+
+    :param arrival: id of the tuple that arrived.
+    :param entered: tuple ids that joined the answer set.
+    :param left: tuple ids that dropped out (expired or displaced).
+    :param answer_size: size of the answer set after the arrival.
+    """
+
+    arrival: Any
+    entered: frozenset = field(default_factory=frozenset)
+    left: frozenset = field(default_factory=frozenset)
+    answer_size: int = 0
+
+    @property
+    def changed(self) -> bool:
+        """True when the answer set is different from before."""
+        return bool(self.entered or self.left)
+
+
+class PTKMonitor:
+    """Emits an :class:`AnswerDelta` for every tuple fed to the window.
+
+    :param window: the sliding window to monitor (owned by the caller;
+        feed tuples through :meth:`observe`, not ``window.append``).
+
+    ::
+
+        monitor = PTKMonitor(SlidingWindowPTK(k=5, threshold=0.5,
+                                              window_size=500))
+        for reading in stream:
+            delta = monitor.observe(reading, rule_tag=...)
+            if delta.changed:
+                alert(delta)
+    """
+
+    def __init__(self, window: SlidingWindowPTK) -> None:
+        self.window = window
+        self._current: Set[Any] = set(window.answer().answer_set) if len(window) else set()
+        self._history: List[AnswerDelta] = []
+
+    def observe(
+        self, tup: UncertainTuple, rule_tag: Optional[Any] = None
+    ) -> AnswerDelta:
+        """Feed one arrival and return the resulting answer delta."""
+        self.window.append(tup, rule_tag=rule_tag)
+        new_answer = self.window.answer().answer_set
+        delta = AnswerDelta(
+            arrival=tup.tid,
+            entered=frozenset(new_answer - self._current),
+            left=frozenset(self._current - new_answer),
+            answer_size=len(new_answer),
+        )
+        self._current = set(new_answer)
+        self._history.append(delta)
+        return delta
+
+    @property
+    def current_answer(self) -> Set[Any]:
+        """The answer set after the last observed arrival."""
+        return set(self._current)
+
+    @property
+    def history(self) -> List[AnswerDelta]:
+        """Every delta emitted so far, in arrival order."""
+        return list(self._history)
+
+    def churn(self) -> int:
+        """Total membership changes across the observed stream."""
+        return sum(len(d.entered) + len(d.left) for d in self._history)

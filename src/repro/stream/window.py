@@ -1,0 +1,171 @@
+"""Count-based sliding windows of uncertain tuples.
+
+A :class:`SlidingWindowPTK` holds the most recent ``window_size`` tuples
+of a stream.  Each arriving tuple may carry a *rule tag*: tuples sharing
+a tag inside the window are mutually exclusive, exactly like a
+generation rule (e.g. co-located detections of one object).  When a
+tuple expires from the window it simply leaves its rule; the surviving
+members keep their membership probabilities (their exclusiveness
+constraint still holds pairwise).
+
+Answers are computed lazily: the window keeps a version counter, and
+:meth:`answer` re-runs the exact RC+LR engine only when the window has
+changed since the cached answer.  For window sizes in the tens of
+thousands this costs milliseconds thanks to the pruning rules (scan
+depth tracks k, not the window size).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.core.exact import ExactVariant, exact_ptk_query
+from repro.core.results import PTKAnswer
+from repro.exceptions import QueryError, ValidationError
+from repro.model.table import UncertainTable
+from repro.model.tuples import PROBABILITY_ATOL, UncertainTuple
+from repro.query.ranking import RankingFunction, by_score
+from repro.query.topk import TopKQuery
+
+
+class SlidingWindowPTK:
+    """A PT-k query continuously evaluated over a sliding window.
+
+    :param k: top-k size.
+    :param threshold: probability threshold p.
+    :param window_size: number of most recent tuples retained.
+    :param ranking: ranking function (default: descending score).
+    :param variant: exact-algorithm variant used for evaluation.
+
+    Usage::
+
+        window = SlidingWindowPTK(k=5, threshold=0.5, window_size=1000)
+        for reading in stream:
+            window.append(reading, rule_tag=reading_group(reading))
+            answer = window.answer()     # cached between arrivals
+    """
+
+    def __init__(
+        self,
+        k: int,
+        threshold: float,
+        window_size: int,
+        ranking: Optional[RankingFunction] = None,
+        variant: ExactVariant = ExactVariant.RC_LR,
+    ) -> None:
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        if not (0.0 < threshold <= 1.0):
+            raise QueryError(
+                f"probability threshold must be in (0, 1], got {threshold!r}"
+            )
+        if window_size <= 0:
+            raise QueryError(f"window_size must be positive, got {window_size}")
+        self.k = k
+        self.threshold = threshold
+        self.window_size = window_size
+        self.ranking = ranking or by_score()
+        self.variant = variant
+        self._window: Deque[Tuple[UncertainTuple, Optional[Any]]] = deque()
+        self._rule_mass: Dict[Any, float] = {}
+        self._seen_ids: Dict[Any, int] = {}
+        self._version = 0
+        self._cached_version = -1
+        self._cached_answer: Optional[PTKAnswer] = None
+        self._arrivals = 0
+
+    # ------------------------------------------------------------------
+    # Stream side
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._window)
+
+    @property
+    def arrivals(self) -> int:
+        """Total tuples ever appended (including expired ones)."""
+        return self._arrivals
+
+    def append(
+        self, tup: UncertainTuple, rule_tag: Optional[Any] = None
+    ) -> None:
+        """Add a tuple to the window, evicting the oldest when full.
+
+        :param rule_tag: tuples sharing a tag are mutually exclusive
+            while they coexist in the window.
+        :raises ValidationError: when a duplicate live tuple id arrives,
+            or the tag's in-window probability mass would exceed 1.
+        """
+        if self._seen_ids.get(tup.tid, 0) > 0:
+            raise ValidationError(
+                f"tuple id {tup.tid!r} is already live in the window"
+            )
+        if rule_tag is not None:
+            mass = self._rule_mass.get(rule_tag, 0.0) + tup.probability
+            if mass > 1.0 + PROBABILITY_ATOL:
+                raise ValidationError(
+                    f"rule tag {rule_tag!r} would reach probability "
+                    f"{mass:.6f} > 1 within the window"
+                )
+            self._rule_mass[rule_tag] = mass
+        self._window.append((tup, rule_tag))
+        self._seen_ids[tup.tid] = self._seen_ids.get(tup.tid, 0) + 1
+        self._arrivals += 1
+        if len(self._window) > self.window_size:
+            self._evict()
+        self._version += 1
+
+    def _evict(self) -> None:
+        expired, tag = self._window.popleft()
+        self._seen_ids[expired.tid] -= 1
+        if self._seen_ids[expired.tid] == 0:
+            del self._seen_ids[expired.tid]
+        if tag is not None:
+            remaining = self._rule_mass[tag] - expired.probability
+            if remaining <= PROBABILITY_ATOL:
+                del self._rule_mass[tag]
+            else:
+                self._rule_mass[tag] = remaining
+
+    def extend(self, tuples, rule_tags=None) -> None:
+        """Append many tuples (``rule_tags`` parallel to ``tuples``)."""
+        if rule_tags is None:
+            for tup in tuples:
+                self.append(tup)
+        else:
+            for tup, tag in zip(tuples, rule_tags):
+                self.append(tup, rule_tag=tag)
+
+    # ------------------------------------------------------------------
+    # Query side
+    # ------------------------------------------------------------------
+    def snapshot_table(self) -> UncertainTable:
+        """The current window contents as a static uncertain table."""
+        table = UncertainTable(name=f"window@{self._version}")
+        groups: Dict[Any, list] = {}
+        for tup, tag in self._window:
+            table.add_tuple(tup)
+            if tag is not None:
+                groups.setdefault(tag, []).append(tup.tid)
+        for tag, members in groups.items():
+            if len(members) > 1:
+                table.add_exclusive(f"tag:{tag}", *members)
+        return table
+
+    def answer(self) -> PTKAnswer:
+        """The PT-k answer over the current window (cached per version)."""
+        if self._cached_version != self._version or self._cached_answer is None:
+            table = self.snapshot_table()
+            self._cached_answer = exact_ptk_query(
+                table,
+                TopKQuery(k=self.k, ranking=self.ranking),
+                self.threshold,
+                variant=self.variant,
+            )
+            self._cached_version = self._version
+        return self._cached_answer
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every window change."""
+        return self._version

@@ -1,0 +1,104 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+The central tool is :func:`uncertain_tables`, a hypothesis strategy that
+builds small random uncertain tables *with* multi-tuple generation rules,
+sized so that naive possible-world enumeration stays cheap — every fast
+algorithm is property-tested against the enumerator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.model.table import UncertainTable
+
+
+def build_table(
+    probabilities: List[float],
+    rule_groups: List[List[int]],
+    scores: Optional[List[float]] = None,
+    name: str = "test_table",
+) -> UncertainTable:
+    """Construct a table from bare probabilities and rule index groups.
+
+    :param probabilities: membership probability of tuple ``i`` (id
+        ``t{i}``).
+    :param rule_groups: lists of tuple indices forming multi-tuple rules;
+        groups must be disjoint and each group's probabilities must sum
+        to <= 1 (callers are responsible).
+    :param scores: optional explicit scores; defaults to descending by
+        index so tuple ``t0`` ranks first.
+    """
+    table = UncertainTable(name=name)
+    n = len(probabilities)
+    if scores is None:
+        scores = [float(n - i) for i in range(n)]
+    for i, (p, s) in enumerate(zip(probabilities, scores)):
+        table.add(f"t{i}", score=s, probability=p)
+    for g, group in enumerate(rule_groups):
+        table.add_exclusive(f"r{g}", *[f"t{i}" for i in group])
+    return table
+
+
+@st.composite
+def uncertain_tables(
+    draw,
+    min_tuples: int = 1,
+    max_tuples: int = 10,
+    allow_rules: bool = True,
+) -> UncertainTable:
+    """Hypothesis strategy: small random uncertain tables with rules.
+
+    Probabilities are drawn in [0.05, 0.95]; tuples assigned to one rule
+    have their probabilities rescaled so the rule sums to at most ~0.95.
+    Scores are a random permutation, so rule members scatter through the
+    ranking.
+    """
+    n = draw(st.integers(min_tuples, max_tuples))
+    probabilities = [
+        draw(st.floats(0.05, 0.95, allow_nan=False, allow_infinity=False))
+        for _ in range(n)
+    ]
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = random.Random(seed)
+    scores = [float(v) for v in rng.sample(range(10 * n + 10), n)]
+
+    rule_groups: List[List[int]] = []
+    if allow_rules and n >= 2:
+        indices = list(range(n))
+        rng.shuffle(indices)
+        cursor = 0
+        n_groups = draw(st.integers(0, max(0, n // 2)))
+        for _ in range(n_groups):
+            if cursor + 2 > n:
+                break
+            size = rng.randint(2, min(4, n - cursor))
+            group = indices[cursor : cursor + size]
+            cursor += size
+            total = sum(probabilities[i] for i in group)
+            if total > 0.95:
+                scale = 0.95 / total
+                for i in group:
+                    probabilities[i] = max(1e-3, probabilities[i] * scale)
+            rule_groups.append(group)
+
+    return build_table(probabilities, rule_groups, scores=scores)
+
+
+@pytest.fixture
+def simple_table() -> UncertainTable:
+    """Five independent tuples with easy hand-checkable probabilities."""
+    return build_table([0.5, 0.4, 1.0, 0.3, 0.8], rule_groups=[])
+
+
+@pytest.fixture
+def ruled_table() -> UncertainTable:
+    """Seven tuples, two rules, rule members interleaved in the ranking."""
+    return build_table(
+        [0.5, 0.3, 0.6, 0.2, 0.6, 0.4, 0.25],
+        rule_groups=[[1, 4], [3, 6]],
+    )

@@ -1,0 +1,78 @@
+"""Unit tests for the ranked progressive stream (scan-depth accounting)."""
+
+from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
+from repro.query.access import RankedStream
+
+
+def make(tid, score):
+    return UncertainTuple(tid=tid, score=score, probability=0.5)
+
+
+def stream3() -> RankedStream:
+    return RankedStream([make("a", 1), make("b", 5), make("c", 3)])
+
+
+class TestOrdering:
+    def test_sorts_best_first(self):
+        assert [t.tid for t in stream3()] == ["b", "c", "a"]
+
+    def test_presorted_skips_sort(self):
+        tuples = [make("a", 1), make("b", 5)]  # deliberately unsorted
+        stream = RankedStream(tuples, presorted=True)
+        assert [t.tid for t in stream] == ["a", "b"]
+
+    def test_from_table(self):
+        table = UncertainTable()
+        table.add("x", 1, 0.5)
+        table.add("y", 2, 0.5)
+        stream = RankedStream.from_table(table)
+        assert [t.tid for t in stream] == ["y", "x"]
+
+
+class TestCursor:
+    def test_scan_depth_counts_retrievals(self):
+        stream = stream3()
+        assert stream.scan_depth == 0
+        stream.next_tuple()
+        stream.next_tuple()
+        assert stream.scan_depth == 2
+
+    def test_peek_does_not_advance(self):
+        stream = stream3()
+        assert stream.peek().tid == "b"
+        assert stream.scan_depth == 0
+        assert stream.next_tuple().tid == "b"
+
+    def test_exhaustion(self):
+        stream = stream3()
+        for _ in range(3):
+            stream.next_tuple()
+        assert stream.exhausted
+        assert stream.next_tuple() is None
+        assert stream.peek() is None
+        assert stream.scan_depth == 3  # failed retrieval not counted
+
+    def test_rewind(self):
+        stream = stream3()
+        stream.next_tuple()
+        stream.rewind()
+        assert stream.scan_depth == 0
+        assert stream.next_tuple().tid == "b"
+
+    def test_len(self):
+        assert len(stream3()) == 3
+
+    def test_full_ranked_list_does_not_advance(self):
+        stream = stream3()
+        full = stream.full_ranked_list()
+        assert [t.tid for t in full] == ["b", "c", "a"]
+        assert stream.scan_depth == 0
+
+    def test_early_stop_scan_depth(self):
+        # the exact algorithm's usage pattern: break mid-iteration
+        stream = stream3()
+        for tup in stream:
+            if tup.tid == "c":
+                break
+        assert stream.scan_depth == 2

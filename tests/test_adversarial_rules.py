@@ -1,0 +1,126 @@
+"""Adversarial rule structures: stress the compression/reordering paths.
+
+Random tables exercise typical structure; these tests construct the
+shapes most likely to break incremental bookkeeping — maximal spans,
+interleaved rules, all-rule tables, certain rules, rule members adjacent
+in rank, and rules whose members appear in reverse rank order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import ExactVariant, exact_topk_probabilities
+from repro.query.topk import TopKQuery
+from repro.semantics.naive import naive_topk_probabilities
+from tests.conftest import build_table
+
+
+def assert_all_variants_match_naive(table, k):
+    truth = naive_topk_probabilities(table, TopKQuery(k=k))
+    for variant in ExactVariant:
+        got = exact_topk_probabilities(table, TopKQuery(k=k), variant=variant)
+        for tid, expected in truth.items():
+            assert got[tid] == pytest.approx(expected, abs=1e-9), (
+                variant,
+                tid,
+            )
+
+
+class TestMaximalSpans:
+    def test_one_rule_spanning_everything(self):
+        n = 8
+        table = build_table([0.12] * n, rule_groups=[list(range(n))])
+        assert_all_variants_match_naive(table, k=3)
+
+    def test_two_interleaved_full_span_rules(self):
+        # members alternate: r0 gets even ranks, r1 odd ranks
+        table = build_table(
+            [0.15] * 10,
+            rule_groups=[[0, 2, 4, 6, 8], [1, 3, 5, 7, 9]],
+        )
+        assert_all_variants_match_naive(table, k=4)
+
+    def test_nested_spans(self):
+        # r0 spans [0..9], r1 nested inside [3..6]
+        table = build_table(
+            [0.2, 0.5, 0.2, 0.3, 0.2, 0.3, 0.2, 0.5, 0.2, 0.2],
+            rule_groups=[[0, 9], [3, 5]],
+        )
+        assert_all_variants_match_naive(table, k=3)
+
+
+class TestAllRuleTables:
+    def test_every_tuple_in_some_rule(self):
+        table = build_table(
+            [0.3, 0.3, 0.25, 0.25, 0.2, 0.2],
+            rule_groups=[[0, 3], [1, 4], [2, 5]],
+        )
+        assert_all_variants_match_naive(table, k=2)
+
+    def test_pairs_adjacent_in_rank(self):
+        table = build_table(
+            [0.4, 0.4, 0.35, 0.35, 0.3, 0.3],
+            rule_groups=[[0, 1], [2, 3], [4, 5]],
+        )
+        assert_all_variants_match_naive(table, k=2)
+
+
+class TestCertainRules:
+    def test_certain_rule_middle_of_ranking(self):
+        # Pr(R) = 1: the "no member" branch disappears
+        table = build_table(
+            [0.6, 0.5, 0.5, 0.4], rule_groups=[[1, 2]]
+        )
+        assert_all_variants_match_naive(table, k=2)
+
+    def test_multiple_certain_rules(self):
+        table = build_table(
+            [0.5, 0.5, 0.5, 0.5, 0.9],
+            rule_groups=[[0, 1], [2, 3]],
+        )
+        assert_all_variants_match_naive(table, k=2)
+
+    def test_certain_singleton_probability_one_tuple_in_rule(self):
+        table = build_table([1.0, 0.4, 0.5], rule_groups=[])
+        assert_all_variants_match_naive(table, k=1)
+
+
+class TestExtremeSizes:
+    def test_rule_longer_than_k(self):
+        table = build_table(
+            [0.1] * 9 + [0.9],
+            rule_groups=[list(range(9))],
+        )
+        assert_all_variants_match_naive(table, k=2)
+
+    def test_k_equals_one(self):
+        table = build_table(
+            [0.4, 0.3, 0.25, 0.3], rule_groups=[[0, 2], [1, 3]]
+        )
+        assert_all_variants_match_naive(table, k=1)
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=5, deadline=None)
+    def test_uniform_single_rule_any_k(self, k):
+        table = build_table([0.09] * 10, rule_groups=[[0, 4, 9]])
+        assert_all_variants_match_naive(table, k=k)
+
+
+class TestScorePathologies:
+    def test_rule_members_with_reversed_insertion_order(self):
+        # rank order differs from insertion order within the rule
+        table = build_table(
+            [0.3, 0.3, 0.3],
+            rule_groups=[[2, 0]],  # rule lists lower-ranked member first
+            scores=[30, 20, 10],
+        )
+        assert_all_variants_match_naive(table, k=1)
+
+    def test_tied_scores_resolved_by_id(self):
+        table = build_table(
+            [0.4, 0.4, 0.4],
+            rule_groups=[[0, 2]],
+            scores=[10, 10, 10],
+        )
+        assert_all_variants_match_naive(table, k=2)

@@ -1,0 +1,96 @@
+"""Tests for the Chernoff prefilter (soundness is everything here)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import (
+    PrefilterStats,
+    chernoff_topk_bounds,
+    ptk_with_prefilter,
+)
+from repro.core.exact import exact_ptk_query
+from repro.core.subset_probability import subset_probabilities
+from repro.datagen.sensors import panda_table
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.exceptions import QueryError
+from repro.query.topk import TopKQuery
+from tests.conftest import build_table, uncertain_tables
+
+probs = st.lists(st.floats(0.05, 0.95), min_size=0, max_size=12)
+
+
+class TestBounds:
+    @given(probs, st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_bounds_bracket_true_value(self, probabilities, k):
+        mu = sum(probabilities)
+        true_f = float(subset_probabilities(probabilities, k).sum())
+        f_lo, f_hi = chernoff_topk_bounds(mu, k)
+        assert f_lo <= true_f + 1e-9
+        assert true_f <= f_hi + 1e-9
+
+    def test_degenerate_empty_set(self):
+        f_lo, f_hi = chernoff_topk_bounds(0.0, 3)
+        assert f_lo > 0.9  # N = 0 < 3 almost surely (here: surely)
+        assert f_hi == 1.0
+
+    def test_mass_far_above_k_rejects(self):
+        f_lo, f_hi = chernoff_topk_bounds(500.0, 5)
+        assert f_hi < 1e-6
+        assert f_lo == 0.0
+
+    def test_mass_far_below_k_accepts(self):
+        f_lo, f_hi = chernoff_topk_bounds(1.0, 50)
+        assert f_lo > 0.999
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            chernoff_topk_bounds(-1.0, 3)
+        with pytest.raises(QueryError):
+            chernoff_topk_bounds(1.0, 0)
+
+
+class TestPrefilterSoundness:
+    def test_panda_answers_exact(self):
+        answer, _ = ptk_with_prefilter(panda_table(), TopKQuery(k=2), 0.35)
+        assert answer.answer_set == {"R2", "R3", "R5"}
+
+    @given(uncertain_tables(max_tuples=10), st.integers(1, 5),
+           st.floats(0.05, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_exact_engine(self, table, k, threshold):
+        query = TopKQuery(k=k)
+        exact = exact_ptk_query(table, query, threshold, pruning=False)
+        filtered, _ = ptk_with_prefilter(table, query, threshold)
+        assert filtered.answer_set == exact.answer_set
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(QueryError):
+            ptk_with_prefilter(panda_table(), TopKQuery(k=2), 0.0)
+
+
+class TestPrefilterEffectiveness:
+    def test_most_tuples_decided_without_dp(self):
+        table = generate_synthetic_table(
+            SyntheticConfig(n_tuples=3000, n_rules=300, seed=9)
+        )
+        query = TopKQuery(k=50)
+        answer, stats = ptk_with_prefilter(table, query, 0.3)
+        assert stats.total == 3000
+        # the bounds decide the overwhelming majority
+        assert stats.decided_fraction > 0.9
+        # and the answers still match the exact engine
+        exact = exact_ptk_query(table, query, 0.3, pruning=False)
+        assert answer.answer_set == exact.answer_set
+
+    def test_stats_accounting(self):
+        stats = PrefilterStats(decided_in=3, decided_out=5, evaluated=2)
+        assert stats.total == 10
+        assert stats.decided_fraction == pytest.approx(0.8)
+
+    def test_low_membership_shortcut(self):
+        table = build_table([0.9, 0.1], rule_groups=[])
+        _, stats = ptk_with_prefilter(table, TopKQuery(k=1), 0.5)
+        # t1 rejected by Pr(t) < p without bounds or DP
+        assert stats.decided_out >= 1

@@ -1,0 +1,120 @@
+"""Tests for the independent-tuple (basic case) exact algorithm."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic_case import (
+    position_probabilities_independent,
+    topk_probabilities_from_probs,
+    topk_probabilities_independent,
+)
+from repro.datagen.sensors import example2_table
+from repro.exceptions import QueryError
+from repro.query.topk import TopKQuery
+from repro.semantics.naive import (
+    naive_position_probabilities,
+    naive_topk_probabilities,
+)
+from tests.conftest import build_table, uncertain_tables
+
+
+class TestPaperExample2:
+    def test_example2_values(self):
+        table = example2_table()
+        ranked = table.ranked_tuples()
+        result = topk_probabilities_independent(ranked, k=3)
+        assert result["t1"] == pytest.approx(0.7)
+        assert result["t2"] == pytest.approx(0.2)
+        assert result["t3"] == pytest.approx(1.0)
+        # Paper: Pr^3(t4) = Pr(t4) * (0 + 0.24 + 0.62) = 0.258
+        assert result["t4"] == pytest.approx(0.258)
+
+    def test_first_k_tuples_equal_membership(self):
+        # Pr^k(t_i) = Pr(t_i) for i <= k
+        table = example2_table()
+        ranked = table.ranked_tuples()
+        result = topk_probabilities_independent(ranked, k=3)
+        for tup in ranked[:3]:
+            assert result[tup.tid] == pytest.approx(tup.probability)
+
+
+class TestValidation:
+    def test_rejects_bad_k(self):
+        with pytest.raises(QueryError):
+            topk_probabilities_independent([], 0)
+        with pytest.raises(QueryError):
+            topk_probabilities_from_probs([0.5], -1)
+        with pytest.raises(QueryError):
+            position_probabilities_independent([], 0)
+
+    def test_empty_list(self):
+        assert topk_probabilities_independent([], 3) == {}
+
+
+class TestAgainstNaive:
+    @given(uncertain_tables(max_tuples=8, allow_rules=False), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_enumeration(self, table, k):
+        ranked = table.ranked_tuples()
+        fast = topk_probabilities_independent(ranked, k)
+        truth = naive_topk_probabilities(table, TopKQuery(k=k))
+        for tid, expected in truth.items():
+            assert fast[tid] == pytest.approx(expected, abs=1e-9)
+
+    @given(uncertain_tables(max_tuples=7, allow_rules=False), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_position_probabilities_match_enumeration(self, table, k):
+        ranked = table.ranked_tuples()
+        fast = position_probabilities_independent(ranked, k)
+        truth = naive_position_probabilities(table, TopKQuery(k=k))
+        for tid, expected in truth.items():
+            for j in range(k):
+                assert fast[tid][j] == pytest.approx(expected[j], abs=1e-9)
+
+
+class TestArrayVariant:
+    def test_matches_dict_variant(self):
+        table = build_table([0.4, 0.6, 0.2, 0.8], rule_groups=[])
+        ranked = table.ranked_tuples()
+        as_dict = topk_probabilities_independent(ranked, k=2)
+        as_array = topk_probabilities_from_probs(
+            [t.probability for t in ranked], k=2
+        )
+        for i, tup in enumerate(ranked):
+            assert as_array[i] == pytest.approx(as_dict[tup.tid])
+
+
+class TestInvariants:
+    @given(uncertain_tables(max_tuples=9, allow_rules=False), st.integers(1, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_total_mass_is_expected_topk_size(self, table, k):
+        # sum_t Pr^k(t) = E[min(k, |W|)] <= k
+        ranked = table.ranked_tuples()
+        result = topk_probabilities_independent(ranked, k)
+        total = math.fsum(result.values())
+        assert total <= k + 1e-9
+        if len(ranked) <= k:
+            # every tuple present is in the top-k
+            assert total == pytest.approx(
+                math.fsum(t.probability for t in ranked), abs=1e-9
+            )
+
+    @given(uncertain_tables(max_tuples=9, allow_rules=False))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_by_membership(self, table):
+        ranked = table.ranked_tuples()
+        result = topk_probabilities_independent(ranked, k=3)
+        for tup in ranked:
+            assert result[tup.tid] <= tup.probability + 1e-12
+
+    def test_position_probabilities_sum_to_topk_probability(self):
+        table = build_table([0.4, 0.6, 0.2, 0.8, 0.5], rule_groups=[])
+        ranked = table.ranked_tuples()
+        k = 3
+        topk = topk_probabilities_independent(ranked, k)
+        positions = position_probabilities_independent(ranked, k)
+        for tup in ranked:
+            assert math.fsum(positions[tup.tid]) == pytest.approx(topk[tup.tid])

@@ -1,0 +1,73 @@
+"""Tests for batch PT-k answering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import batch_ptk_queries, threshold_sweep
+from repro.core.exact import exact_ptk_query
+from repro.datagen.sensors import panda_table
+from repro.exceptions import QueryError
+from repro.query.topk import TopKQuery
+from tests.conftest import uncertain_tables
+
+
+class TestBatch:
+    def test_empty_requests(self):
+        assert batch_ptk_queries(panda_table(), []) == []
+
+    def test_matches_individual_queries_on_panda(self):
+        table = panda_table()
+        requests = [(1, 0.3), (2, 0.35), (2, 0.7)]
+        batch = batch_ptk_queries(table, requests)
+        for (k, threshold), answer in zip(requests, batch):
+            individual = exact_ptk_query(
+                table, TopKQuery(k=k), threshold, pruning=False
+            )
+            assert answer.answer_set == individual.answer_set
+            for tid, probability in individual.probabilities.items():
+                assert answer.probabilities[tid] == pytest.approx(
+                    probability, abs=1e-9
+                )
+
+    @given(uncertain_tables(max_tuples=9), st.lists(
+        st.tuples(st.integers(1, 5), st.floats(0.05, 0.95)),
+        min_size=1, max_size=4,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_individual_queries(self, table, requests):
+        batch = batch_ptk_queries(table, requests)
+        for (k, threshold), answer in zip(requests, batch):
+            individual = exact_ptk_query(
+                table, TopKQuery(k=k), threshold, pruning=False
+            )
+            # skip knife-edge thresholds
+            boundary = any(
+                abs(probability - threshold) < 1e-9
+                for probability in individual.probabilities.values()
+            )
+            if not boundary:
+                assert answer.answer_set == individual.answer_set
+
+    def test_validation(self):
+        table = panda_table()
+        with pytest.raises(QueryError):
+            batch_ptk_queries(table, [(0, 0.5)])
+        with pytest.raises(QueryError):
+            batch_ptk_queries(table, [(2, 0.0)])
+        with pytest.raises(QueryError):
+            batch_ptk_queries(table, [(2.0, 0.5)])
+
+
+class TestThresholdSweep:
+    def test_sweep_monotone(self):
+        table = panda_table()
+        sweep = threshold_sweep(table, k=2, thresholds=[0.1, 0.35, 0.7])
+        assert set(sweep[0.35]) == {"R2", "R3", "R5"}
+        # higher thresholds keep subsets
+        assert set(sweep[0.7]) <= set(sweep[0.35]) <= set(sweep[0.1])
+
+    def test_answers_in_ranking_order(self):
+        table = panda_table()
+        sweep = threshold_sweep(table, k=2, thresholds=[0.35])
+        assert sweep[0.35] == ["R2", "R5", "R3"]

@@ -1,0 +1,190 @@
+"""Tests for the benchmark harness (tiny workloads, shape checks only)."""
+
+import pytest
+
+from repro.bench.ablation import (
+    ABLATION_STEPS,
+    example5_costs,
+    pruning_ablation,
+    reordering_cost_experiment,
+)
+from repro.bench.comparison import (
+    iceberg_comparison,
+    panda_probabilities_table,
+    panda_worlds_table,
+    ukranks_table,
+)
+from repro.bench.harness import ExperimentTable, measure, run_sweep
+from repro.bench.quality import convergence_experiment, quality_experiment
+from repro.bench.reporting import render_table
+from repro.bench.scalability import scalability_vs_rules, scalability_vs_tuples
+from repro.bench.sweeps import (
+    SweepSettings,
+    figure4_view,
+    figure5_view,
+    sweep_axis,
+)
+from repro.datagen.iceberg import IcebergConfig
+from repro.datagen.synthetic import SyntheticConfig
+
+TINY = SweepSettings(n_tuples=400, n_rules=40, k=10, scale=1.0, seed=3)
+
+
+class TestHarness:
+    def test_measure(self):
+        result, seconds = measure(lambda: 42)
+        assert result == 42
+        assert seconds >= 0
+
+    def test_experiment_table_row_validation(self):
+        table = ExperimentTable(title="t", columns=["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_access(self):
+        table = ExperimentTable(title="t", columns=["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+        assert table.as_dicts()[1] == {"a": 3, "b": 4}
+
+    def test_run_sweep(self):
+        table = run_sweep(
+            "demo", "x", [1, 2, 3], ["square"], lambda x: {"square": x * x}
+        )
+        assert table.column("square") == [1, 4, 9]
+
+    def test_render_table(self):
+        table = ExperimentTable(title="demo", columns=["x", "y"], notes="n")
+        table.add_row(1, 0.5)
+        text = render_table(table)
+        assert "demo" in text
+        assert "x" in text and "y" in text
+
+    def test_render_empty_table(self):
+        table = ExperimentTable(title="empty", columns=["x"])
+        assert "empty" in render_table(table)
+
+
+class TestSweeps:
+    def test_sweep_axis_produces_all_metrics(self):
+        sweep = sweep_axis("k", values=[5, 10], settings=TINY)
+        assert len(sweep.rows) == 2
+        assert "scan_depth" in sweep.columns
+        assert all(v > 0 for v in sweep.column("runtime_rc_lr"))
+
+    def test_figure_views(self):
+        sweep = sweep_axis("threshold", values=[0.3, 0.7], settings=TINY)
+        fig4 = figure4_view(sweep)
+        fig5 = figure5_view(sweep)
+        assert fig4.columns[0] == "threshold"
+        assert "sample_length" in fig4.columns
+        assert "runtime_sampling" in fig5.columns
+
+    def test_membership_axis_shapes_answer_size(self):
+        sweep = sweep_axis("membership", values=[0.5, 0.9], settings=TINY)
+        sizes = sweep.column("answer_size")
+        # answers shrink when everything is near-certain (paper Fig 4a)
+        assert sizes[1] <= sizes[0]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_axis("bogus", values=[1], settings=TINY)
+
+
+class TestQuality:
+    def test_quality_experiment_columns(self):
+        table = quality_experiment(
+            k=5,
+            threshold=0.3,
+            sample_sizes=[100, 400],
+            config=SyntheticConfig(n_tuples=300, n_rules=30, seed=2),
+        )
+        assert table.column("sample_size") == [100, 400]
+        errors = table.column("error_rate")
+        bounds = table.column("ch_bound")
+        assert all(e >= 0 for e in errors)
+        # measured error should beat the worst-case bound (paper Fig 6)
+        assert errors[-1] <= bounds[-1]
+
+    def test_convergence_experiment(self):
+        table = convergence_experiment(
+            k=5, config=SyntheticConfig(n_tuples=300, n_rules=30, seed=2)
+        )
+        drawn = table.column("units_drawn")
+        assert all(d > 0 for d in drawn)
+
+
+class TestScalability:
+    def test_vs_tuples(self):
+        table = scalability_vs_tuples(
+            tuple_counts=[400, 800], k=10, scale=1.0, seed=3
+        )
+        assert len(table.rows) == 2
+        assert all(v > 0 for v in table.column("scan_depth"))
+
+    def test_vs_rules(self):
+        table = scalability_vs_rules(
+            rule_counts=[20, 40], n_tuples=400, k=10, scale=1.0, seed=3
+        )
+        assert len(table.rows) == 2
+
+    def test_scale_parameter(self):
+        table = scalability_vs_tuples(tuple_counts=[1000], k=100, scale=0.1)
+        assert "k=10" in table.notes
+
+
+class TestAblation:
+    def test_example5_costs_match_paper(self):
+        assert example5_costs() == {"aggressive": 15, "lazy": 12}
+
+    def test_reordering_cost_experiment_lazy_wins(self):
+        table = reordering_cost_experiment(
+            rule_size_means=[3, 6], n_tuples=300, n_rules=30, k=10
+        )
+        for row in table.as_dicts():
+            assert row["cost_lazy"] <= row["cost_aggressive"]
+
+    def test_pruning_ablation_rows(self):
+        table = pruning_ablation(
+            config=SyntheticConfig(n_tuples=400, n_rules=40, seed=5), k=10
+        )
+        assert len(table.rows) == len(ABLATION_STEPS)
+        by_label = {row["rules_enabled"]: row for row in table.as_dicts()}
+        # all answer sets must agree regardless of pruning configuration
+        sizes = {row["answer_size"] for row in table.as_dicts()}
+        assert len(sizes) == 1
+        # full pruning must not scan more than no pruning
+        assert (
+            by_label["all (+tail)"]["scan_depth"]
+            <= by_label["none"]["scan_depth"]
+        )
+
+
+class TestComparison:
+    def test_panda_worlds_table_has_twelve_rows(self):
+        table = panda_worlds_table()
+        assert len(table.rows) == 12
+        total = sum(row[1] for row in table.rows)
+        assert total == pytest.approx(1.0)
+
+    def test_panda_probabilities_table(self):
+        table = panda_probabilities_table()
+        values = dict(table.rows)
+        assert values["R5"] == pytest.approx(0.704)
+
+    def test_iceberg_comparison_small(self):
+        study = iceberg_comparison(
+            k=5,
+            threshold=0.5,
+            config=IcebergConfig(n_tuples=300, n_rules=60, seed=9),
+        )
+        assert len(study.comparison.utopk.vector) <= 5
+        assert len(study.comparison.ukranks.winners) == 5
+        ranks = ukranks_table(study)
+        assert len(ranks.rows) == 5
+        # every mentioned tuple has a row in the summary
+        assert len(study.answer_table.rows) == len(
+            study.comparison.mentioned_tuples()
+        )

@@ -1,0 +1,34 @@
+"""Tests for the run-everything experiment runner (tiny scale)."""
+
+from pathlib import Path
+
+from repro.bench.runner import main, run_all, write_report
+
+
+class TestRunAll:
+    def test_tiny_scale_produces_all_tables(self):
+        tables = run_all(scale=0.02)
+        # E1 (2) + E2 (2) + E3/E4 (8) + E5 (2) + E6 (2) + E7 (2) + E8 (1)
+        assert len(tables) == 19
+        titles = [t.title for t in tables]
+        assert any("Table 2" in t for t in titles)
+        assert any("Figure 4" in t for t in titles)
+        assert any("Figure 5" in t for t in titles)
+        assert any("Figure 6" in t for t in titles)
+        assert any("Figure 7" in t for t in titles)
+        assert any("Pruning ablation" in t for t in titles)
+        assert any("Example 5" in t for t in titles)
+
+    def test_report_written(self, tmp_path):
+        tables = run_all(scale=0.02)
+        out = tmp_path / "report.md"
+        write_report(tables, out, scale=0.02, elapsed=1.0)
+        text = out.read_text()
+        assert "# Experiment report" in text
+        assert text.count("```") == 2 * len(tables)
+
+    def test_cli_entry(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["--scale", "0.02", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "19 experiment tables" in capsys.readouterr().out

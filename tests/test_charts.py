@@ -1,0 +1,100 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.charts import chart_for_runtime_sweep, render_chart
+from repro.bench.harness import ExperimentTable
+
+
+def sweep_table():
+    table = ExperimentTable(
+        title="t",
+        columns=["k", "runtime_rc", "runtime_rc_lr", "runtime_sampling"],
+    )
+    table.add_row(50, 0.1, 0.03, 0.5)
+    table.add_row(200, 0.7, 0.2, 0.5)
+    table.add_row(800, 18.0, 3.4, 2.7)
+    return table
+
+
+class TestRenderChart:
+    def test_contains_legend_and_axis(self):
+        text = render_chart(sweep_table(), x="k", series=["runtime_rc"])
+        assert "o=runtime_rc" in text
+        assert "k: 50  200  800" in text
+
+    def test_multiple_series_markers(self):
+        text = render_chart(
+            sweep_table(), x="k", series=["runtime_rc", "runtime_rc_lr"]
+        )
+        assert "o" in text and "x" in text
+        assert "x=runtime_rc_lr" in text
+
+    def test_log_scale_annotated(self):
+        text = render_chart(
+            sweep_table(), x="k", series=["runtime_rc"], log_y=True
+        )
+        assert "(log y)" in text
+
+    def test_extremes_on_axis(self):
+        text = render_chart(sweep_table(), x="k", series=["runtime_rc"])
+        assert "18" in text  # max label
+        assert "0.1" in text  # min label
+
+    def test_single_point(self):
+        table = ExperimentTable(title="t", columns=["x", "y"])
+        table.add_row(1, 5.0)
+        text = render_chart(table, x="x", series=["y"])
+        assert "o" in text
+
+    def test_empty_table(self):
+        table = ExperimentTable(title="t", columns=["x", "y"])
+        assert "no data" in render_chart(table, x="x", series=["y"])
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            render_chart(sweep_table(), x="k", series=[])
+
+    def test_too_many_series(self):
+        with pytest.raises(ValueError):
+            render_chart(sweep_table(), x="k", series=["runtime_rc"] * 9)
+
+    def test_constant_series(self):
+        table = ExperimentTable(title="t", columns=["x", "y"])
+        table.add_row(1, 2.0)
+        table.add_row(2, 2.0)
+        text = render_chart(table, x="x", series=["y"])
+        grid_area = "\n".join(
+            line.split("|", 1)[1]
+            for line in text.splitlines()
+            if "|" in line
+        )
+        assert grid_area.count("o") == 2
+
+    def test_markers_monotone_for_monotone_series(self):
+        # a rising series must render with non-increasing row indices
+        table = ExperimentTable(title="t", columns=["x", "y"])
+        for i, v in enumerate([1.0, 2.0, 4.0, 8.0]):
+            table.add_row(i, v)
+        text = render_chart(table, x="x", series=["y"], height=8)
+        rows_with_marker = [
+            r for r, line in enumerate(text.splitlines()) if "o" in line
+        ]
+        # later x positions appear in earlier (higher) rows
+        positions = {}
+        for r, line in enumerate(text.splitlines()):
+            body = line.split("|", 1)
+            if len(body) == 2:
+                for c, ch in enumerate(body[1]):
+                    if ch == "o":
+                        positions[c] = r
+        columns = sorted(positions)
+        rows = [positions[c] for c in columns]
+        assert rows == sorted(rows, reverse=True)
+
+
+class TestRuntimeConvenience:
+    def test_selects_available_runtime_columns(self):
+        text = chart_for_runtime_sweep(sweep_table(), x="k")
+        assert "runtime_sampling" in text
+        assert "(log y)" in text

@@ -1,0 +1,178 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_table, main, save_table
+from repro.datagen.sensors import panda_table
+
+
+@pytest.fixture
+def panda_json(tmp_path):
+    path = tmp_path / "panda.json"
+    save_table(panda_table(), str(path))
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_panda(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        assert main(["generate", "panda", "--out", str(out)]) == 0
+        assert "6 tuples, 2 rules" in capsys.readouterr().out
+        table = load_table(str(out))
+        assert len(table) == 6
+
+    def test_generate_synthetic_small(self, tmp_path):
+        out = tmp_path / "s.json"
+        code = main(
+            [
+                "generate",
+                "synthetic",
+                "--tuples",
+                "200",
+                "--rules",
+                "20",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert len(load_table(str(out))) == 200
+
+    def test_generate_iceberg_csv(self, tmp_path):
+        out = tmp_path / "ice"
+        code = main(
+            [
+                "generate",
+                "iceberg",
+                "--tuples",
+                "150",
+                "--rules",
+                "20",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "ice.tuples.csv").exists()
+        assert (tmp_path / "ice.rules.csv").exists()
+        assert len(load_table(str(tmp_path / "ice.tuples.csv"))) == 150
+
+
+class TestInfoAndWorlds:
+    def test_info(self, panda_json, capsys):
+        assert main(["info", panda_json]) == 0
+        out = capsys.readouterr().out
+        assert "tuples:          6" in out
+        assert "possible worlds: 12" in out
+
+    def test_worlds(self, panda_json, capsys):
+        assert main(["worlds", panda_json]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Pr=") == 12
+
+
+class TestQuery:
+    def test_ptk_exact(self, panda_json, capsys):
+        assert main(["query", panda_json, "-k", "2", "-p", "0.35"]) == 0
+        out = capsys.readouterr().out
+        answered = {line.split("\t")[0] for line in out.splitlines() if "\t" in line}
+        assert answered == {"R2", "R3", "R5"}
+
+    def test_ptk_requires_threshold(self, panda_json, capsys):
+        assert main(["query", panda_json, "-k", "2"]) == 2
+
+    def test_ptk_sampled(self, panda_json, capsys):
+        code = main(
+            ["query", panda_json, "-k", "2", "-p", "0.35", "--sample", "20000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        answered = {line.split("\t")[0] for line in out.splitlines() if "\t" in line}
+        assert answered == {"R2", "R3", "R5"}
+
+    def test_ptk_variant_choice(self, panda_json, capsys):
+        code = main(
+            ["query", panda_json, "-k", "2", "-p", "0.35", "--variant", "RC"]
+        )
+        assert code == 0
+        assert "(RC)" in capsys.readouterr().out
+
+    def test_utopk(self, panda_json, capsys):
+        assert main(["query", panda_json, "-k", "2", "--semantics", "utopk"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[1:] == ["R5", "R3"]
+
+    def test_ukranks(self, panda_json, capsys):
+        assert main(["query", panda_json, "-k", "2", "--semantics", "ukranks"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("R5") == 2
+
+    def test_global_topk(self, panda_json, capsys):
+        code = main(
+            ["query", panda_json, "-k", "2", "--semantics", "global-topk"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "R5" in out and "R2" in out
+
+    def test_where_clause_restricts_candidates(self, panda_json, capsys):
+        code = main(
+            [
+                "query",
+                panda_json,
+                "-k",
+                "2",
+                "-p",
+                "0.1",
+                "--where",
+                "location = 'B'",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        answered = {line.split("\t")[0] for line in out.splitlines() if "\t" in line}
+        assert answered == {"R2", "R3"}
+
+    def test_where_clause_syntax_error(self, panda_json, capsys):
+        code = main(
+            ["query", panda_json, "-k", "2", "-p", "0.1", "--where", "score >"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_is_clean_error(self, capsys):
+        assert main(["query", "/nonexistent.json", "-k", "2", "-p", "0.5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explain_prints_summary(self, panda_json, capsys):
+        assert main(["explain", panda_json, "R4", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pr^2(R4) = 0.2020" in out
+        assert "suppressors" in out
+
+    def test_explain_unknown_tuple(self, panda_json, capsys):
+        assert main(["explain", panda_json, "R99", "-k", "2"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_limit(self, panda_json, capsys):
+        assert main(["explain", panda_json, "R4", "-k", "2", "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("+0.") == 1
+
+
+class TestRoundTripHelpers:
+    def test_csv_stem_inference(self, tmp_path):
+        save_table(panda_table(), str(tmp_path / "t"))
+        via_stem = load_table(str(tmp_path / "t"))
+        via_file = load_table(str(tmp_path / "t.tuples.csv"))
+        assert len(via_stem) == len(via_file) == 6
+
+    def test_corrupt_json_is_repro_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "tuples": [{"tid": "a"}]}))
+        assert main(["info", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,177 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.iceberg import (
+    CLASS_WEIGHTS,
+    CONFIDENCE_CLASSES,
+    IcebergConfig,
+    generate_iceberg_table,
+)
+from repro.datagen.sensors import (
+    example2_table,
+    example3_table,
+    example5_table,
+    panda_table,
+)
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.exceptions import ValidationError
+from repro.model.worlds import count_possible_worlds
+
+
+class TestSensors:
+    def test_panda_matches_table1(self):
+        table = panda_table()
+        assert len(table) == 6
+        assert table.probability("R4") == 1.0
+        assert table.get("R1").score == 25
+        rules = {r.rule_id: set(r.tuple_ids) for r in table.multi_rules()}
+        assert rules == {"rule_B": {"R2", "R3"}, "rule_E": {"R5", "R6"}}
+
+    def test_example2_all_independent(self):
+        table = example2_table()
+        assert len(table) == 9
+        assert table.multi_rules() == []
+        assert [t.tid for t in table.ranked_tuples()] == [
+            f"t{i}" for i in range(1, 10)
+        ]
+
+    def test_example3_rules(self):
+        table = example3_table()
+        rules = {r.rule_id: set(r.tuple_ids) for r in table.multi_rules()}
+        assert rules == {"R1": {"t2", "t4", "t9"}, "R2": {"t5", "t7"}}
+
+    def test_example5_structure(self):
+        table = example5_table()
+        assert len(table) == 11
+        assert count_possible_worlds(table) > 0
+
+
+class TestSynthetic:
+    def test_default_inventory(self):
+        table = generate_synthetic_table(SyntheticConfig(seed=1))
+        assert len(table) == 20_000
+        assert len(table.multi_rules()) == 2_000
+        table.validate()
+
+    def test_small_config(self):
+        config = SyntheticConfig(n_tuples=500, n_rules=50, seed=2)
+        table = generate_synthetic_table(config)
+        assert len(table) == 500
+        assert len(table.multi_rules()) == 50
+
+    def test_deterministic_under_seed(self):
+        a = generate_synthetic_table(SyntheticConfig(n_tuples=300, n_rules=30, seed=5))
+        b = generate_synthetic_table(SyntheticConfig(n_tuples=300, n_rules=30, seed=5))
+        assert [(t.tid, t.score, t.probability) for t in a] == [
+            (t.tid, t.score, t.probability) for t in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_table(SyntheticConfig(n_tuples=300, n_rules=30, seed=5))
+        b = generate_synthetic_table(SyntheticConfig(n_tuples=300, n_rules=30, seed=6))
+        assert [t.probability for t in a] != [t.probability for t in b]
+
+    def test_membership_mean_tracks_config(self):
+        config = SyntheticConfig(
+            n_tuples=5000, n_rules=0, independent_prob_mean=0.3, seed=3
+        )
+        table = generate_synthetic_table(config)
+        mean = np.mean([t.probability for t in table])
+        assert mean == pytest.approx(0.3, abs=0.03)
+
+    def test_rule_sizes_track_config(self):
+        config = SyntheticConfig(
+            n_tuples=5000, n_rules=300, rule_size_mean=4.0, seed=3
+        )
+        table = generate_synthetic_table(config)
+        sizes = [r.length for r in table.multi_rules()]
+        assert min(sizes) >= 2
+        assert np.mean(sizes) == pytest.approx(4.0, abs=0.5)
+
+    def test_rule_probabilities_legal(self):
+        table = generate_synthetic_table(
+            SyntheticConfig(n_tuples=2000, n_rules=200, seed=4)
+        )
+        for rule in table.multi_rules():
+            assert table.rule_probability(rule) <= 1.0 + 1e-9
+
+    def test_infeasible_config_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_synthetic_table(SyntheticConfig(n_tuples=10, n_rules=50))
+        with pytest.raises(ValidationError):
+            generate_synthetic_table(SyntheticConfig(n_tuples=0))
+
+    def test_scores_are_distinct(self):
+        table = generate_synthetic_table(
+            SyntheticConfig(n_tuples=1000, n_rules=50, seed=9)
+        )
+        scores = [t.score for t in table]
+        assert len(set(scores)) == len(scores)
+
+
+class TestIceberg:
+    def test_default_inventory_matches_paper(self):
+        table = generate_iceberg_table()
+        assert len(table) == 4231
+        assert len(table.multi_rules()) == 825
+        table.validate()
+
+    def test_rule_sizes_in_paper_range(self):
+        table = generate_iceberg_table()
+        sizes = [r.length for r in table.multi_rules()]
+        assert min(sizes) >= 2
+        assert max(sizes) <= 10
+
+    def test_ids_follow_drift_order(self):
+        # R1 has the largest drift value, R2 the second, ...
+        table = generate_iceberg_table(IcebergConfig(n_tuples=200, n_rules=30))
+        ranked = table.ranked_tuples()
+        assert [t.tid for t in ranked] == [f"R{i+1}" for i in range(200)]
+
+    def test_rule_probability_is_max_confidence(self):
+        table = generate_iceberg_table(IcebergConfig(n_tuples=300, n_rules=60))
+        for rule in table.multi_rules():
+            confidences = [
+                table.get(tid).attributes["confidence"] for tid in rule.tuple_ids
+            ]
+            assert table.rule_probability(rule) == pytest.approx(
+                max(confidences), abs=1e-9
+            )
+
+    def test_member_probability_renormalisation(self):
+        # Pr(t) = conf(t)/sum(conf) * Pr(R), the paper's preprocessing
+        table = generate_iceberg_table(IcebergConfig(n_tuples=300, n_rules=60))
+        for rule in table.multi_rules():
+            confidences = {
+                tid: table.get(tid).attributes["confidence"]
+                for tid in rule.tuple_ids
+            }
+            total = sum(confidences.values())
+            rule_probability = max(confidences.values())
+            for tid in rule.tuple_ids:
+                expected = confidences[tid] / total * rule_probability
+                assert table.probability(tid) == pytest.approx(expected, abs=1e-9)
+
+    def test_confidence_values_from_classes(self):
+        table = generate_iceberg_table(IcebergConfig(n_tuples=200, n_rules=20))
+        legal = {value for _, value in CONFIDENCE_CLASSES}
+        for tup in table:
+            assert tup.attributes["confidence"] in legal
+
+    def test_class_weights_sum_to_one(self):
+        assert sum(CLASS_WEIGHTS) == pytest.approx(1.0)
+
+    def test_deterministic_under_seed(self):
+        a = generate_iceberg_table(IcebergConfig(n_tuples=200, n_rules=30, seed=1))
+        b = generate_iceberg_table(IcebergConfig(n_tuples=200, n_rules=30, seed=1))
+        assert [(t.tid, t.probability) for t in a] == [
+            (t.tid, t.probability) for t in b
+        ]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_iceberg_table(IcebergConfig(n_tuples=10, n_rules=50))
+        with pytest.raises(ValidationError):
+            generate_iceberg_table(IcebergConfig(min_rule_size=1))

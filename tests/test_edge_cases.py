@@ -1,0 +1,157 @@
+"""Edge cases and failure injection across the whole stack."""
+
+import pytest
+
+from repro.core.exact import ExactVariant, exact_ptk_query, exact_topk_probabilities
+from repro.core.sampling import SamplingConfig, sampled_topk_probabilities
+from repro.core.subset_probability import SubsetProbabilityVector
+from repro.model.table import UncertainTable
+from repro.query.predicates import ScoreAbove
+from repro.query.topk import TopKQuery
+from repro.semantics.ukranks import ukranks_query
+from repro.semantics.utopk import utopk_query
+from tests.conftest import build_table
+
+
+class TestEmptyAndTiny:
+    def test_empty_table_query(self):
+        table = UncertainTable()
+        answer = exact_ptk_query(table, TopKQuery(k=3), 0.5)
+        assert answer.answers == []
+        assert answer.stats.scan_depth == 0
+
+    def test_predicate_rejecting_everything(self):
+        table = build_table([0.5, 0.4], rule_groups=[])
+        query = TopKQuery(k=2, predicate=ScoreAbove(1e9))
+        answer = exact_ptk_query(table, query, 0.5)
+        assert answer.answers == []
+
+    def test_single_tuple(self):
+        table = build_table([0.8], rule_groups=[])
+        answer = exact_ptk_query(table, TopKQuery(k=1), 0.5)
+        assert answer.answers == ["t0"]
+        assert answer.probabilities["t0"] == pytest.approx(0.8)
+
+    def test_k_much_larger_than_table(self):
+        table = build_table([0.8, 0.3], rule_groups=[])
+        probabilities = exact_topk_probabilities(table, TopKQuery(k=100))
+        assert probabilities["t0"] == pytest.approx(0.8)
+        assert probabilities["t1"] == pytest.approx(0.3)
+
+    def test_empty_table_sampling(self):
+        table = UncertainTable()
+        result = sampled_topk_probabilities(
+            table,
+            TopKQuery(k=2),
+            SamplingConfig(sample_size=10, progressive=False, seed=1),
+        )
+        assert result.estimates == {}
+
+    def test_empty_table_utopk_and_ukranks(self):
+        table = UncertainTable()
+        assert utopk_query(table, TopKQuery(k=2)).vector == ()
+        ukranks = ukranks_query(table, TopKQuery(k=2))
+        assert all(tid is None for tid, _ in ukranks.winners)
+
+
+class TestCertainTuples:
+    def test_all_certain(self):
+        table = build_table([1.0, 1.0, 1.0], rule_groups=[])
+        probabilities = exact_topk_probabilities(table, TopKQuery(k=2))
+        assert probabilities == {"t0": 1.0, "t1": 1.0, "t2": 0.0}
+
+    def test_certain_tuple_blocks_tail(self):
+        # k certain tuples at the top: everything below has Pr^k = 0
+        table = build_table([1.0, 1.0, 0.9, 0.8], rule_groups=[])
+        probabilities = exact_topk_probabilities(table, TopKQuery(k=2))
+        assert probabilities["t2"] == pytest.approx(0.0)
+        assert probabilities["t3"] == pytest.approx(0.0)
+
+    def test_pruning_stops_fast_behind_certain_wall(self):
+        table = build_table([1.0] * 5 + [0.5] * 200, rule_groups=[])
+        answer = exact_ptk_query(table, TopKQuery(k=5), 0.4)
+        assert answer.answer_set == {f"t{i}" for i in range(5)}
+        assert answer.stats.scan_depth < 60
+
+    def test_certain_rule_with_two_members(self):
+        # Pr(R) = 1: exactly one member appears in every world
+        table = build_table([0.5, 0.5, 0.8], rule_groups=[[0, 1]])
+        probabilities = exact_topk_probabilities(table, TopKQuery(k=1))
+        assert probabilities["t0"] == pytest.approx(0.5)
+        assert probabilities["t1"] == pytest.approx(0.5)
+        assert probabilities["t2"] == pytest.approx(0.0)
+
+
+class TestExtremeThresholds:
+    def test_threshold_one_returns_only_certain_winners(self):
+        table = build_table([1.0, 1.0, 0.999], rule_groups=[])
+        answer = exact_ptk_query(table, TopKQuery(k=2), 1.0)
+        assert answer.answer_set == {"t0", "t1"}
+
+    def test_tiny_threshold_returns_everything_possible(self):
+        table = build_table([0.5, 0.4, 0.3], rule_groups=[])
+        answer = exact_ptk_query(table, TopKQuery(k=3), 1e-12)
+        assert answer.answer_set == {"t0", "t1", "t2"}
+
+
+class TestRuleSpansAndOrdering:
+    def test_rule_spanning_entire_table(self):
+        table = build_table(
+            [0.2, 0.5, 0.2, 0.4, 0.2],
+            rule_groups=[[0, 2, 4]],
+        )
+        for variant in ExactVariant:
+            probabilities = exact_topk_probabilities(
+                table, TopKQuery(k=2), variant=variant
+            )
+            from repro.semantics.naive import naive_topk_probabilities
+
+            truth = naive_topk_probabilities(table, TopKQuery(k=2))
+            for tid, expected in truth.items():
+                assert probabilities[tid] == pytest.approx(expected, abs=1e-9)
+
+    def test_adjacent_rule_members(self):
+        # consecutive ranks in the same rule stress Corollary 2 paths
+        table = build_table([0.4, 0.3, 0.3, 0.6], rule_groups=[[1, 2]])
+        from repro.semantics.naive import naive_topk_probabilities
+
+        truth = naive_topk_probabilities(table, TopKQuery(k=2))
+        got = exact_topk_probabilities(table, TopKQuery(k=2))
+        for tid, expected in truth.items():
+            assert got[tid] == pytest.approx(expected, abs=1e-9)
+
+    def test_many_tiny_rules(self):
+        groups = [[2 * i, 2 * i + 1] for i in range(10)]
+        table = build_table([0.4, 0.4] * 10, rule_groups=groups)
+        from repro.semantics.naive import naive_topk_probabilities
+
+        truth = naive_topk_probabilities(table, TopKQuery(k=3))
+        for variant in ExactVariant:
+            got = exact_topk_probabilities(table, TopKQuery(k=3), variant=variant)
+            for tid, expected in truth.items():
+                assert got[tid] == pytest.approx(expected, abs=1e-9)
+
+
+class TestNumericalStability:
+    def test_many_extensions_stay_normalised(self):
+        vector = SubsetProbabilityVector(11)
+        for i in range(10_000):
+            vector.extend(0.37)
+        values = vector.values
+        assert (values >= 0).all()
+        assert values.sum() <= 1.0 + 1e-9
+
+    def test_probabilities_never_exceed_one_after_long_scan(self):
+        table = build_table([0.999] * 500, rule_groups=[])
+        probabilities = exact_topk_probabilities(table, TopKQuery(k=10))
+        for value in probabilities.values():
+            assert -1e-12 <= value <= 1.0 + 1e-12
+
+    def test_extreme_probability_mix(self):
+        table = build_table([1e-3, 0.999, 1e-3, 0.999, 0.5], rule_groups=[])
+        from repro.semantics.naive import naive_topk_probabilities
+
+        truth = naive_topk_probabilities(table, TopKQuery(k=2))
+        got = exact_topk_probabilities(table, TopKQuery(k=2))
+        for tid, expected in truth.items():
+            assert got[tid] == pytest.approx(expected, abs=1e-12)

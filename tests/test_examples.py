@@ -1,0 +1,118 @@
+"""Smoke tests: every example script runs to completion and says what
+it promises.  Heavier examples run with reduced workloads where the
+script exposes module-level knobs."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys, **overrides):
+    """Execute an example's main() with optional module-global overrides."""
+    namespace = runpy.run_path(str(EXAMPLES / name), run_name="example")
+    for key, value in overrides.items():
+        namespace[key] = value
+    # re-bind the overridden globals into main's module namespace
+    main = namespace["main"]
+    main.__globals__.update(overrides)
+    main()
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_reproduces_paper_values(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "['R2', 'R3', 'R5']" in out
+        assert "0.704" in out  # Table 3's Pr^2(R5)
+        assert "12" not in out.split("Possible worlds")[0]  # header sanity
+        assert out.count("Pr=") == 12  # twelve possible worlds
+
+
+class TestSemanticsTour:
+    def test_prints_all_semantics(self, capsys):
+        out = run_example("semantics_tour.py", capsys)
+        assert "PT-5" in out
+        assert "U-TopK" in out
+        assert "U-KRanks" in out
+        assert "Global-Top5" in out
+
+
+class TestSensorNetwork:
+    def test_threshold_sweep_monotone(self, capsys):
+        out = run_example("sensor_network.py", capsys)
+        assert "precision=" in out
+        assert "answers identical" in out
+
+
+class TestObjectTracking:
+    def test_stream_agrees_with_batch(self, capsys):
+        # shrink the simulation so the smoke test stays fast
+        from repro.datagen.tracking import TrackingConfig
+
+        namespace = runpy.run_path(
+            str(EXAMPLES / "object_tracking.py"), run_name="example"
+        )
+        main = namespace["main"]
+        main.__globals__["WINDOW"] = 120
+
+        import repro.datagen.tracking as tracking
+
+        original = tracking.TrackingConfig
+        main.__globals__["TrackingConfig"] = (
+            lambda **kw: original(n_objects=12, n_ticks=25, seed=8)
+        )
+        main()
+        out = capsys.readouterr().out
+        assert "agrees" in out
+
+
+class TestThresholdAnalysis:
+    def test_profiles_and_explanations(self, capsys):
+        namespace = runpy.run_path(
+            str(EXAMPLES / "threshold_analysis.py"), run_name="example"
+        )
+        main = namespace["main"]
+
+        from repro.datagen.iceberg import IcebergConfig as RealConfig
+
+        main.__globals__["IcebergConfig"] = (
+            lambda **kw: RealConfig(n_tuples=300, n_rules=60)
+        )
+        main()
+        out = capsys.readouterr().out
+        assert "Answer-set size vs k" in out
+
+
+class TestSpeedCameras:
+    def test_entity_level_answers(self, capsys):
+        namespace = runpy.run_path(
+            str(EXAMPLES / "speed_cameras.py"), run_name="example"
+        )
+        main = namespace["main"]
+        main.__globals__["N_VEHICLES"] = 40
+        main()
+        out = capsys.readouterr().out
+        assert "vehicles" in out
+        assert "Pr(among the 8 fastest)" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "semantics_tour.py",
+        "sensor_network.py",
+        "iceberg_monitoring.py",
+        "object_tracking.py",
+        "threshold_analysis.py",
+        "speed_cameras.py",
+    ],
+)
+def test_examples_importable(name):
+    # every example parses and exposes a main() without side effects
+    namespace = runpy.run_path(str(EXAMPLES / name), run_name="not_main")
+    assert callable(namespace["main"])

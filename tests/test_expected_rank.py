@@ -1,0 +1,91 @@
+"""Tests for the expected-rank semantics (closed form vs enumeration)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.worlds import enumerate_possible_worlds
+from repro.query.topk import TopKQuery
+from repro.semantics.expected_rank import (
+    expected_rank_topk,
+    expected_rank_values,
+)
+from tests.conftest import build_table, uncertain_tables
+
+
+def enumerate_expected_ranks(table, query):
+    """Ground truth by full world enumeration."""
+    selected = query.selected(table)
+    ranked = query.ranking.rank_table(selected)
+    position = {tup.tid: i for i, tup in enumerate(ranked)}
+    by_id = {tup.tid: tup for tup in selected}
+    result = {tid: 0.0 for tid in by_id}
+    for world in enumerate_possible_worlds(selected):
+        present = sorted(world.tuple_ids, key=lambda t: position[t])
+        for tid in by_id:
+            if tid in world.tuple_ids:
+                rank = sum(
+                    1 for other in present if position[other] < position[tid]
+                )
+            else:
+                rank = len(present)
+            result[tid] += world.probability * rank
+    return result
+
+
+class TestClosedForm:
+    @given(uncertain_tables(max_tuples=8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_enumeration(self, table):
+        query = TopKQuery(k=3)
+        truth = enumerate_expected_ranks(table, query)
+        got = expected_rank_values(table, query)
+        for tid, expected in truth.items():
+            assert got[tid] == pytest.approx(expected, abs=1e-9)
+
+    def test_certain_top_tuple_has_rank_zero(self):
+        table = build_table([1.0, 0.5], rule_groups=[])
+        values = expected_rank_values(table, TopKQuery(k=2))
+        assert values["t0"] == pytest.approx(0.0)
+
+    def test_absent_tuple_penalised_by_world_size(self):
+        # a near-never-present tuple's expected rank ~ E[|W|]
+        table = build_table([0.9, 0.9, 0.001], rule_groups=[])
+        values = expected_rank_values(table, TopKQuery(k=2))
+        assert values["t2"] == pytest.approx(0.9 + 0.9, abs=0.01)
+
+    def test_rule_mates_never_count_as_dominants(self):
+        table = build_table([0.5, 0.4, 0.5], rule_groups=[[0, 1]])
+        query = TopKQuery(k=2)
+        truth = enumerate_expected_ranks(table, query)
+        got = expected_rank_values(table, query)
+        for tid, expected in truth.items():
+            assert got[tid] == pytest.approx(expected, abs=1e-12)
+
+
+class TestTopkSelection:
+    def test_selects_smallest_expected_rank(self):
+        table = build_table([0.9, 0.2, 0.8], rule_groups=[])
+        top = expected_rank_topk(table, TopKQuery(k=2))
+        assert [tid for tid, _ in top] == ["t0", "t2"]
+
+    def test_values_ascending(self):
+        table = build_table([0.5, 0.6, 0.4, 0.7], rule_groups=[])
+        top = expected_rank_topk(table, TopKQuery(k=4))
+        values = [v for _, v in top]
+        assert values == sorted(values)
+
+    def test_semantics_differ_from_ptk(self):
+        # a moderately-probable top-scored tuple: it has the highest
+        # Pr^1, but expected rank punishes its frequent absence and
+        # prefers the reliably-present runner-up
+        from repro.core.exact import exact_topk_probabilities
+
+        table = build_table([0.55, 0.9, 0.9, 0.9], rule_groups=[])
+        query = TopKQuery(k=1)
+        ptk = exact_topk_probabilities(table, query)
+        best_ptk = max(ptk, key=ptk.get)
+        best_expected = expected_rank_topk(table, query)[0][0]
+        assert best_ptk == "t0"  # Pr^1 = 0.55 beats 0.9 * 0.45
+        assert best_expected == "t1"  # reliably present near the top
+        assert best_ptk != best_expected

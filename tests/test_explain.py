@@ -1,0 +1,156 @@
+"""Tests for explanations and sensitivity analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_topk_probabilities
+from repro.core.explain import (
+    deconvolve_unit,
+    explain_tuple,
+    format_explanation,
+)
+from repro.core.subset_probability import subset_probabilities
+from repro.datagen.sensors import panda_table
+from repro.exceptions import UnknownTupleError
+from repro.model.table import UncertainTable
+from repro.query.predicates import ScoreAbove
+from repro.query.topk import TopKQuery
+from tests.conftest import build_table, uncertain_tables
+
+probs = st.lists(st.floats(0.05, 0.95), min_size=1, max_size=8)
+
+
+class TestDeconvolution:
+    @given(probs, st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_inverts_extension(self, probabilities, cap):
+        full = subset_probabilities(probabilities, cap)
+        without_last = subset_probabilities(probabilities[:-1], cap)
+        recovered = deconvolve_unit(np.asarray(full), probabilities[-1])
+        np.testing.assert_allclose(recovered, without_last, atol=1e-9)
+
+    @given(probs)
+    @settings(max_examples=30, deadline=None)
+    def test_removal_order_irrelevant(self, probabilities):
+        if len(probabilities) < 2:
+            return
+        cap = 4
+        full = np.asarray(subset_probabilities(probabilities, cap))
+        a_then_b = deconvolve_unit(
+            deconvolve_unit(full, probabilities[0]), probabilities[1]
+        )
+        b_then_a = deconvolve_unit(
+            deconvolve_unit(full, probabilities[1]), probabilities[0]
+        )
+        np.testing.assert_allclose(a_then_b, b_then_a, atol=1e-8)
+
+    def test_certain_unit_shifts(self):
+        full = np.asarray(subset_probabilities([1.0, 0.5], cap=3))
+        recovered = deconvolve_unit(full, 1.0)
+        expected = subset_probabilities([0.5], cap=3)
+        np.testing.assert_allclose(recovered[:2], expected[:2], atol=1e-12)
+
+
+class TestExplanationValues:
+    def test_topk_probability_matches_exact(self):
+        table = panda_table()
+        query = TopKQuery(k=2)
+        truth = exact_topk_probabilities(table, query)
+        for tup in table:
+            explanation = explain_tuple(table, query, tup.tid)
+            assert explanation.topk_probability == pytest.approx(
+                truth[tup.tid], abs=1e-9
+            )
+
+    def test_position_distribution_sums_to_topk(self):
+        table = panda_table()
+        query = TopKQuery(k=2)
+        explanation = explain_tuple(table, query, "R5")
+        assert sum(explanation.position_distribution) == pytest.approx(
+            explanation.topk_probability, abs=1e-9
+        )
+
+    def test_rule_mates_listed(self):
+        table = panda_table()
+        explanation = explain_tuple(table, TopKQuery(k=2), "R3")
+        assert explanation.excluded_rule_mates == ("R2",)
+
+    def test_unknown_tuple_raises(self):
+        with pytest.raises(UnknownTupleError):
+            explain_tuple(panda_table(), TopKQuery(k=2), "R99")
+
+    def test_predicate_failure_raises(self):
+        query = TopKQuery(k=2, predicate=ScoreAbove(100))
+        with pytest.raises(UnknownTupleError):
+            explain_tuple(panda_table(), query, "R1")
+
+
+class TestInfluence:
+    def test_influence_matches_brute_force_removal(self):
+        # removing the strongest suppressor and re-running exactly
+        # reproduces the predicted gain
+        table = build_table([0.8, 0.7, 0.6, 0.5], rule_groups=[])
+        query = TopKQuery(k=2)
+        explanation = explain_tuple(table, query, "t3")
+        truth_before = exact_topk_probabilities(table, query)["t3"]
+        for ui in explanation.influences:
+            (removed,) = ui.unit.members
+            reduced = table.filter(lambda t, r=removed: t.tid != r)
+            truth_after = exact_topk_probabilities(reduced, query)["t3"]
+            assert truth_after - truth_before == pytest.approx(
+                ui.influence, abs=1e-9
+            )
+
+    @given(uncertain_tables(max_tuples=8), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_influences_nonnegative_and_bounded(self, table, k):
+        query = TopKQuery(k=k)
+        ranked = query.ranking.rank_table(table)
+        if not ranked:
+            return
+        target = ranked[-1]
+        explanation = explain_tuple(table, query, target.tid)
+        for ui in explanation.influences:
+            assert ui.influence >= 0.0
+            # removing a unit cannot push Pr^k above Pr(t)
+            assert (
+                explanation.topk_probability + ui.influence
+                <= explanation.membership_probability + 1e-9
+            )
+
+    def test_influence_of_rule_unit_matches_removal(self):
+        # removing a whole rule (both members) reproduces the rule-tuple
+        # unit's predicted influence
+        table = build_table(
+            [0.5, 0.45, 0.9, 0.6], rule_groups=[[0, 1]]
+        )
+        query = TopKQuery(k=1)
+        explanation = explain_tuple(table, query, "t3")
+        rule_influence = next(
+            ui
+            for ui in explanation.influences
+            if ui.unit.members == frozenset({"t0", "t1"})
+        )
+        reduced = table.filter(lambda t: t.tid not in ("t0", "t1"))
+        before = exact_topk_probabilities(table, query)["t3"]
+        after = exact_topk_probabilities(reduced, query)["t3"]
+        assert after - before == pytest.approx(
+            rule_influence.influence, abs=1e-9
+        )
+
+
+class TestFormatting:
+    def test_format_contains_key_facts(self):
+        table = panda_table()
+        explanation = explain_tuple(table, TopKQuery(k=2), "R4")
+        text = format_explanation(explanation)
+        assert "Pr^2(R4)" in text
+        assert "suppressors" in text
+
+    def test_mode_rank(self):
+        table = build_table([0.9, 0.5], rule_groups=[])
+        explanation = explain_tuple(table, TopKQuery(k=2), "t1")
+        # t0 very likely present, so t1 most likely lands at rank 2
+        assert explanation.rank_if_present_mode == 2

@@ -1,0 +1,77 @@
+"""Tests for the extra semantics (Global-Topk, expected ranks)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.exact import exact_topk_probabilities
+from repro.datagen.sensors import panda_table
+from repro.query.topk import TopKQuery
+from repro.semantics.extras import expected_ranks, global_topk
+from repro.semantics.naive import naive_topk_probabilities
+from tests.conftest import build_table, uncertain_tables
+
+
+class TestGlobalTopk:
+    def test_returns_k_highest_probability_tuples(self):
+        table = panda_table()
+        result = global_topk(table, TopKQuery(k=2))
+        assert [tid for tid, _ in result] == ["R5", "R2"]
+
+    def test_probabilities_attached(self):
+        table = panda_table()
+        result = dict(global_topk(table, TopKQuery(k=3)))
+        truth = exact_topk_probabilities(table, TopKQuery(k=3))
+        for tid, probability in result.items():
+            assert probability == pytest.approx(truth[tid])
+
+    def test_fewer_tuples_than_k(self):
+        table = build_table([0.5, 0.6], rule_groups=[])
+        result = global_topk(table, TopKQuery(k=10))
+        assert len(result) == 2
+
+    def test_tie_broken_by_rank(self):
+        table = build_table([0.5, 0.5], rule_groups=[])
+        result = global_topk(table, TopKQuery(k=1))
+        assert result[0][0] == "t0"
+
+
+class TestExpectedRanks:
+    def test_first_tuple_has_rank_one(self):
+        table = build_table([0.5, 0.5, 0.5], rule_groups=[])
+        ranks = expected_ranks(table, TopKQuery(k=1))
+        assert ranks["t0"] == pytest.approx(1.0)
+
+    def test_independent_case_linearity(self):
+        table = build_table([0.5, 0.4, 0.3], rule_groups=[])
+        ranks = expected_ranks(table, TopKQuery(k=1))
+        assert ranks["t1"] == pytest.approx(1.5)
+        assert ranks["t2"] == pytest.approx(1.9)
+
+    def test_rule_mates_excluded(self):
+        # t1 in a rule with t0: given t1 present, t0 cannot be
+        table = build_table([0.5, 0.4], rule_groups=[[0, 1]])
+        ranks = expected_ranks(table, TopKQuery(k=1))
+        assert ranks["t1"] == pytest.approx(1.0)
+
+    @given(uncertain_tables(max_tuples=8))
+    @settings(max_examples=25, deadline=None)
+    def test_ranks_monotone_down_the_list(self, table):
+        # expected rank can only grow as we go down the ranking, except
+        # where rule exclusions drop dominant mass
+        ranks = expected_ranks(table, TopKQuery(k=1))
+        for tup in table:
+            assert ranks[tup.tid] >= 1.0 - 1e-12
+
+
+class TestConsistencyWithPTK:
+    @given(uncertain_tables(max_tuples=8))
+    @settings(max_examples=20, deadline=None)
+    def test_global_topk_members_have_top_probabilities(self, table):
+        query = TopKQuery(k=3)
+        result = global_topk(table, query)
+        truth = naive_topk_probabilities(table, query)
+        chosen = {tid for tid, _ in result}
+        worst_chosen = min(truth[tid] for tid in chosen) if chosen else 1.0
+        for tid, probability in truth.items():
+            if tid not in chosen:
+                assert probability <= worst_chosen + 1e-9

@@ -1,0 +1,126 @@
+"""Integration tests crossing module boundaries on mid-size workloads."""
+
+import pytest
+
+from repro.core.exact import ExactVariant, exact_ptk_query, exact_topk_probabilities
+from repro.core.sampling import SamplingConfig, sampled_ptk_query
+from repro.datagen.iceberg import IcebergConfig, generate_iceberg_table
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.io.jsonio import read_table_json, write_table_json
+from repro.query.engine import UncertainDB
+from repro.query.predicates import ScoreAbove
+from repro.query.topk import TopKQuery
+from repro.stats.metrics import precision_recall
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return generate_synthetic_table(
+        SyntheticConfig(n_tuples=2000, n_rules=200, seed=13)
+    )
+
+
+class TestVariantAgreementAtScale:
+    def test_all_variants_agree_on_synthetic(self, synthetic):
+        query = TopKQuery(k=40)
+        reference = None
+        for variant in ExactVariant:
+            answer = exact_ptk_query(synthetic, query, 0.3, variant=variant)
+            if reference is None:
+                reference = answer
+            else:
+                assert answer.answer_set == reference.answer_set
+                for tid, probability in reference.probabilities.items():
+                    if tid in answer.probabilities:
+                        assert answer.probabilities[tid] == pytest.approx(
+                            probability, abs=1e-9
+                        )
+
+    def test_extension_ordering_rc_ar_lr(self, synthetic):
+        query = TopKQuery(k=40)
+        extensions = {}
+        for variant in ExactVariant:
+            answer = exact_ptk_query(synthetic, query, 0.3, variant=variant)
+            extensions[variant] = answer.stats.subset_extensions
+        assert extensions[ExactVariant.RC_LR] <= extensions[ExactVariant.RC_AR]
+        assert extensions[ExactVariant.RC_AR] <= extensions[ExactVariant.RC]
+
+    def test_pruned_scan_is_shallow(self, synthetic):
+        answer = exact_ptk_query(synthetic, TopKQuery(k=40), 0.3)
+        assert answer.stats.scan_depth < len(synthetic) / 3
+
+
+class TestSamplingAgreesWithExact:
+    def test_high_precision_recall(self, synthetic):
+        query = TopKQuery(k=40)
+        exact = exact_ptk_query(synthetic, query, 0.3)
+        sampled = sampled_ptk_query(
+            synthetic,
+            query,
+            0.3,
+            SamplingConfig(sample_size=3000, progressive=False, seed=17),
+        )
+        precision, recall = precision_recall(exact.answers, sampled.answers)
+        assert precision > 0.9
+        assert recall > 0.9
+
+    def test_estimates_close_for_answers(self, synthetic):
+        query = TopKQuery(k=40)
+        truth = exact_topk_probabilities(synthetic, query)
+        sampled = sampled_ptk_query(
+            synthetic,
+            query,
+            0.3,
+            SamplingConfig(sample_size=5000, progressive=False, seed=17),
+        )
+        for tid in sampled.answers:
+            assert sampled.probabilities[tid] == pytest.approx(
+                truth[tid], abs=0.06
+            )
+
+
+class TestIcebergPipeline:
+    def test_full_study_runs_and_is_consistent(self):
+        table = generate_iceberg_table(
+            IcebergConfig(n_tuples=500, n_rules=100, seed=3)
+        )
+        db = UncertainDB()
+        db.register(table, name="ice")
+        comparison = db.compare_semantics("ice", k=5, threshold=0.5)
+        # every PT-k answer really passes the threshold
+        for tid in comparison.ptk.answers:
+            assert comparison.ptk.probabilities[tid] >= 0.5
+        # U-TopK vector is a prefix-consistent selection: ranked order
+        ranked_ids = [t.tid for t in TopKQuery(k=5).ranking.rank_table(table)]
+        positions = [ranked_ids.index(tid) for tid in comparison.utopk.vector]
+        assert positions == sorted(positions)
+
+    def test_roundtrip_through_json_preserves_answers(self, tmp_path):
+        table = generate_iceberg_table(
+            IcebergConfig(n_tuples=300, n_rules=60, seed=4)
+        )
+        before = exact_ptk_query(table, TopKQuery(k=5), 0.5)
+        path = tmp_path / "ice.json"
+        write_table_json(table, path)
+        restored = read_table_json(path)
+        after = exact_ptk_query(restored, TopKQuery(k=5), 0.5)
+        assert before.answer_set == after.answer_set
+
+
+class TestPredicatesEndToEnd:
+    def test_predicate_query_on_synthetic(self, synthetic):
+        median = sorted(t.score for t in synthetic)[len(synthetic) // 2]
+        query = TopKQuery(k=20, predicate=ScoreAbove(median))
+        answer = exact_ptk_query(synthetic, query, 0.3)
+        for tid in answer.answers:
+            assert synthetic.get(tid).score > median
+
+    def test_predicate_changes_probabilities(self, synthetic):
+        # restricting the candidate pool can only help each tuple
+        full = exact_topk_probabilities(synthetic, TopKQuery(k=20))
+        median = sorted(t.score for t in synthetic)[len(synthetic) // 2]
+        restricted = exact_topk_probabilities(
+            synthetic, TopKQuery(k=20, predicate=ScoreAbove(median))
+        )
+        for tid, probability in restricted.items():
+            assert probability >= full[tid] - 1e-9

@@ -1,0 +1,141 @@
+"""Tests for confidence intervals and threshold verdicts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_topk_probabilities
+from repro.core.sampling import SamplingConfig, sampled_topk_probabilities
+from repro.datagen.sensors import panda_table
+from repro.exceptions import SamplingError
+from repro.query.topk import TopKQuery
+from repro.stats.intervals import (
+    classify_against_threshold,
+    normal_quantile,
+    wilson_interval,
+)
+
+
+class TestNormalQuantile:
+    def test_standard_levels(self):
+        assert normal_quantile(0.95) == pytest.approx(1.95996, abs=1e-4)
+        assert normal_quantile(0.99) == pytest.approx(2.57583, abs=1e-4)
+
+    def test_interpolated_level(self):
+        # z for 0.9545 should be very close to 2
+        assert normal_quantile(0.9545) == pytest.approx(2.0, abs=0.01)
+
+    def test_symmetric_tails(self):
+        # quantile grows with confidence
+        zs = [normal_quantile(c) for c in (0.5, 0.8, 0.9, 0.99)]
+        assert zs == sorted(zs)
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            normal_quantile(0.0)
+        with pytest.raises(SamplingError):
+            normal_quantile(1.0)
+
+
+class TestWilsonInterval:
+    def test_contains_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_bounds_in_unit_interval(self):
+        assert wilson_interval(0, 10)[0] == pytest.approx(0.0, abs=1e-12)
+        assert wilson_interval(10, 10)[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_shrinks_with_samples(self):
+        narrow = wilson_interval(300, 1000)
+        wide = wilson_interval(30, 100)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_widens_with_confidence(self):
+        loose = wilson_interval(30, 100, confidence=0.8)
+        tight = wilson_interval(30, 100, confidence=0.99)
+        assert (tight[1] - tight[0]) > (loose[1] - loose[0])
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            wilson_interval(1, 0)
+        with pytest.raises(SamplingError):
+            wilson_interval(-1, 10)
+        with pytest.raises(SamplingError):
+            wilson_interval(11, 10)
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_always_a_valid_interval(self, successes, samples):
+        if successes > samples:
+            successes = samples
+        low, high = wilson_interval(successes, samples)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_empirical_coverage(self):
+        # ~95% of intervals from repeated sampling must contain p
+        rng = np.random.default_rng(0)
+        p, n, trials = 0.3, 200, 400
+        covered = 0
+        for _ in range(trials):
+            successes = rng.binomial(n, p)
+            low, high = wilson_interval(successes, n)
+            if low <= p <= high:
+                covered += 1
+        assert covered / trials > 0.92
+
+
+class TestClassification:
+    def test_three_way_split(self):
+        estimates = {"in": 0.9, "out": 0.05, "edge": 0.52}
+        verdicts = classify_against_threshold(estimates, 200, 0.5)
+        assert verdicts.sure_in == ("in",)
+        assert verdicts.sure_out == ("out",)
+        assert verdicts.undecided == ("edge",)
+
+    def test_population_adds_unsampled_as_out(self):
+        verdicts = classify_against_threshold(
+            {"a": 0.9}, 500, 0.5, population=("a", "never_seen")
+        )
+        assert "never_seen" in verdicts.sure_out
+
+    def test_more_samples_resolve_edges(self):
+        estimates = {"edge": 0.56}
+        few = classify_against_threshold(estimates, 50, 0.5)
+        many = classify_against_threshold(estimates, 5000, 0.5)
+        assert "edge" in few.undecided
+        assert "edge" in many.sure_in
+
+    def test_threshold_validation(self):
+        with pytest.raises(SamplingError):
+            classify_against_threshold({}, 10, 0.0)
+
+
+class TestSamplingIntegration:
+    def test_intervals_cover_truth_on_panda(self):
+        table = panda_table()
+        query = TopKQuery(k=2)
+        truth = exact_topk_probabilities(table, query)
+        result = sampled_topk_probabilities(
+            table,
+            query,
+            SamplingConfig(sample_size=2000, progressive=False, seed=5),
+        )
+        misses = 0
+        for tid, probability in truth.items():
+            low, high = result.interval_of(tid, confidence=0.99)
+            if not (low <= probability <= high):
+                misses += 1
+        assert misses == 0
+
+    def test_classify_on_panda(self):
+        table = panda_table()
+        result = sampled_topk_probabilities(
+            table,
+            TopKQuery(k=2),
+            SamplingConfig(sample_size=20_000, progressive=False, seed=5),
+        )
+        verdicts = result.classify(0.35, confidence=0.95)
+        assert set(verdicts.sure_in) == {"R2", "R3", "R5"}
+        assert "R6" in verdicts.sure_out

@@ -1,0 +1,126 @@
+"""Tests for CSV and JSON persistence."""
+
+import pytest
+
+from repro.datagen.sensors import panda_table
+from repro.exceptions import ValidationError
+from repro.io.csvio import read_table_csv, write_table_csv
+from repro.io.jsonio import (
+    read_table_json,
+    table_from_dict,
+    table_to_dict,
+    write_table_json,
+)
+from repro.model.table import UncertainTable
+from tests.conftest import build_table
+
+
+def tables_equal(a: UncertainTable, b: UncertainTable, ids_as_str=False):
+    key = (lambda t: str(t)) if ids_as_str else (lambda t: t)
+    a_tuples = {key(t.tid): (t.score, t.probability) for t in a}
+    b_tuples = {key(t.tid): (t.score, t.probability) for t in b}
+    assert a_tuples == b_tuples
+    a_rules = {
+        str(r.rule_id): sorted(key(t) for t in r.tuple_ids)
+        for r in a.multi_rules()
+    }
+    b_rules = {
+        str(r.rule_id): sorted(key(t) for t in r.tuple_ids)
+        for r in b.multi_rules()
+    }
+    assert a_rules == b_rules
+
+
+class TestJson:
+    def test_roundtrip_panda(self, tmp_path):
+        table = panda_table()
+        path = tmp_path / "panda.json"
+        write_table_json(table, path)
+        restored = read_table_json(path)
+        tables_equal(table, restored)
+        assert restored.get("R1").attributes["location"] == "A"
+
+    def test_roundtrip_no_rules(self, tmp_path):
+        table = build_table([0.5, 0.4], rule_groups=[])
+        path = tmp_path / "t.json"
+        write_table_json(table, path)
+        tables_equal(table, read_table_json(path))
+
+    def test_dict_roundtrip_preserves_name(self):
+        table = panda_table()
+        doc = table_to_dict(table)
+        assert doc["name"] == "panda_sightings"
+        restored = table_from_dict(doc)
+        assert restored.name == "panda_sightings"
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ValidationError):
+            table_from_dict({"name": "broken"})
+
+    def test_bad_rule_in_document_raises(self):
+        doc = {
+            "name": "t",
+            "tuples": [
+                {"tid": "a", "score": 1, "probability": 0.9},
+                {"tid": "b", "score": 2, "probability": 0.9},
+            ],
+            "rules": [{"rule_id": "r", "members": ["a", "b"]}],
+        }
+        with pytest.raises(ValidationError):
+            table_from_dict(doc)  # 1.8 > 1
+
+
+class TestCsv:
+    def test_roundtrip_panda(self, tmp_path):
+        table = panda_table()
+        stem = tmp_path / "panda"
+        write_table_csv(table, stem)
+        restored = read_table_csv(stem)
+        tables_equal(table, restored, ids_as_str=True)
+
+    def test_attributes_roundtrip_as_strings(self, tmp_path):
+        table = panda_table()
+        stem = tmp_path / "panda"
+        write_table_csv(table, stem)
+        restored = read_table_csv(stem)
+        assert restored.get("R1").attributes["location"] == "A"
+
+    def test_missing_rules_file_gives_independent_table(self, tmp_path):
+        table = build_table([0.5, 0.4], rule_groups=[])
+        stem = tmp_path / "t"
+        write_table_csv(table, stem)
+        (tmp_path / "t.rules.csv").unlink()
+        restored = read_table_csv(stem)
+        assert restored.multi_rules() == []
+        assert len(restored) == 2
+
+    def test_heterogeneous_attributes(self, tmp_path):
+        table = UncertainTable()
+        table.add("a", 1, 0.5, color="red")
+        table.add("b", 2, 0.5, size="large")
+        stem = tmp_path / "h"
+        write_table_csv(table, stem)
+        restored = read_table_csv(stem)
+        assert restored.get("a").attributes == {"color": "red"}
+        assert restored.get("b").attributes == {"size": "large"}
+
+    def test_reserved_attribute_name_rejected(self, tmp_path):
+        from repro.model.tuples import UncertainTuple
+
+        table = UncertainTable()
+        table.add_tuple(
+            UncertainTuple(
+                tid="a", score=1, probability=0.5, attributes={"score": "x"}
+            )
+        )
+        with pytest.raises(ValidationError):
+            write_table_csv(table, tmp_path / "bad")
+
+    def test_probabilities_roundtrip_exactly(self, tmp_path):
+        # repr() round-trips doubles exactly
+        table = build_table([0.1234567890123456, 1 / 3], rule_groups=[])
+        stem = tmp_path / "p"
+        write_table_csv(table, stem)
+        restored = read_table_csv(stem)
+        for tup in table:
+            assert restored.get(tup.tid).probability == tup.probability

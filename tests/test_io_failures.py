@@ -1,0 +1,133 @@
+"""Failure injection for the persistence layer.
+
+Corrupt files must produce library exceptions (never silent bad data),
+and every invariant violation smuggled through a file must be caught by
+table validation on read.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError, ValidationError
+from repro.io.csvio import read_table_csv, write_table_csv
+from repro.io.jsonio import read_table_json
+from repro.datagen.sensors import panda_table
+
+
+class TestCorruptJson:
+    def write(self, tmp_path, document):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_probability_above_one(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {"name": "t", "tuples": [{"tid": "a", "score": 1, "probability": 1.5}]},
+        )
+        with pytest.raises(ReproError):
+            read_table_json(path)
+
+    def test_zero_probability(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {"name": "t", "tuples": [{"tid": "a", "score": 1, "probability": 0}]},
+        )
+        with pytest.raises(ReproError):
+            read_table_json(path)
+
+    def test_rule_over_budget(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {
+                "name": "t",
+                "tuples": [
+                    {"tid": "a", "score": 1, "probability": 0.7},
+                    {"tid": "b", "score": 2, "probability": 0.7},
+                ],
+                "rules": [{"rule_id": "r", "members": ["a", "b"]}],
+            },
+        )
+        with pytest.raises(ValidationError):
+            read_table_json(path)
+
+    def test_rule_referencing_ghost(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {
+                "name": "t",
+                "tuples": [{"tid": "a", "score": 1, "probability": 0.5}],
+                "rules": [{"rule_id": "r", "members": ["a", "ghost"]}],
+            },
+        )
+        with pytest.raises(ReproError):
+            read_table_json(path)
+
+    def test_overlapping_rules(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {
+                "name": "t",
+                "tuples": [
+                    {"tid": "a", "score": 1, "probability": 0.3},
+                    {"tid": "b", "score": 2, "probability": 0.3},
+                    {"tid": "c", "score": 3, "probability": 0.3},
+                ],
+                "rules": [
+                    {"rule_id": "r1", "members": ["a", "b"]},
+                    {"rule_id": "r2", "members": ["b", "c"]},
+                ],
+            },
+        )
+        with pytest.raises(ReproError):
+            read_table_json(path)
+
+    def test_duplicate_tuple_ids(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {
+                "name": "t",
+                "tuples": [
+                    {"tid": "a", "score": 1, "probability": 0.5},
+                    {"tid": "a", "score": 2, "probability": 0.4},
+                ],
+            },
+        )
+        with pytest.raises(ReproError):
+            read_table_json(path)
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            read_table_json(path)
+
+
+class TestCorruptCsv:
+    def test_tampered_probability_column(self, tmp_path):
+        stem = tmp_path / "p"
+        write_table_csv(panda_table(), stem)
+        tuples_path = tmp_path / "p.tuples.csv"
+        content = tuples_path.read_text().replace("0.3", "3.0", 1)
+        tuples_path.write_text(content)
+        with pytest.raises(ReproError):
+            read_table_csv(stem)
+
+    def test_tampered_rule_member(self, tmp_path):
+        stem = tmp_path / "p"
+        write_table_csv(panda_table(), stem)
+        rules_path = tmp_path / "p.rules.csv"
+        content = rules_path.read_text().replace("R2", "ZZ", 1)
+        rules_path.write_text(content)
+        with pytest.raises(ReproError):
+            read_table_csv(stem)
+
+    def test_empty_tuples_file(self, tmp_path):
+        (tmp_path / "e.tuples.csv").write_text("")
+        with pytest.raises(ReproError):
+            read_table_csv(tmp_path / "e")
+
+    def test_missing_tuples_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_table_csv(tmp_path / "nothing")

@@ -1,0 +1,86 @@
+"""Odds-and-ends coverage: explicit singleton rules, engine internals."""
+
+import pytest
+
+from repro.core.exact import ExactPTKEngine, ExactVariant
+from repro.exceptions import QueryError
+from repro.model.rules import GenerationRule
+from repro.model.table import UncertainTable
+from repro.query.topk import TopKQuery
+from tests.conftest import build_table
+
+
+class TestExplicitSingletonRules:
+    def build(self):
+        table = UncertainTable()
+        table.add("a", 2, 0.5)
+        table.add("b", 1, 0.4)
+        table.add_rule(GenerationRule(rule_id="solo", tuple_ids=("a",)))
+        return table
+
+    def test_singleton_rule_registered_and_found(self):
+        table = self.build()
+        assert table.rule_of("a").rule_id == "solo"
+        # singleton rules do not make tuples dependent
+        assert table.is_independent("a")
+
+    def test_rules_partition_includes_explicit_singleton(self):
+        table = self.build()
+        ids = sorted(str(r.rule_id) for r in table.rules())
+        assert "solo" in ids
+        covered = sorted(t for r in table.rules() for t in r.tuple_ids)
+        assert covered == ["a", "b"]
+
+    def test_queries_unaffected_by_singleton_rule(self):
+        from repro.core.exact import exact_topk_probabilities
+
+        table = self.build()
+        plain = build_table([0.5, 0.4], rule_groups=[], scores=[2, 1])
+        expected = exact_topk_probabilities(plain, TopKQuery(k=1))
+        got = exact_topk_probabilities(table, TopKQuery(k=1))
+        assert got["a"] == pytest.approx(expected["t0"])
+        assert got["b"] == pytest.approx(expected["t1"])
+
+    def test_remove_tuple_with_explicit_singleton_rule(self):
+        table = self.build()
+        table.remove_tuple("a")
+        assert "a" not in table
+        table.validate()
+
+
+class TestEngineDirectUse:
+    def test_constructor_validation(self):
+        with pytest.raises(QueryError):
+            ExactPTKEngine([], {}, {}, k=0, threshold=0.5)
+        with pytest.raises(QueryError):
+            ExactPTKEngine([], {}, {}, k=1, threshold=0.0)
+
+    def test_engine_runs_standalone(self):
+        table = build_table([0.9, 0.8, 0.2], rule_groups=[])
+        ranked = table.ranked_tuples()
+        engine = ExactPTKEngine(
+            ranked, {}, {}, k=1, threshold=0.5, variant=ExactVariant.RC
+        )
+        answer = engine.run()
+        assert answer.answers == ["t0"]
+        assert answer.stats.scan_depth >= 1
+
+    def test_variant_metadata(self):
+        assert ExactVariant.RC.value == "RC"
+        assert not ExactVariant.RC.shares_prefix
+        assert ExactVariant.RC_LR.shares_prefix
+        assert ExactVariant("RC+AR") is ExactVariant.RC_AR
+
+
+class TestRepeatAnswersStable:
+    def test_same_query_twice_identical(self):
+        table = build_table(
+            [0.5, 0.3, 0.6, 0.2, 0.6, 0.4], rule_groups=[[1, 4]]
+        )
+        from repro.core.exact import exact_ptk_query
+
+        first = exact_ptk_query(table, TopKQuery(k=2), 0.3)
+        second = exact_ptk_query(table, TopKQuery(k=2), 0.3)
+        assert first.answers == second.answers
+        assert first.probabilities == second.probabilities
+        assert first.stats.scan_depth == second.stats.scan_depth

@@ -1,0 +1,84 @@
+"""Tests for the naive enumeration baseline itself."""
+
+import math
+
+import pytest
+
+from repro.datagen.sensors import PANDA_TOP2_PROBABILITIES, panda_table
+from repro.exceptions import EnumerationLimitError, QueryError
+from repro.query.predicates import ScoreAbove
+from repro.query.topk import TopKQuery
+from repro.semantics.naive import (
+    naive_position_probabilities,
+    naive_ptk_answer,
+    naive_topk_probabilities,
+    naive_topk_vector_probabilities,
+)
+from tests.conftest import build_table
+
+
+class TestTopkProbabilities:
+    def test_panda_table3(self):
+        truth = naive_topk_probabilities(panda_table(), TopKQuery(k=2))
+        for tid, expected in PANDA_TOP2_PROBABILITIES.items():
+            assert truth[tid] == pytest.approx(expected, abs=1e-12)
+
+    def test_covers_all_selected_tuples(self):
+        table = build_table([0.5, 0.4, 0.01], rule_groups=[])
+        truth = naive_topk_probabilities(table, TopKQuery(k=1))
+        assert set(truth) == {"t0", "t1", "t2"}
+
+    def test_respects_predicate(self):
+        table = build_table([0.5, 0.4], rule_groups=[], scores=[10, 20])
+        truth = naive_topk_probabilities(
+            table, TopKQuery(k=1, predicate=ScoreAbove(15))
+        )
+        assert set(truth) == {"t1"}
+        assert truth["t1"] == pytest.approx(0.4)
+
+    def test_world_limit_forwarded(self):
+        table = build_table([0.5] * 12, rule_groups=[])
+        with pytest.raises(EnumerationLimitError):
+            naive_topk_probabilities(table, TopKQuery(k=2), world_limit=10)
+
+
+class TestPtkAnswer:
+    def test_panda_answer(self):
+        answer = naive_ptk_answer(panda_table(), TopKQuery(k=2), 0.35)
+        assert answer.answer_set == {"R2", "R3", "R5"}
+        assert answer.method == "naive"
+        assert answer.answers == ["R2", "R5", "R3"]  # ranking order
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(QueryError):
+            naive_ptk_answer(panda_table(), TopKQuery(k=2), 1.5)
+
+
+class TestPositionProbabilities:
+    def test_rows_sum_to_topk_probability(self):
+        table = panda_table()
+        query = TopKQuery(k=2)
+        positions = naive_position_probabilities(table, query)
+        topk = naive_topk_probabilities(table, query)
+        for tid, probs in positions.items():
+            assert math.fsum(probs) == pytest.approx(topk[tid], abs=1e-12)
+
+    def test_columns_sum_to_rank_occupancy(self):
+        # rank j is occupied whenever the world has > j tuples
+        table = build_table([0.5, 0.5], rule_groups=[])
+        positions = naive_position_probabilities(table, TopKQuery(k=2))
+        rank1 = sum(p[0] for p in positions.values())
+        rank2 = sum(p[1] for p in positions.values())
+        assert rank1 == pytest.approx(1 - 0.25)  # any tuple present
+        assert rank2 == pytest.approx(0.25)  # both present
+
+
+class TestVectorProbabilities:
+    def test_panda_vectors_sum_to_one(self):
+        vectors = naive_topk_vector_probabilities(panda_table(), TopKQuery(k=2))
+        assert math.fsum(vectors.values()) == pytest.approx(1.0)
+
+    def test_known_vector_value(self):
+        # <R5, R3> aggregates worlds W9 (0.28): the paper's U-Top2 winner
+        vectors = naive_topk_vector_probabilities(panda_table(), TopKQuery(k=2))
+        assert vectors[("R5", "R3")] == pytest.approx(0.28)

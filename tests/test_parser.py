@@ -1,0 +1,129 @@
+"""Tests for the predicate expression parser."""
+
+import pytest
+
+from repro.core.exact import exact_ptk_query
+from repro.exceptions import QueryError
+from repro.model.tuples import UncertainTuple
+from repro.query.parser import parse_predicate
+from repro.query.topk import TopKQuery
+from repro.datagen.sensors import panda_table
+
+
+def tup(score=10.0, probability=0.5, **attributes):
+    return UncertainTuple(
+        tid="t", score=score, probability=probability, attributes=attributes
+    )
+
+
+class TestComparisons:
+    def test_score_comparison(self):
+        pred = parse_predicate("score > 10")
+        assert pred(tup(score=11))
+        assert not pred(tup(score=10))
+
+    def test_probability_comparison(self):
+        pred = parse_predicate("probability >= 0.5")
+        assert pred(tup(probability=0.5))
+        assert not pred(tup(probability=0.4))
+
+    def test_all_operators(self):
+        assert parse_predicate("score = 5")(tup(score=5))
+        assert parse_predicate("score == 5")(tup(score=5))
+        assert parse_predicate("score != 5")(tup(score=6))
+        assert parse_predicate("score < 5")(tup(score=4))
+        assert parse_predicate("score <= 5")(tup(score=5))
+        assert parse_predicate("score >= 5")(tup(score=5))
+
+    def test_attribute_string_equality(self):
+        pred = parse_predicate("location = 'B'")
+        assert pred(tup(location="B"))
+        assert not pred(tup(location="A"))
+        assert not pred(tup())  # missing attribute
+
+    def test_double_quoted_string(self):
+        assert parse_predicate('source = "SAT-H"')(tup(source="SAT-H"))
+
+    def test_bareword_string(self):
+        assert parse_predicate("location = B")(tup(location="B"))
+
+    def test_numeric_attribute_coercion(self):
+        pred = parse_predicate("count > 3")
+        assert pred(tup(count=5))
+        assert pred(tup(count="5"))  # string attribute coerced
+        assert not pred(tup(count="many"))  # non-numeric -> False
+
+    def test_type_mismatch_is_false(self):
+        assert not parse_predicate("location < 3")(tup(location="B"))
+
+    def test_scientific_notation(self):
+        assert parse_predicate("probability > 1e-3")(tup(probability=0.5))
+
+
+class TestCombinators:
+    def test_and(self):
+        pred = parse_predicate("score > 5 and probability > 0.4")
+        assert pred(tup(score=6, probability=0.5))
+        assert not pred(tup(score=6, probability=0.3))
+
+    def test_or(self):
+        pred = parse_predicate("score > 100 or location = 'B'")
+        assert pred(tup(location="B"))
+        assert not pred(tup(location="A"))
+
+    def test_not(self):
+        pred = parse_predicate("not score > 5")
+        assert pred(tup(score=3))
+
+    def test_precedence_and_binds_tighter(self):
+        # a or b and c  ==  a or (b and c)
+        pred = parse_predicate("score > 100 or score > 5 and score < 8")
+        assert pred(tup(score=6))
+        assert not pred(tup(score=9))
+
+    def test_parentheses(self):
+        pred = parse_predicate("(score > 100 or score > 5) and score < 8")
+        assert pred(tup(score=6))
+        assert not pred(tup(score=200))
+
+    def test_nested_not(self):
+        pred = parse_predicate("not (location = 'A' or location = 'B')")
+        assert pred(tup(location="C"))
+        assert not pred(tup(location="A"))
+
+    def test_keywords_case_insensitive(self):
+        pred = parse_predicate("score > 5 AND NOT location = 'A'")
+        assert pred(tup(score=6, location="B"))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "score >",
+            "> 5",
+            "score 5",
+            "(score > 5",
+            "score > 5 )",
+            "score > 5 extra",
+            "score ~ 5",
+            "and score > 5",
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(QueryError):
+            parse_predicate(text)
+
+
+class TestEndToEnd:
+    def test_parsed_predicate_in_query(self):
+        table = panda_table()
+        pred = parse_predicate("location = 'B' or score >= 17")
+        query = TopKQuery(k=2, predicate=pred)
+        answer = exact_ptk_query(table, query, 0.1)
+        # selection: R1 (25), R2, R3 (loc B), R5 (17)
+        selected = {t.tid for t in query.selected(table)}
+        assert selected == {"R1", "R2", "R3", "R5"}
+        for tid in answer.answers:
+            assert tid in selected

@@ -1,0 +1,110 @@
+"""Tests for table statistics and the scan-depth planner."""
+
+import pytest
+
+from repro.core.exact import exact_ptk_query
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.exceptions import QueryError
+from repro.model.statistics import collect_statistics
+from repro.model.table import UncertainTable
+from repro.query.planner import (
+    choose_method,
+    depth_curve,
+    estimate_scan_depth,
+    estimate_scan_depth_exactish,
+)
+from repro.query.topk import TopKQuery
+from tests.conftest import build_table
+
+
+class TestStatistics:
+    def test_basic_summary(self):
+        table = build_table([0.2, 0.4, 0.6], rule_groups=[[0, 1]])
+        stats = collect_statistics(table)
+        assert stats.n_tuples == 3
+        assert stats.n_rules == 1
+        assert stats.mean_probability == pytest.approx(0.4)
+        assert stats.expected_world_size == pytest.approx(1.2)
+        assert stats.mean_rule_size == 2.0
+        assert stats.max_rule_size == 2
+        assert stats.mean_rule_probability == pytest.approx(0.6)
+        assert stats.rule_tuple_fraction == pytest.approx(2 / 3)
+
+    def test_histogram_counts_all_tuples(self):
+        table = build_table([0.05, 0.15, 0.95], rule_groups=[])
+        stats = collect_statistics(table)
+        assert sum(stats.probability_histogram) == 3
+
+    def test_empty_table(self):
+        stats = collect_statistics(UncertainTable())
+        assert stats.n_tuples == 0
+        assert stats.mean_probability == 0.0
+
+
+class TestDepthEstimates:
+    def workload(self, mean=0.5, n=4000):
+        return generate_synthetic_table(
+            SyntheticConfig(
+                n_tuples=n, n_rules=n // 10, independent_prob_mean=mean, seed=3
+            )
+        )
+
+    def test_estimate_within_factor_two_of_measured(self):
+        table = self.workload()
+        k, p = 50, 0.3
+        measured = exact_ptk_query(table, TopKQuery(k=k), p).stats.scan_depth
+        estimate = estimate_scan_depth(table, k, p)
+        assert measured / 2 <= estimate.depth <= measured * 2
+
+    def test_exactish_at_least_as_close(self):
+        table = self.workload(mean=0.3)
+        k, p = 50, 0.3
+        measured = exact_ptk_query(table, TopKQuery(k=k), p).stats.scan_depth
+        coarse = estimate_scan_depth(table, k, p)
+        refined = estimate_scan_depth_exactish(table, k, p)
+        assert abs(refined.depth - measured) <= abs(coarse.depth - measured) * 1.5
+
+    def test_depth_grows_with_k(self):
+        table = self.workload()
+        curve = depth_curve(table, ks=[10, 50, 200], threshold=0.3)
+        depths = [e.depth for e in curve]
+        assert depths == sorted(depths)
+
+    def test_depth_shrinks_with_mean_probability(self):
+        low = estimate_scan_depth(self.workload(mean=0.2), 50, 0.3)
+        high = estimate_scan_depth(self.workload(mean=0.8), 50, 0.3)
+        assert high.depth < low.depth
+
+    def test_depth_capped_by_table_size(self):
+        table = build_table([0.01] * 10, rule_groups=[])
+        estimate = estimate_scan_depth(table, 5, 0.3)
+        assert estimate.depth == 10
+        assert estimate.fraction == 1.0
+
+    def test_empty_table(self):
+        estimate = estimate_scan_depth(UncertainTable(), 5, 0.3)
+        assert estimate.depth == 0
+
+    def test_validation(self):
+        table = build_table([0.5], rule_groups=[])
+        with pytest.raises(QueryError):
+            estimate_scan_depth(table, 0, 0.3)
+        with pytest.raises(QueryError):
+            estimate_scan_depth(table, 5, 0.0)
+        with pytest.raises(QueryError):
+            estimate_scan_depth_exactish(table, 5, 1.5)
+
+
+class TestMethodChoice:
+    def test_small_k_prefers_exact(self):
+        table = TestDepthEstimates().workload()
+        assert choose_method(table, k=10, threshold=0.3) == "exact"
+
+    def test_huge_k_prefers_sampling(self):
+        table = TestDepthEstimates().workload(n=20000)
+        assert choose_method(table, k=2000, threshold=0.3) == "sampling"
+
+    def test_budget_shifts_crossover(self):
+        table = TestDepthEstimates().workload()
+        generous = choose_method(table, k=400, threshold=0.3, sample_budget=10**9)
+        assert generous == "exact"  # sampling cost inflated by the budget

@@ -1,0 +1,74 @@
+"""Unit tests for query predicates."""
+
+from repro.model.tuples import UncertainTuple
+from repro.query.predicates import (
+    AlwaysTrue,
+    AttributeEquals,
+    AttributePredicate,
+    ScoreAbove,
+    ScoreBelow,
+)
+
+
+def tup(score=10.0, **attributes):
+    return UncertainTuple(
+        tid="t", score=score, probability=0.5, attributes=attributes
+    )
+
+
+class TestAtoms:
+    def test_always_true(self):
+        assert AlwaysTrue()(tup())
+
+    def test_score_above(self):
+        assert ScoreAbove(5)(tup(score=10))
+        assert not ScoreAbove(10)(tup(score=10))  # strict
+        assert not ScoreAbove(15)(tup(score=10))
+
+    def test_score_below(self):
+        assert ScoreBelow(15)(tup(score=10))
+        assert not ScoreBelow(10)(tup(score=10))  # strict
+
+    def test_attribute_equals(self):
+        assert AttributeEquals("loc", "B")(tup(loc="B"))
+        assert not AttributeEquals("loc", "B")(tup(loc="A"))
+
+    def test_attribute_equals_missing_attribute(self):
+        assert not AttributeEquals("loc", "B")(tup())
+
+    def test_attribute_equals_none_value(self):
+        # a stored None must match an expected None (sentinel check)
+        assert AttributeEquals("loc", None)(tup(loc=None))
+
+    def test_attribute_predicate(self):
+        pred = AttributePredicate("count", lambda v: v > 3)
+        assert pred(tup(count=5))
+        assert not pred(tup(count=2))
+
+    def test_attribute_predicate_missing_attribute(self):
+        pred = AttributePredicate("count", lambda v: True)
+        assert not pred(tup())
+
+
+class TestComposition:
+    def test_and(self):
+        pred = ScoreAbove(5) & AttributeEquals("loc", "B")
+        assert pred(tup(score=10, loc="B"))
+        assert not pred(tup(score=10, loc="A"))
+        assert not pred(tup(score=1, loc="B"))
+
+    def test_or(self):
+        pred = ScoreAbove(50) | AttributeEquals("loc", "B")
+        assert pred(tup(score=10, loc="B"))
+        assert pred(tup(score=99, loc="A"))
+        assert not pred(tup(score=10, loc="A"))
+
+    def test_not(self):
+        pred = ~ScoreAbove(5)
+        assert pred(tup(score=3))
+        assert not pred(tup(score=10))
+
+    def test_nested_composition(self):
+        pred = ~(ScoreAbove(5) & ScoreBelow(15))
+        assert not pred(tup(score=10))
+        assert pred(tup(score=20))

@@ -1,0 +1,83 @@
+"""Tests for top-k probability profiles (the all-j-at-once extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_topk_probabilities
+from repro.core.profile import (
+    answer_sizes_by_k,
+    minimal_k_for_threshold,
+    topk_probability_profile,
+)
+from repro.datagen.sensors import panda_table
+from repro.exceptions import QueryError
+from repro.query.topk import TopKQuery
+from tests.conftest import uncertain_tables
+
+
+class TestProfileCorrectness:
+    @given(uncertain_tables(max_tuples=9), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_profile_column_j_equals_exact_prj(self, table, k):
+        profiles = topk_probability_profile(table, TopKQuery(k=k))
+        for j in range(1, k + 1):
+            exact_j = exact_topk_probabilities(table, TopKQuery(k=j))
+            for tid, expected in exact_j.items():
+                assert profiles[tid][j - 1] == pytest.approx(expected, abs=1e-9)
+
+    def test_panda_profile(self):
+        profiles = topk_probability_profile(panda_table(), TopKQuery(k=2))
+        assert profiles["R5"][1] == pytest.approx(0.704)
+        # Pr^1(R5): R5 present and neither R1 nor R2 present
+        assert profiles["R5"][0] == pytest.approx(0.8 * 0.7 * 0.6)
+
+    @given(uncertain_tables(max_tuples=9))
+    @settings(max_examples=25, deadline=None)
+    def test_profiles_monotone_and_bounded(self, table):
+        profiles = topk_probability_profile(table, TopKQuery(k=5))
+        for tup in table:
+            profile = profiles[tup.tid]
+            assert np.all(np.diff(profile) >= -1e-12)
+            assert profile[-1] <= tup.probability + 1e-9
+
+
+class TestAnswerSizes:
+    def test_sizes_monotone_in_k(self):
+        table = panda_table()
+        sizes = answer_sizes_by_k(table, TopKQuery(k=4), 0.35)
+        assert sizes == sorted(sizes)
+
+    def test_matches_individual_queries(self):
+        from repro.core.exact import exact_ptk_query
+
+        table = panda_table()
+        sizes = answer_sizes_by_k(table, TopKQuery(k=3), 0.35)
+        for j in range(1, 4):
+            answer = exact_ptk_query(table, TopKQuery(k=j), 0.35)
+            assert sizes[j - 1] == len(answer)
+
+    def test_threshold_validation(self):
+        with pytest.raises(QueryError):
+            answer_sizes_by_k(panda_table(), TopKQuery(k=2), 0.0)
+
+
+class TestMinimalK:
+    def test_panda_minimal_k(self):
+        result = minimal_k_for_threshold(panda_table(), TopKQuery(k=2), 0.35)
+        # R5 passes already at k=1 (0.336 < 0.35? no: 0.336 < 0.35) -> k=2
+        assert result["R5"] == 2
+        assert result["R2"] == 2
+        assert result["R1"] is None  # never reaches 0.35 within k=2
+
+    def test_certain_top_tuple_passes_at_one(self):
+        from tests.conftest import build_table
+
+        table = build_table([1.0, 0.5], rule_groups=[])
+        result = minimal_k_for_threshold(table, TopKQuery(k=2), 0.9)
+        assert result["t0"] == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(QueryError):
+            minimal_k_for_threshold(panda_table(), TopKQuery(k=2), 2.0)

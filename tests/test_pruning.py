@@ -1,0 +1,224 @@
+"""Tests for the pruning rules (Theorems 3-5) and the tail stop bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import ExactVariant, exact_ptk_query
+from repro.core.pruning import PruningFlags, PruningTracker
+from repro.core.rule_compression import DominantSetScan, rule_index_of_table
+from repro.query.topk import TopKQuery
+from repro.semantics.naive import naive_topk_probabilities
+from tests.conftest import build_table, uncertain_tables
+
+
+class TestPruningFlags:
+    def test_default_all_on(self):
+        flags = PruningFlags()
+        assert flags.membership and flags.same_rule
+        assert flags.total_probability and flags.tail_bound
+
+    def test_none(self):
+        flags = PruningFlags.none()
+        assert not (
+            flags.membership
+            or flags.same_rule
+            or flags.total_probability
+            or flags.tail_bound
+        )
+
+
+class TestMembershipPruning:
+    """Theorem 3: failed independent tuples transfer failure downward."""
+
+    def test_lower_probability_independent_pruned(self):
+        table = build_table([0.9, 0.5, 0.4], rule_groups=[])
+        tracker = PruningTracker(
+            k=1, threshold=0.9, rule_of={}, table_rule_probability={}
+        )
+        tuples = table.ranked_tuples()
+        tracker.note_first_encounter(tuples[1])
+        assert tracker.should_skip(tuples[1]) is None
+        tracker.observe(tuples[1], 0.05)  # t1 fails
+        tracker.note_first_encounter(tuples[2])
+        assert tracker.should_skip(tuples[2]) == "membership"
+
+    def test_higher_probability_not_pruned(self):
+        table = build_table([0.9, 0.3, 0.8], rule_groups=[])
+        tracker = PruningTracker(
+            k=1, threshold=0.9, rule_of={}, table_rule_probability={}
+        )
+        tuples = table.ranked_tuples()
+        tracker.observe(tuples[1], 0.05)  # Pr=0.3 fails
+        assert tracker.should_skip(tuples[2]) is None  # Pr=0.8 > 0.3
+
+    def test_passing_tuple_does_not_poison_tracker(self):
+        table = build_table([0.9, 0.8], rule_groups=[])
+        tracker = PruningTracker(
+            k=2, threshold=0.5, rule_of={}, table_rule_probability={}
+        )
+        tuples = table.ranked_tuples()
+        tracker.observe(tuples[0], 0.9)  # passes
+        assert tracker.should_skip(tuples[1]) is None
+
+    def test_rule_pruned_by_independent_failure(self):
+        # rule ranked entirely below a failed independent tuple, Pr(R) smaller
+        table = build_table([0.9, 0.6, 0.3, 0.2], rule_groups=[[2, 3]])
+        rule_of = rule_index_of_table(table)
+        tracker = PruningTracker(
+            k=1,
+            threshold=0.9,
+            rule_of=rule_of,
+            table_rule_probability={"r0": 0.5},
+        )
+        tuples = table.ranked_tuples()
+        tracker.note_first_encounter(tuples[1])
+        tracker.observe(tuples[1], 0.01)  # independent Pr=0.6 fails
+        tracker.note_first_encounter(tuples[2])  # first rule member
+        assert tracker.should_skip(tuples[2]) == "membership"
+        tracker.note_first_encounter(tuples[3])
+        assert tracker.should_skip(tuples[3]) == "membership"
+
+    def test_rule_entry_snapshot_excludes_later_failures(self):
+        # an independent failure recorded *after* the rule's first member
+        # was seen must not prune rule members (rank condition violated)
+        table = build_table([0.9, 0.3, 0.6, 0.25], rule_groups=[[1, 3]])
+        rule_of = rule_index_of_table(table)
+        tracker = PruningTracker(
+            k=1,
+            threshold=0.9,
+            rule_of=rule_of,
+            table_rule_probability={"r0": 0.55},
+        )
+        tuples = table.ranked_tuples()
+        tracker.note_first_encounter(tuples[1])  # rule enters; entry max = -1
+        tracker.observe(tuples[1], 0.02)
+        tracker.note_first_encounter(tuples[2])
+        tracker.observe(tuples[2], 0.02)  # independent 0.6 fails, too late
+        tracker.note_first_encounter(tuples[3])
+        assert tracker.should_skip(tuples[3]) != "membership"
+
+
+class TestSameRulePruning:
+    """Theorem 4: failure transfers within one rule."""
+
+    def test_smaller_member_pruned(self):
+        table = build_table([0.9, 0.4, 0.5, 0.2], rule_groups=[[1, 3]])
+        rule_of = rule_index_of_table(table)
+        tracker = PruningTracker(
+            k=1,
+            threshold=0.9,
+            rule_of=rule_of,
+            table_rule_probability={"r0": 0.6},
+        )
+        tuples = table.ranked_tuples()
+        tracker.note_first_encounter(tuples[1])
+        tracker.observe(tuples[1], 0.01)  # member Pr=0.4 fails
+        tracker.note_first_encounter(tuples[3])
+        assert tracker.should_skip(tuples[3]) == "same-rule"
+
+    def test_larger_member_not_pruned(self):
+        table = build_table([0.9, 0.2, 0.5, 0.4], rule_groups=[[1, 3]])
+        rule_of = rule_index_of_table(table)
+        tracker = PruningTracker(
+            k=1,
+            threshold=0.9,
+            rule_of=rule_of,
+            table_rule_probability={"r0": 0.6},
+        )
+        tuples = table.ranked_tuples()
+        tracker.observe(tuples[1], 0.01)  # member Pr=0.2 fails
+        assert tracker.should_skip(tuples[3]) is None  # Pr=0.4 > 0.2
+
+
+class TestStopping:
+    def test_total_probability_stop(self):
+        tracker = PruningTracker(
+            k=1, threshold=0.5, rule_of={}, table_rule_probability={}
+        )
+        table = build_table([0.9], rule_groups=[])
+        scan = DominantSetScan(table.ranked_tuples(), {})
+        tracker.observe(table.ranked_tuples()[0], 0.9)  # mass 0.9 > 1 - 0.5
+        assert tracker.should_stop(scan) == "total-probability"
+
+    def test_tail_bound_stop(self):
+        # 30 near-certain tuples, k=1: Pr(at most 1 appears) ~ 0
+        probabilities = [0.99] * 30
+        table = build_table(probabilities, rule_groups=[])
+        ranked = table.ranked_tuples()
+        tracker = PruningTracker(
+            k=1,
+            threshold=0.5,
+            rule_of={},
+            table_rule_probability={},
+            stop_check_interval=1,
+            flags=PruningFlags(True, True, False, True),
+        )
+        scan = DominantSetScan(ranked, {})
+        stopped = None
+        for tup in ranked:
+            scan.advance(tup)
+            stopped = tracker.should_stop(scan)
+            if stopped:
+                break
+        assert stopped == "tail-bound"
+        assert scan.scanned < len(ranked)
+
+    def test_no_stop_when_fewer_units_than_k(self):
+        table = build_table([0.5, 0.5], rule_groups=[])
+        ranked = table.ranked_tuples()
+        tracker = PruningTracker(
+            k=5,
+            threshold=0.5,
+            rule_of={},
+            table_rule_probability={},
+            stop_check_interval=1,
+        )
+        scan = DominantSetScan(ranked, {})
+        for tup in ranked:
+            scan.advance(tup)
+            assert tracker.should_stop(scan) is None
+
+
+class TestEndToEndSoundness:
+    """Pruning must never change the answer set."""
+
+    @given(uncertain_tables(max_tuples=10), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_pruned_answers_equal_unpruned(self, table, k):
+        query = TopKQuery(k=k)
+        threshold = 0.31  # avoid borderline float-equality flakes
+        pruned = exact_ptk_query(table, query, threshold, pruning=True)
+        unpruned = exact_ptk_query(table, query, threshold, pruning=False)
+        assert pruned.answer_set == unpruned.answer_set
+
+    @given(uncertain_tables(max_tuples=10), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_each_flag_combination_is_sound(self, table, k):
+        query = TopKQuery(k=k)
+        threshold = 0.4
+        truth = {
+            tid
+            for tid, pr in naive_topk_probabilities(table, query).items()
+            if pr >= threshold
+        }
+        for flags in (
+            PruningFlags(True, False, False, False),
+            PruningFlags(False, True, False, False),
+            PruningFlags(False, False, True, False),
+            PruningFlags(False, False, False, True),
+            PruningFlags(),
+        ):
+            answer = exact_ptk_query(
+                table, query, threshold, pruning_flags=flags
+            )
+            assert answer.answer_set == truth
+
+    def test_pruning_reduces_scan_depth_on_large_input(self):
+        probabilities = [0.9] * 200
+        table = build_table(probabilities, rule_groups=[])
+        query = TopKQuery(k=5)
+        pruned = exact_ptk_query(table, query, 0.3, pruning=True)
+        unpruned = exact_ptk_query(table, query, 0.3, pruning=False)
+        assert pruned.stats.scan_depth < unpruned.stats.scan_depth
+        assert unpruned.stats.scan_depth == 200

@@ -1,0 +1,79 @@
+"""Unit tests for ranking functions and the total order."""
+
+from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
+from repro.query.ranking import (
+    RankingFunction,
+    by_attribute,
+    by_probability,
+    by_score,
+    rank_positions,
+)
+
+
+def make(tid, score, probability=0.5, **attributes):
+    return UncertainTuple(
+        tid=tid, score=score, probability=probability, attributes=attributes
+    )
+
+
+class TestByScore:
+    def test_descending_default(self):
+        ranking = by_score()
+        ordered = ranking.order([make("a", 1), make("b", 3), make("c", 2)])
+        assert [t.tid for t in ordered] == ["b", "c", "a"]
+
+    def test_ascending(self):
+        ranking = by_score(descending=False)
+        ordered = ranking.order([make("a", 1), make("b", 3), make("c", 2)])
+        assert [t.tid for t in ordered] == ["a", "c", "b"]
+
+    def test_tie_broken_by_id(self):
+        ranking = by_score()
+        ordered = ranking.order([make("z", 5), make("a", 5), make("m", 5)])
+        assert [t.tid for t in ordered] == ["a", "m", "z"]
+
+    def test_prefers_is_strict(self):
+        ranking = by_score()
+        a, b = make("a", 5), make("b", 3)
+        assert ranking.prefers(a, b)
+        assert not ranking.prefers(b, a)
+        assert not ranking.prefers(a, a)
+
+
+class TestByAttribute:
+    def test_orders_by_named_attribute(self):
+        ranking = by_attribute("weight")
+        ordered = ranking.order(
+            [make("a", 0, weight=2), make("b", 0, weight=9)]
+        )
+        assert [t.tid for t in ordered] == ["b", "a"]
+
+    def test_by_probability(self):
+        ranking = by_probability()
+        ordered = ranking.order(
+            [make("a", 0, probability=0.2), make("b", 0, probability=0.8)]
+        )
+        assert [t.tid for t in ordered] == ["b", "a"]
+
+
+class TestTableIntegration:
+    def test_rank_table(self):
+        table = UncertainTable()
+        table.add("x", 1, 0.5)
+        table.add("y", 9, 0.5)
+        ranked = by_score().rank_table(table)
+        assert [t.tid for t in ranked] == ["y", "x"]
+
+    def test_rank_positions(self):
+        positions = rank_positions(
+            by_score(), [make("a", 1), make("b", 3), make("c", 2)]
+        )
+        assert positions == {"b": 0, "c": 1, "a": 2}
+
+    def test_custom_key_function(self):
+        ranking = RankingFunction(lambda t: t.score * t.probability, name="ep")
+        ordered = ranking.order(
+            [make("a", 10, probability=0.1), make("b", 5, probability=0.9)]
+        )
+        assert [t.tid for t in ordered] == ["b", "a"]

@@ -1,0 +1,174 @@
+"""Tests for prefix-sharing reordering and the Equation-5 cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.ablation import example5_costs, unit_orders
+from repro.core.reordering import (
+    AggressiveReordering,
+    CanonicalOrder,
+    FreshDP,
+    LazyReordering,
+    PrefixSharedDP,
+    reordering_cost,
+    strategy_by_name,
+)
+from repro.core.rule_compression import rule_index_of_table
+from repro.core.subset_probability import subset_probabilities
+from repro.datagen.sensors import example5_table
+from repro.query.topk import TopKQuery
+from tests.conftest import uncertain_tables
+
+
+def order_names(order):
+    """Readable form: sorted member names per unit."""
+    return [",".join(sorted(str(m) for m in u.members)) for u in order]
+
+
+class TestPaperExample5:
+    """Figure 2 of the paper, reproduced unit-for-unit."""
+
+    def orders(self, strategy):
+        return unit_orders(example5_table(), TopKQuery(k=3), strategy)
+
+    def test_aggressive_orders_match_figure2(self):
+        orders = self.orders(AggressiveReordering())
+        expected = [
+            [],
+            [],
+            ["t1,t2"],
+            ["t3", "t1,t2"],
+            ["t3", "t1,t2"],
+            ["t3", "t4,t5", "t1,t2"],
+            ["t3", "t6", "t4,t5", "t1,t2"],
+            ["t3", "t6", "t7", "t4,t5"],
+            ["t3", "t6", "t7", "t1,t2,t8", "t4,t5"],
+            ["t3", "t6", "t7", "t9", "t1,t2,t8"],
+            ["t3", "t6", "t7", "t9", "t10,t4,t5"],
+        ]
+        assert [order_names(o) for o in orders] == expected
+
+    def test_lazy_orders_match_figure2(self):
+        orders = self.orders(LazyReordering())
+        expected = [
+            [],
+            [],
+            ["t1,t2"],
+            ["t1,t2", "t3"],
+            ["t1,t2", "t3"],
+            ["t1,t2", "t3", "t4,t5"],
+            ["t1,t2", "t3", "t4,t5", "t6"],
+            ["t3", "t6", "t7", "t4,t5"],
+            ["t3", "t6", "t7", "t4,t5", "t1,t2,t8"],
+            ["t3", "t6", "t7", "t9", "t1,t2,t8"],
+            ["t3", "t6", "t7", "t9", "t10,t4,t5"],
+        ]
+        assert [order_names(o) for o in orders] == expected
+
+    def test_equation5_costs_match_paper(self):
+        costs = example5_costs()
+        assert costs["aggressive"] == 15
+        assert costs["lazy"] == 12
+
+
+class TestStrategies:
+    def test_strategy_by_name(self):
+        assert isinstance(strategy_by_name("lazy"), LazyReordering)
+        assert isinstance(strategy_by_name("aggressive"), AggressiveReordering)
+        assert isinstance(strategy_by_name("canonical"), CanonicalOrder)
+
+    def test_strategy_by_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            strategy_by_name("eager")
+
+    @given(uncertain_tables(max_tuples=10))
+    @settings(max_examples=30, deadline=None)
+    def test_strategies_are_permutations_of_each_other(self, table):
+        query = TopKQuery(k=3)
+        lazy = unit_orders(table, query, LazyReordering())
+        aggressive = unit_orders(table, query, AggressiveReordering())
+        for lazy_order, aggressive_order in zip(lazy, aggressive):
+            assert {u.members for u in lazy_order} == {
+                u.members for u in aggressive_order
+            }
+
+    @given(uncertain_tables(max_tuples=10))
+    @settings(max_examples=30, deadline=None)
+    def test_lazy_never_costs_more_than_aggressive(self, table):
+        # the paper's claim: the lazy method is always at least as good
+        query = TopKQuery(k=3)
+        lazy = reordering_cost(unit_orders(table, query, LazyReordering()))
+        aggressive = reordering_cost(
+            unit_orders(table, query, AggressiveReordering())
+        )
+        assert lazy <= aggressive
+
+
+class TestReorderingCost:
+    def test_empty(self):
+        assert reordering_cost([]) == 0
+
+    def test_single_order_counts_fully(self):
+        table = example5_table()
+        orders = unit_orders(table, TopKQuery(k=3), LazyReordering())
+        assert reordering_cost([orders[-1]]) == len(orders[-1])
+
+    def test_identical_consecutive_orders_are_free(self):
+        table = example5_table()
+        orders = unit_orders(table, TopKQuery(k=3), LazyReordering())
+        last = orders[-1]
+        assert reordering_cost([last, last, last]) == len(last)
+
+
+class TestPrefixSharedDP:
+    def test_matches_direct_dp(self):
+        table = example5_table()
+        query = TopKQuery(k=3)
+        orders = unit_orders(table, query, LazyReordering())
+        dp = PrefixSharedDP(cap=4)
+        for order in orders:
+            got = dp.vector_for(order)
+            expected = subset_probabilities([u.probability for u in order], 4)
+            np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_extension_count_equals_equation5_cost(self):
+        table = example5_table()
+        query = TopKQuery(k=3)
+        orders = unit_orders(table, query, LazyReordering())
+        dp = PrefixSharedDP(cap=4)
+        for order in orders:
+            dp.vector_for(order)
+        assert dp.extensions == reordering_cost(orders) == 12
+
+    def test_cache_truncation_on_divergence(self):
+        table = example5_table()
+        query = TopKQuery(k=3)
+        orders = unit_orders(table, query, LazyReordering())
+        dp = PrefixSharedDP(cap=4)
+        dp.vector_for(orders[-1])
+        assert dp.depth == len(orders[-1])
+        dp.vector_for(orders[2])  # unrelated earlier order: cache shrinks
+        assert dp.depth == len(orders[2])
+
+    def test_fresh_dp_counts_full_recompute(self):
+        table = example5_table()
+        query = TopKQuery(k=3)
+        orders = unit_orders(table, query, CanonicalOrder())
+        dp = FreshDP(cap=4)
+        for order in orders:
+            dp.vector_for(order)
+        assert dp.extensions == sum(len(o) for o in orders)
+
+    @given(uncertain_tables(max_tuples=9), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_shared_and_fresh_agree(self, table, k):
+        query = TopKQuery(k=k)
+        orders = unit_orders(table, query, LazyReordering())
+        shared = PrefixSharedDP(cap=k + 1)
+        fresh = FreshDP(cap=k + 1)
+        for order in orders:
+            np.testing.assert_allclose(
+                shared.vector_for(order), fresh.vector_for(order), atol=1e-12
+            )

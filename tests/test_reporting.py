@@ -1,0 +1,60 @@
+"""Tests for experiment-table rendering."""
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.reporting import print_table, render_table
+
+
+def sample_table():
+    table = ExperimentTable(
+        title="Demo", columns=["x", "value", "flag"], notes="note here"
+    )
+    table.add_row(1, 0.5, True)
+    table.add_row(10_000, 1234.5678, False)
+    table.add_row(3, 0.000123, True)
+    return table
+
+
+class TestRendering:
+    def test_title_and_notes_present(self):
+        text = render_table(sample_table())
+        assert "== Demo ==" in text
+        assert "note here" in text
+
+    def test_all_rows_rendered(self):
+        text = render_table(sample_table())
+        assert text.count("\n") >= 5  # title, notes, header, rule, 3 rows
+
+    def test_large_numbers_thousands_separated(self):
+        text = render_table(sample_table())
+        assert "10,000" in text
+        assert "1,235" in text  # 1234.5678 -> rounded with separator
+
+    def test_small_floats_keep_precision(self):
+        text = render_table(sample_table())
+        assert "0.000123" in text
+
+    def test_booleans_verbatim(self):
+        text = render_table(sample_table())
+        assert "True" in text and "False" in text
+
+    def test_zero_renders_compactly(self):
+        table = ExperimentTable(title="z", columns=["v"])
+        table.add_row(0.0)
+        assert "\n0" in render_table(table)
+
+    def test_columns_aligned(self):
+        text = render_table(sample_table())
+        lines = text.splitlines()
+        header = lines[2]
+        rule = lines[3]
+        assert len(header) == len(rule)
+
+    def test_print_table(self, capsys):
+        print_table(sample_table())
+        assert "Demo" in capsys.readouterr().out
+
+    def test_empty_table(self):
+        table = ExperimentTable(title="empty", columns=["a", "b"])
+        text = render_table(table)
+        assert "empty" in text
+        assert "a" in text

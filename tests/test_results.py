@@ -1,0 +1,91 @@
+"""Unit tests for the result containers and exception hierarchy."""
+
+import pytest
+
+from repro.core.results import AlgorithmStats, PTKAnswer, TupleProbability
+from repro.exceptions import (
+    DuplicateTupleError,
+    EnumerationLimitError,
+    QueryError,
+    ReproError,
+    RuleConflictError,
+    SamplingError,
+    UnknownTupleError,
+    ValidationError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ValidationError,
+            DuplicateTupleError,
+            UnknownTupleError,
+            RuleConflictError,
+            QueryError,
+            SamplingError,
+            EnumerationLimitError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_duplicate_is_validation(self):
+        assert issubclass(DuplicateTupleError, ValidationError)
+        assert issubclass(RuleConflictError, ValidationError)
+
+
+class TestTupleProbability:
+    def test_unpacking(self):
+        tid, probability = TupleProbability("a", 0.5)
+        assert (tid, probability) == ("a", 0.5)
+
+    def test_frozen(self):
+        pair = TupleProbability("a", 0.5)
+        with pytest.raises(AttributeError):
+            pair.probability = 0.9
+
+
+class TestAlgorithmStats:
+    def test_defaults(self):
+        stats = AlgorithmStats()
+        assert stats.scan_depth == 0
+        assert stats.stopped_by == "exhausted"
+
+    def test_pruned_total(self):
+        stats = AlgorithmStats(
+            tuples_pruned_membership=3, tuples_pruned_same_rule=2
+        )
+        assert stats.tuples_pruned == 5
+
+
+class TestPTKAnswer:
+    def make(self):
+        answer = PTKAnswer(k=2, threshold=0.4)
+        answer.probabilities = {"a": 0.9, "b": 0.5, "c": 0.1}
+        answer.answers = ["a", "b"]
+        return answer
+
+    def test_answer_set(self):
+        assert self.make().answer_set == {"a", "b"}
+
+    def test_contains_len(self):
+        answer = self.make()
+        assert "a" in answer
+        assert "c" not in answer
+        assert len(answer) == 2
+
+    def test_probability_of(self):
+        answer = self.make()
+        assert answer.probability_of("c") == 0.1
+        assert answer.probability_of("zz", default=0.25) == 0.25
+        with pytest.raises(KeyError):
+            answer.probability_of("zz")
+
+    def test_ranked_answers(self):
+        pairs = self.make().ranked_answers()
+        assert [p.tid for p in pairs] == ["a", "b"]
+
+    def test_ranked_answers_tie_break(self):
+        answer = PTKAnswer(k=1, threshold=0.1)
+        answer.probabilities = {"z": 0.5, "a": 0.5}
+        answer.answers = ["z", "a"]
+        assert [p.tid for p in answer.ranked_answers()] == ["a", "z"]

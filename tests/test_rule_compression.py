@@ -1,0 +1,180 @@
+"""Tests for rule-tuple compression and compressed dominant sets."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.rule_compression import (
+    CompressionUnit,
+    DominantSetScan,
+    compressed_dominant_set,
+    rule_index_of_table,
+)
+from repro.datagen.sensors import example3_table, example5_table
+from tests.conftest import build_table, uncertain_tables
+
+
+def scan_units(table):
+    """units_for(t_i) from the incremental scanner, per ranked position."""
+    ranked = table.ranked_tuples()
+    rule_of = rule_index_of_table(table)
+    scan = DominantSetScan(ranked, rule_of)
+    per_tuple = []
+    for tup in ranked:
+        per_tuple.append(scan.units_for(tup))
+        scan.advance(tup)
+    return ranked, per_tuple
+
+
+def unit_key_set(units):
+    return {u.members for u in units}
+
+
+class TestPaperExample3:
+    def test_t6_compression(self):
+        # T(t6) = {t1, t_{2,4}, t3, t5} with Pr(t_{2,4}) = 0.5
+        table = example3_table()
+        ranked = table.ranked_tuples()
+        rule_of = rule_index_of_table(table)
+        units = compressed_dominant_set(ranked, rule_of, index=5)  # t6
+        keys = {frozenset(u.members): u for u in units}
+        assert frozenset({"t2", "t4"}) in keys
+        assert keys[frozenset({"t2", "t4"})].probability == pytest.approx(0.5)
+        assert frozenset({"t1"}) in keys
+        assert frozenset({"t3"}) in keys
+        assert frozenset({"t5"}) in keys
+        assert len(units) == 4
+
+    def test_t7_excludes_own_rule(self):
+        # t7 is in R2 = {t5, t7}: T(t7) = {t1, t_{2,4}, t3, t6}
+        table = example3_table()
+        ranked = table.ranked_tuples()
+        rule_of = rule_index_of_table(table)
+        units = compressed_dominant_set(ranked, rule_of, index=6)  # t7
+        keys = unit_key_set(units)
+        assert frozenset({"t5"}) not in keys
+        assert frozenset({"t6"}) in keys
+        assert frozenset({"t2", "t4"}) in keys
+        assert len(units) == 4
+
+
+class TestUnitMetadata:
+    def test_open_vs_completed(self):
+        table = example5_table()
+        ranked = table.ranked_tuples()
+        rule_of = rule_index_of_table(table)
+        # at t9 (index 8): R2 = {t4, t5, t10} has seen t4, t5; next is t10
+        units = compressed_dominant_set(ranked, rule_of, index=8)
+        by_key = {u.members: u for u in units}
+        r2 = by_key[frozenset({"t4", "t5"})]
+        assert r2.is_open
+        assert r2.next_rank == 9  # t10 sits at rank index 9
+        # at t11 (index 10): R2 fully seen -> completed
+        units = compressed_dominant_set(ranked, rule_of, index=10)
+        by_key = {u.members: u for u in units}
+        r2_done = by_key[frozenset({"t4", "t5", "t10"})]
+        assert not r2_done.is_open
+        assert r2_done.last_rank == 9
+
+    def test_independent_unit_ranks(self):
+        table = build_table([0.5, 0.5], rule_groups=[])
+        ranked = table.ranked_tuples()
+        units = compressed_dominant_set(ranked, {}, index=1)
+        assert len(units) == 1
+        unit = units[0]
+        assert unit.first_rank == unit.last_rank == 0
+        assert not unit.is_rule_tuple
+
+    def test_rule_probability_clamped(self):
+        unit = CompressionUnit(
+            members=frozenset({"a"}),
+            probability=1.0,
+            rule_id="r",
+            first_rank=0,
+            last_rank=0,
+            next_rank=None,
+        )
+        assert unit.probability == 1.0
+
+
+class TestIncrementalMatchesFromScratch:
+    @given(uncertain_tables(max_tuples=10))
+    @settings(max_examples=50, deadline=None)
+    def test_scan_equals_direct(self, table):
+        ranked, per_tuple = scan_units(table)
+        rule_of = rule_index_of_table(table)
+        for i in range(len(ranked)):
+            direct = compressed_dominant_set(ranked, rule_of, i)
+            incremental = per_tuple[i]
+            direct_map = {u.members: u for u in direct}
+            incremental_map = {u.members: u for u in incremental}
+            assert direct_map.keys() == incremental_map.keys()
+            for key, unit in direct_map.items():
+                other = incremental_map[key]
+                assert unit.probability == pytest.approx(other.probability)
+                assert unit.first_rank == other.first_rank
+                assert unit.last_rank == other.last_rank
+                assert unit.next_rank == other.next_rank
+
+    @given(uncertain_tables(max_tuples=10))
+    @settings(max_examples=30, deadline=None)
+    def test_unit_probability_mass_conserved(self, table):
+        # compression preserves total probability mass of the dominant set
+        ranked, per_tuple = scan_units(table)
+        rule_of = rule_index_of_table(table)
+        for i, tup in enumerate(ranked):
+            own_rule = rule_of.get(tup.tid)
+            expected = 0.0
+            for prior in ranked[:i]:
+                prior_rule = rule_of.get(prior.tid)
+                if (
+                    own_rule is not None
+                    and prior_rule is not None
+                    and prior_rule.rule_id == own_rule.rule_id
+                ):
+                    continue  # removed by Corollary 2
+                expected += prior.probability
+            got = sum(u.probability for u in per_tuple[i])
+            assert got == pytest.approx(min(expected, expected), abs=1e-9)
+
+
+class TestScanBookkeeping:
+    def test_all_units_includes_own_rule(self, ruled_table):
+        ranked = ruled_table.ranked_tuples()
+        rule_of = rule_index_of_table(ruled_table)
+        scan = DominantSetScan(ranked, rule_of)
+        for tup in ranked:
+            scan.advance(tup)
+        all_units = scan.all_units()
+        covered = set()
+        for unit in all_units:
+            covered |= unit.members
+        assert covered == {t.tid for t in ranked}
+
+    def test_excluded_unit_for(self, ruled_table):
+        ranked = ruled_table.ranked_tuples()
+        rule_of = rule_index_of_table(ruled_table)
+        scan = DominantSetScan(ranked, rule_of)
+        for tup in ranked:
+            excluded = scan.excluded_unit_for(tup)
+            own = rule_of.get(tup.tid)
+            if own is None:
+                assert excluded is None
+            elif excluded is not None:
+                assert excluded.rule_id == own.rule_id
+            scan.advance(tup)
+
+    def test_scanned_counter(self, simple_table):
+        ranked = simple_table.ranked_tuples()
+        scan = DominantSetScan(ranked, {})
+        assert scan.scanned == 0
+        scan.advance(ranked[0])
+        assert scan.scanned == 1
+
+    def test_rule_unit_lookup(self, ruled_table):
+        ranked = ruled_table.ranked_tuples()
+        rule_of = rule_index_of_table(ruled_table)
+        scan = DominantSetScan(ranked, rule_of)
+        assert scan.rule_unit("r0") is None
+        for tup in ranked:
+            scan.advance(tup)
+        assert scan.rule_unit("r0") is not None

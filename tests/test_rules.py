@@ -1,0 +1,75 @@
+"""Unit tests for generation rules."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model.rules import GenerationRule
+
+
+class TestConstruction:
+    def test_multi_rule(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=("a", "b", "c"))
+        assert rule.length == 3
+        assert rule.is_multi
+        assert not rule.is_singleton
+
+    def test_singleton_rule(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=("a",))
+        assert rule.is_singleton
+        assert not rule.is_multi
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            GenerationRule(rule_id="r", tuple_ids=())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            GenerationRule(rule_id="r", tuple_ids=("a", "a"))
+
+    def test_tuple_ids_normalised_to_tuple(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=["a", "b"])
+        assert isinstance(rule.tuple_ids, tuple)
+
+
+class TestMembership:
+    def test_involves(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=("a", "b"))
+        assert rule.involves("a")
+        assert not rule.involves("z")
+
+    def test_contains_operator(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=("a", "b"))
+        assert "b" in rule
+        assert "z" not in rule
+
+    def test_iteration_and_len(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=("a", "b", "c"))
+        assert list(rule) == ["a", "b", "c"]
+        assert len(rule) == 3
+
+
+class TestRestriction:
+    def test_restricts_to_survivors(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=("a", "b", "c"))
+        projected = rule.restricted_to(["a", "c"])
+        assert projected is not None
+        assert projected.tuple_ids == ("a", "c")
+        assert projected.rule_id == "r"
+
+    def test_restriction_preserves_member_order(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=("c", "a", "b"))
+        projected = rule.restricted_to({"a", "b", "c"})
+        assert projected.tuple_ids == ("c", "a", "b")
+
+    def test_empty_restriction_returns_none(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=("a", "b"))
+        assert rule.restricted_to(["z"]) is None
+
+    def test_restriction_to_single_member(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=("a", "b"))
+        projected = rule.restricted_to(["b"])
+        assert projected.is_singleton
+
+    def test_accepts_set_without_copying_semantics_change(self):
+        rule = GenerationRule(rule_id="r", tuple_ids=("a", "b"))
+        assert rule.restricted_to(frozenset({"a"})).tuple_ids == ("a",)

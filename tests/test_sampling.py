@@ -1,0 +1,197 @@
+"""Tests for the Monte-Carlo sampling method (Section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rule_compression import rule_index_of_table
+from repro.core.sampling import (
+    SamplingConfig,
+    WorldSampler,
+    sampled_ptk_query,
+    sampled_topk_probabilities,
+)
+from repro.datagen.sensors import PANDA_TOP2_PROBABILITIES, panda_table
+from repro.exceptions import QueryError, SamplingError
+from repro.query.topk import TopKQuery
+from repro.semantics.naive import naive_topk_probabilities
+from repro.stats.bounds import chernoff_hoeffding_sample_size
+from tests.conftest import build_table, uncertain_tables
+
+
+class TestConfig:
+    def test_explicit_size(self):
+        assert SamplingConfig(sample_size=123).resolved_sample_size() == 123
+
+    def test_derived_size_matches_theorem6(self):
+        config = SamplingConfig(epsilon=0.1, delta=0.05)
+        assert config.resolved_sample_size() == chernoff_hoeffding_sample_size(
+            0.1, 0.05
+        )
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(SamplingError):
+            SamplingConfig(sample_size=0).resolved_sample_size()
+
+
+class TestWorldSampler:
+    def test_rejects_bad_k(self):
+        with pytest.raises(QueryError):
+            WorldSampler([], {}, k=0)
+
+    def test_certain_tuple_always_included(self):
+        table = build_table([1.0, 0.5], rule_groups=[])
+        sampler = WorldSampler(table.ranked_tuples(), {}, k=2)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            top, _ = sampler.sample_unit(rng)
+            assert "t0" in top
+
+    def test_rule_yields_at_most_one_member(self):
+        table = build_table([0.5, 0.45], rule_groups=[[0, 1]])
+        rule_of = rule_index_of_table(table)
+        sampler = WorldSampler(table.ranked_tuples(), rule_of, k=2)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            top, _ = sampler.sample_unit(rng)
+            assert len(top) <= 1
+
+    def test_rule_member_frequencies(self):
+        table = build_table([0.6, 0.3], rule_groups=[[0, 1]])
+        rule_of = rule_index_of_table(table)
+        sampler = WorldSampler(table.ranked_tuples(), rule_of, k=2)
+        rng = np.random.default_rng(2)
+        counts = {"t0": 0, "t1": 0, None: 0}
+        n = 20_000
+        for _ in range(n):
+            top, _ = sampler.sample_unit(rng)
+            counts[top[0] if top else None] += 1
+        assert counts["t0"] / n == pytest.approx(0.6, abs=0.02)
+        assert counts["t1"] / n == pytest.approx(0.3, abs=0.02)
+        assert counts[None] / n == pytest.approx(0.1, abs=0.02)
+
+    def test_unit_has_at_most_k_tuples(self):
+        table = build_table([0.9] * 10, rule_groups=[])
+        sampler = WorldSampler(table.ranked_tuples(), {}, k=3)
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            top, _ = sampler.sample_unit(rng)
+            assert len(top) <= 3
+
+    def test_top_k_in_ranking_order(self):
+        table = build_table([0.9] * 6, rule_groups=[])
+        ranked = table.ranked_tuples()
+        positions = {t.tid: i for i, t in enumerate(ranked)}
+        sampler = WorldSampler(ranked, {}, k=4)
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            top, _ = sampler.sample_unit(rng)
+            indices = [positions[t] for t in top]
+            assert indices == sorted(indices)
+
+    def test_lazy_scan_length_shorter_than_table(self):
+        # high membership probabilities: the k-th inclusion comes early
+        table = build_table([0.95] * 100, rule_groups=[])
+        sampler = WorldSampler(table.ranked_tuples(), {}, k=5)
+        rng = np.random.default_rng(5)
+        lengths = [sampler.sample_unit(rng)[1] for _ in range(100)]
+        assert max(lengths) < 100
+        assert np.mean(lengths) < 15
+
+    def test_nonlazy_scan_length_is_table_size(self):
+        table = build_table([0.95] * 20, rule_groups=[])
+        sampler = WorldSampler(table.ranked_tuples(), {}, k=5, lazy=False)
+        rng = np.random.default_rng(6)
+        _, scanned = sampler.sample_unit(rng)
+        assert scanned == 20
+
+
+class TestEstimates:
+    def test_panda_estimates_converge(self):
+        result = sampled_topk_probabilities(
+            panda_table(),
+            TopKQuery(k=2),
+            SamplingConfig(sample_size=100_000, progressive=False, seed=7),
+        )
+        for tid, expected in PANDA_TOP2_PROBABILITIES.items():
+            assert result.estimate_of(tid) == pytest.approx(expected, abs=0.01)
+
+    def test_deterministic_under_seed(self):
+        config = SamplingConfig(sample_size=500, progressive=False, seed=42)
+        a = sampled_topk_probabilities(panda_table(), TopKQuery(k=2), config)
+        b = sampled_topk_probabilities(panda_table(), TopKQuery(k=2), config)
+        assert a.estimates == b.estimates
+
+    @given(uncertain_tables(max_tuples=8), st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_estimates_within_monte_carlo_error(self, table, k):
+        query = TopKQuery(k=k)
+        truth = naive_topk_probabilities(table, query)
+        result = sampled_topk_probabilities(
+            table,
+            query,
+            SamplingConfig(sample_size=20_000, progressive=False, seed=0),
+        )
+        for tid, expected in truth.items():
+            # 20k samples: additive error ~ 3 * sqrt(0.25/20000) ~ 0.011
+            assert result.estimate_of(tid) == pytest.approx(expected, abs=0.03)
+
+    def test_progressive_stops_early(self):
+        result = sampled_topk_probabilities(
+            panda_table(),
+            TopKQuery(k=2),
+            SamplingConfig(
+                progressive=True,
+                min_samples=200,
+                check_interval=100,
+                tolerance=0.05,
+                seed=1,
+            ),
+        )
+        assert result.converged_early
+        assert result.units_drawn < result.budget
+
+    def test_budget_respected_without_convergence(self):
+        result = sampled_topk_probabilities(
+            panda_table(),
+            TopKQuery(k=2),
+            SamplingConfig(sample_size=300, progressive=False, seed=1),
+        )
+        assert result.units_drawn == 300
+        assert not result.converged_early
+
+
+class TestSampledQuery:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(QueryError):
+            sampled_ptk_query(panda_table(), TopKQuery(k=2), 0.0)
+
+    def test_answer_matches_exact_on_panda(self):
+        answer = sampled_ptk_query(
+            panda_table(),
+            TopKQuery(k=2),
+            0.35,
+            SamplingConfig(sample_size=50_000, progressive=False, seed=3),
+        )
+        assert answer.answer_set == {"R2", "R3", "R5"}
+        assert answer.method == "sampling"
+
+    def test_answers_in_ranking_order(self):
+        answer = sampled_ptk_query(
+            panda_table(),
+            TopKQuery(k=2),
+            0.35,
+            SamplingConfig(sample_size=50_000, progressive=False, seed=3),
+        )
+        assert answer.answers == ["R2", "R5", "R3"]
+
+    def test_stats_populated(self):
+        answer = sampled_ptk_query(
+            panda_table(),
+            TopKQuery(k=2),
+            0.35,
+            SamplingConfig(sample_size=1000, progressive=False, seed=3),
+        )
+        assert answer.stats.sample_units == 1000
+        assert answer.stats.avg_sample_length > 0

@@ -1,0 +1,52 @@
+"""Extra coverage for semantics modules: statespace merging, extras."""
+
+import pytest
+
+from repro.query.topk import TopKQuery
+from repro.semantics.extras import expected_ranks, global_topk
+from repro.semantics.statespace import utopk_by_state_scan
+from repro.semantics.utopk import utopk_query
+from tests.conftest import build_table
+
+
+class TestStateScanDetails:
+    def test_end_of_list_partial_vector(self):
+        # the most probable outcome is a world with fewer than k tuples
+        table = build_table([0.05, 0.05], rule_groups=[])
+        result = utopk_by_state_scan(table, TopKQuery(k=2))
+        best_first = utopk_query(table, TopKQuery(k=2))
+        assert result.answer.probability == pytest.approx(
+            best_first.probability
+        )
+        # empty world has probability 0.95^2 ~ 0.9, the clear winner
+        assert result.answer.vector == ()
+
+    def test_scan_depth_bounded_by_table(self):
+        table = build_table([0.6] * 6, rule_groups=[])
+        result = utopk_by_state_scan(table, TopKQuery(k=3))
+        assert result.scan_depth <= 6
+
+    def test_rules_with_certain_total(self):
+        table = build_table([0.5, 0.5, 0.7], rule_groups=[[0, 1]])
+        result = utopk_by_state_scan(table, TopKQuery(k=2))
+        best_first = utopk_query(table, TopKQuery(k=2))
+        assert result.answer.probability == pytest.approx(
+            best_first.probability
+        )
+
+
+class TestExtrasEdges:
+    def test_global_topk_empty_table(self):
+        from repro.model.table import UncertainTable
+
+        assert global_topk(UncertainTable(), TopKQuery(k=3)) == []
+
+    def test_expected_ranks_empty_table(self):
+        from repro.model.table import UncertainTable
+
+        assert expected_ranks(UncertainTable(), TopKQuery(k=1)) == {}
+
+    def test_expected_rank_of_last_tuple(self):
+        table = build_table([0.5, 0.5, 0.5], rule_groups=[])
+        ranks = expected_ranks(table, TopKQuery(k=1))
+        assert ranks["t2"] == pytest.approx(2.0)  # 1 + 0.5 + 0.5

@@ -1,0 +1,154 @@
+"""Tests for statistics: bounds, metrics, distribution helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SamplingError
+from repro.stats.bounds import (
+    chernoff_hoeffding_error_bound,
+    chernoff_hoeffding_sample_size,
+    hoeffding_absolute_error_bound,
+)
+from repro.stats.distributions import (
+    MIN_PROBABILITY,
+    clipped_normal,
+    probability_normal,
+    rule_size_normal,
+)
+from repro.stats.metrics import (
+    average_relative_error,
+    f1_score,
+    max_absolute_error,
+    precision_recall,
+)
+
+
+class TestChernoffHoeffding:
+    def test_theorem6_formula(self):
+        # |S| >= 3 ln(2/delta) / eps^2
+        expected = math.ceil(3 * math.log(2 / 0.05) / 0.1**2)
+        assert chernoff_hoeffding_sample_size(0.1, 0.05) == expected
+
+    def test_smaller_epsilon_needs_more_samples(self):
+        assert chernoff_hoeffding_sample_size(
+            0.05, 0.05
+        ) > chernoff_hoeffding_sample_size(0.1, 0.05)
+
+    def test_smaller_delta_needs_more_samples(self):
+        assert chernoff_hoeffding_sample_size(
+            0.1, 0.01
+        ) > chernoff_hoeffding_sample_size(0.1, 0.1)
+
+    def test_bound_inverts_sample_size(self):
+        size = chernoff_hoeffding_sample_size(0.1, 0.05)
+        epsilon = chernoff_hoeffding_error_bound(size, 0.05)
+        assert epsilon <= 0.1 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            chernoff_hoeffding_sample_size(0, 0.05)
+        with pytest.raises(SamplingError):
+            chernoff_hoeffding_sample_size(0.1, 0)
+        with pytest.raises(SamplingError):
+            chernoff_hoeffding_sample_size(0.1, 1.0)
+        with pytest.raises(SamplingError):
+            chernoff_hoeffding_error_bound(0, 0.05)
+
+    def test_hoeffding_absolute(self):
+        bound = hoeffding_absolute_error_bound(1000, 0.05)
+        assert bound == pytest.approx(math.sqrt(math.log(40) / 2000))
+        with pytest.raises(SamplingError):
+            hoeffding_absolute_error_bound(-1, 0.05)
+
+    @given(st.integers(10, 100_000), st.floats(0.001, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_error_bound_decreasing_in_size(self, size, delta):
+        assert chernoff_hoeffding_error_bound(
+            size * 2, delta
+        ) < chernoff_hoeffding_error_bound(size, delta)
+
+
+class TestMetrics:
+    def test_precision_recall_basic(self):
+        precision, recall = precision_recall({"a", "b", "c"}, {"a", "b", "x"})
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+
+    def test_empty_prediction_precision_one(self):
+        precision, recall = precision_recall({"a"}, set())
+        assert precision == 1.0
+        assert recall == 0.0
+
+    def test_empty_truth_recall_one(self):
+        precision, recall = precision_recall(set(), {"a"})
+        assert precision == 0.0
+        assert recall == 1.0
+
+    def test_perfect_match(self):
+        assert precision_recall({"a"}, {"a"}) == (1.0, 1.0)
+
+    def test_f1(self):
+        assert f1_score({"a"}, {"a"}) == 1.0
+        assert f1_score({"a"}, {"b"}) == 0.0
+
+    def test_average_relative_error_matches_paper_formula(self):
+        exact = {"a": 0.8, "b": 0.4, "c": 0.1}
+        estimated = {"a": 0.72, "b": 0.44}
+        # threshold 0.3: only a and b count
+        expected = (abs(0.8 - 0.72) / 0.8 + abs(0.4 - 0.44) / 0.4) / 2
+        assert average_relative_error(exact, estimated, 0.3) == pytest.approx(
+            expected
+        )
+
+    def test_average_relative_error_missing_estimates_are_zero(self):
+        exact = {"a": 0.5}
+        assert average_relative_error(exact, {}, 0.3) == pytest.approx(1.0)
+
+    def test_average_relative_error_no_passing_tuples(self):
+        assert average_relative_error({"a": 0.1}, {"a": 0.1}, 0.5) == 0.0
+
+    def test_max_absolute_error(self):
+        exact = {"a": 0.5, "b": 0.2}
+        estimated = {"a": 0.45}
+        assert max_absolute_error(exact, estimated) == pytest.approx(0.2)
+
+
+class TestDistributions:
+    def test_clipped_normal_respects_bounds(self):
+        rng = np.random.default_rng(0)
+        values = clipped_normal(rng, 0.5, 5.0, 1000, 0.0, 1.0)
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+
+    def test_clipped_normal_mean_preserved_when_wide(self):
+        rng = np.random.default_rng(0)
+        values = clipped_normal(rng, 0.5, 0.05, 5000, 0.0, 1.0)
+        assert values.mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_clipped_normal_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SamplingError):
+            clipped_normal(rng, 0, 1, 0, 0, 1)
+        with pytest.raises(SamplingError):
+            clipped_normal(rng, 0, 1, 5, 2, 1)
+
+    def test_probability_normal_floor(self):
+        rng = np.random.default_rng(0)
+        values = probability_normal(rng, 0.01, 0.5, 1000)
+        assert values.min() >= MIN_PROBABILITY
+        assert values.max() <= 1.0
+
+    def test_rule_size_normal_integer_and_min(self):
+        rng = np.random.default_rng(0)
+        sizes = rule_size_normal(rng, 5, 2, 500)
+        assert sizes.dtype.kind == "i"
+        assert sizes.min() >= 2
+
+    def test_rule_size_normal_maximum(self):
+        rng = np.random.default_rng(0)
+        sizes = rule_size_normal(rng, 5, 3, 500, maximum=6)
+        assert sizes.max() <= 6

@@ -1,0 +1,169 @@
+"""Tests for the paged storage substrate and I/O accounting."""
+
+import pytest
+
+from repro.core.exact import exact_ptk_query
+from repro.exceptions import QueryError, UnknownTupleError
+from repro.model.tuples import UncertainTuple
+from repro.query.topk import TopKQuery
+from repro.storage import HeapFile, Page, PagedRankedStream, RankedIndex
+from repro.storage.index import ptk_query_over_index
+from tests.conftest import build_table
+
+
+def record(tid, score=1.0):
+    return UncertainTuple(tid=tid, score=score, probability=0.5)
+
+
+class TestPage:
+    def test_capacity_enforced(self):
+        page = Page(0, capacity=2)
+        page.append(record("a"))
+        page.append(record("b"))
+        assert page.is_full
+        with pytest.raises(QueryError):
+            page.append(record("c"))
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(QueryError):
+            Page(0, capacity=0)
+
+
+class TestHeapFile:
+    def test_insert_and_fetch(self):
+        heap = HeapFile(page_capacity=2)
+        heap.insert(record("a", 1))
+        heap.insert(record("b", 2))
+        heap.insert(record("c", 3))
+        assert heap.page_count == 2
+        assert len(heap) == 3
+        assert heap.fetch("c").score == 3
+
+    def test_fetch_counts_one_page(self):
+        heap = HeapFile(page_capacity=2)
+        heap.bulk_load([record(f"t{i}", i) for i in range(6)])
+        heap.reset_counters()
+        heap.fetch("t5")
+        assert heap.pages_read == 1
+
+    def test_scan_counts_every_page(self):
+        heap = HeapFile(page_capacity=4)
+        heap.bulk_load([record(f"t{i}", i) for i in range(10)])
+        heap.reset_counters()
+        assert len(list(heap.scan())) == 10
+        assert heap.pages_read == 3
+
+    def test_duplicate_insert_rejected(self):
+        heap = HeapFile()
+        heap.insert(record("a"))
+        with pytest.raises(QueryError):
+            heap.insert(record("a"))
+
+    def test_unknown_fetch(self):
+        with pytest.raises(UnknownTupleError):
+            HeapFile().fetch("ghost")
+
+    def test_locator_is_free(self):
+        heap = HeapFile(page_capacity=2)
+        heap.insert(record("a"))
+        heap.reset_counters()
+        assert heap.locator_of("a") == (0, 0)
+        assert heap.pages_read == 0
+
+    def test_bad_page_id(self):
+        with pytest.raises(QueryError):
+            HeapFile().read_page(0)
+
+
+class TestRankedIndex:
+    def build_index(self, n=20, capacity=4):
+        table = build_table([0.5] * n, rule_groups=[])
+        return table, RankedIndex(table, page_capacity=capacity)
+
+    def test_pages_hold_ranking_order(self):
+        table, index = self.build_index()
+        ranked_ids = [t.tid for t in table.ranked_tuples()]
+        paged_ids = [
+            t.tid for t in index.top_pages(index.page_count)
+        ]
+        assert paged_ids == ranked_ids
+
+    def test_page_count(self):
+        _, index = self.build_index(n=10, capacity=4)
+        assert index.page_count == 3
+        assert len(index) == 10
+
+    def test_top_pages_counts_reads(self):
+        _, index = self.build_index()
+        index.reset_counters()
+        index.top_pages(2)
+        assert index.pages_read == 2
+
+
+class TestPagedRankedStream:
+    def test_stream_yields_ranking_order(self):
+        table, index = TestRankedIndex().build_index(n=9, capacity=3)
+        stream = PagedRankedStream(index)
+        ids = [t.tid for t in stream]
+        assert ids == [t.tid for t in table.ranked_tuples()]
+
+    def test_pages_pulled_lazily(self):
+        _, index = TestRankedIndex().build_index(n=12, capacity=4)
+        index.reset_counters()
+        stream = PagedRankedStream(index)
+        assert index.pages_read == 0
+        for _ in range(4):
+            stream.next_tuple()
+        assert index.pages_read == 1
+        stream.next_tuple()
+        assert index.pages_read == 2
+
+    def test_peek_pulls_at_most_one_page(self):
+        _, index = TestRankedIndex().build_index(n=8, capacity=4)
+        index.reset_counters()
+        stream = PagedRankedStream(index)
+        stream.peek()
+        assert index.pages_read == 1
+        stream.peek()
+        assert index.pages_read == 1
+
+    def test_exhaustion(self):
+        _, index = TestRankedIndex().build_index(n=5, capacity=4)
+        stream = PagedRankedStream(index)
+        ids = [t.tid for t in stream]
+        assert len(ids) == 5
+        assert stream.exhausted
+        assert stream.next_tuple() is None
+
+
+class TestPtkOverIndex:
+    def test_answers_match_table_engine(self):
+        table = build_table(
+            [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2], rule_groups=[]
+        )
+        index = RankedIndex(table, page_capacity=2)
+        answer, pages = ptk_query_over_index(index, k=2, threshold=0.3)
+        direct = exact_ptk_query(table, TopKQuery(k=2), 0.3)
+        assert answer.answer_set == direct.answer_set
+        assert pages >= 1
+
+    def test_with_rules(self):
+        table = build_table(
+            [0.5, 0.4, 0.3, 0.6, 0.2, 0.35], rule_groups=[[1, 4]]
+        )
+        index = RankedIndex(table, page_capacity=2)
+        answer, _ = ptk_query_over_index(
+            index, k=2, threshold=0.25, table=table
+        )
+        direct = exact_ptk_query(table, TopKQuery(k=2), 0.25)
+        assert answer.answer_set == direct.answer_set
+        assert answer.probabilities == pytest.approx(direct.probabilities)
+
+    def test_pruning_saves_pages(self):
+        # near-certain tuples: the scan stops after ~k tuples, so most
+        # index pages are never read
+        table = build_table([0.95] * 400, rule_groups=[])
+        index = RankedIndex(table, page_capacity=8)
+        answer, pages = ptk_query_over_index(index, k=5, threshold=0.4)
+        assert pages < index.page_count / 3
+        assert answer.stats.scan_depth < 100

@@ -1,0 +1,169 @@
+"""Tests for the sliding-window / monitoring subsystem."""
+
+import pytest
+
+from repro.core.exact import exact_ptk_query
+from repro.exceptions import QueryError, ValidationError
+from repro.model.tuples import UncertainTuple
+from repro.query.topk import TopKQuery
+from repro.stream import AnswerDelta, PTKMonitor, SlidingWindowPTK
+
+
+def detection(tid, score, probability=0.6):
+    return UncertainTuple(tid=tid, score=score, probability=probability)
+
+
+class TestWindowBasics:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            SlidingWindowPTK(k=0, threshold=0.5, window_size=10)
+        with pytest.raises(QueryError):
+            SlidingWindowPTK(k=1, threshold=0.0, window_size=10)
+        with pytest.raises(QueryError):
+            SlidingWindowPTK(k=1, threshold=0.5, window_size=0)
+
+    def test_append_and_len(self):
+        window = SlidingWindowPTK(k=2, threshold=0.5, window_size=3)
+        for i in range(3):
+            window.append(detection(f"a{i}", i))
+        assert len(window) == 3
+        assert window.arrivals == 3
+
+    def test_eviction_keeps_window_size(self):
+        window = SlidingWindowPTK(k=2, threshold=0.5, window_size=3)
+        for i in range(10):
+            window.append(detection(f"a{i}", i))
+        assert len(window) == 3
+        assert window.arrivals == 10
+        table = window.snapshot_table()
+        assert sorted(t.tid for t in table) == ["a7", "a8", "a9"]
+
+    def test_duplicate_live_id_rejected(self):
+        window = SlidingWindowPTK(k=2, threshold=0.5, window_size=3)
+        window.append(detection("x", 1))
+        with pytest.raises(ValidationError):
+            window.append(detection("x", 2))
+
+    def test_id_reusable_after_expiry(self):
+        window = SlidingWindowPTK(k=2, threshold=0.5, window_size=2)
+        window.append(detection("x", 1))
+        window.append(detection("y", 2))
+        window.append(detection("z", 3))  # x expires
+        window.append(detection("x", 4))  # fine again
+        assert len(window) == 2
+
+
+class TestWindowRules:
+    def test_rule_mass_enforced(self):
+        window = SlidingWindowPTK(k=2, threshold=0.5, window_size=10)
+        window.append(detection("a", 1, 0.6), rule_tag="g")
+        with pytest.raises(ValidationError):
+            window.append(detection("b", 2, 0.6), rule_tag="g")
+
+    def test_rule_mass_released_on_expiry(self):
+        window = SlidingWindowPTK(k=2, threshold=0.5, window_size=2)
+        window.append(detection("a", 1, 0.6), rule_tag="g")
+        window.append(detection("pad", 0, 0.5))
+        window.append(detection("pad2", 0, 0.5))  # a expired
+        window.append(detection("b", 2, 0.9), rule_tag="g")  # ok now
+        assert len(window) == 2
+
+    def test_snapshot_builds_rules(self):
+        window = SlidingWindowPTK(k=2, threshold=0.5, window_size=10)
+        window.append(detection("a", 3, 0.4), rule_tag="g")
+        window.append(detection("b", 2, 0.4), rule_tag="g")
+        window.append(detection("c", 1, 0.9))
+        table = window.snapshot_table()
+        rules = table.multi_rules()
+        assert len(rules) == 1
+        assert set(rules[0].tuple_ids) == {"a", "b"}
+
+    def test_singleton_group_makes_no_rule(self):
+        window = SlidingWindowPTK(k=2, threshold=0.5, window_size=10)
+        window.append(detection("a", 3, 0.4), rule_tag="g")
+        assert window.snapshot_table().multi_rules() == []
+
+
+class TestWindowAnswers:
+    def test_answer_matches_batch(self):
+        window = SlidingWindowPTK(k=2, threshold=0.4, window_size=5)
+        scores = [5, 9, 2, 7, 4]
+        for i, s in enumerate(scores):
+            window.append(detection(f"a{i}", s, 0.5 + 0.05 * i))
+        streaming = window.answer()
+        batch = exact_ptk_query(window.snapshot_table(), TopKQuery(k=2), 0.4)
+        assert streaming.answer_set == batch.answer_set
+
+    def test_answer_cached_between_changes(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=5)
+        window.append(detection("a", 1, 0.9))
+        first = window.answer()
+        assert window.answer() is first  # same object: cache hit
+        window.append(detection("b", 2, 0.9))
+        assert window.answer() is not first
+
+    def test_extend_with_tags(self):
+        window = SlidingWindowPTK(k=2, threshold=0.3, window_size=10)
+        window.extend(
+            [detection("a", 3, 0.4), detection("b", 2, 0.4)],
+            rule_tags=["g", "g"],
+        )
+        assert len(window.snapshot_table().multi_rules()) == 1
+
+    def test_version_monotone(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=2)
+        versions = [window.version]
+        for i in range(4):
+            window.append(detection(f"a{i}", i))
+            versions.append(window.version)
+        assert versions == sorted(set(versions))
+
+
+class TestMonitor:
+    def test_delta_on_entry(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=5)
+        monitor = PTKMonitor(window)
+        delta = monitor.observe(detection("a", 5, 0.9))
+        assert delta.entered == frozenset({"a"})
+        assert delta.left == frozenset()
+        assert delta.changed
+
+    def test_delta_on_displacement(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=5)
+        monitor = PTKMonitor(window)
+        monitor.observe(detection("a", 5, 0.9))
+        delta = monitor.observe(detection("b", 9, 0.95))
+        assert "b" in delta.entered
+        assert "a" in delta.left
+
+    def test_no_change_delta(self):
+        window = SlidingWindowPTK(k=1, threshold=0.9, window_size=5)
+        monitor = PTKMonitor(window)
+        monitor.observe(detection("a", 5, 0.95))
+        delta = monitor.observe(detection("weak", 1, 0.05))
+        assert not delta.changed
+
+    def test_history_and_churn(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=5)
+        monitor = PTKMonitor(window)
+        monitor.observe(detection("a", 5, 0.9))
+        monitor.observe(detection("b", 9, 0.95))
+        assert len(monitor.history) == 2
+        assert monitor.churn() == 3  # a entered, then b entered + a left
+        assert monitor.current_answer == {"b"}
+
+    def test_expiry_triggers_left_delta(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=2)
+        monitor = PTKMonitor(window)
+        monitor.observe(detection("a", 9, 0.9))
+        monitor.observe(detection("b", 1, 0.9))
+        delta = monitor.observe(detection("c", 2, 0.9))  # a expires
+        assert "a" in delta.left
+
+    def test_monitor_on_prefilled_window(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=5)
+        window.append(detection("a", 5, 0.9))
+        monitor = PTKMonitor(window)
+        assert monitor.current_answer == {"a"}
+        delta = monitor.observe(detection("weak", 1, 0.05))
+        assert not delta.changed

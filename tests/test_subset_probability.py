@@ -1,0 +1,156 @@
+"""Tests for the subset-probability DP (Theorem 2 / Poisson binomial)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.subset_probability import (
+    SubsetProbabilityVector,
+    poisson_binomial_pmf,
+    prefix_subset_probabilities,
+    subset_probabilities,
+)
+from repro.exceptions import QueryError
+
+probs = st.lists(
+    st.floats(0.01, 1.0, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=10,
+)
+
+
+def brute_force_pmf(probabilities):
+    """Exact Poisson-binomial pmf by summing over all subsets."""
+    n = len(probabilities)
+    pmf = [0.0] * (n + 1)
+    for included in itertools.product([0, 1], repeat=n):
+        p = 1.0
+        for choice, prob in zip(included, probabilities):
+            p *= prob if choice else (1 - prob)
+        pmf[sum(included)] += p
+    return pmf
+
+
+class TestVectorBasics:
+    def test_empty_set(self):
+        vector = SubsetProbabilityVector(3)
+        assert vector.probability_at(0) == 1.0
+        assert vector.probability_at(1) == 0.0
+        assert vector.size == 0
+
+    def test_single_extension(self):
+        vector = SubsetProbabilityVector(3)
+        vector.extend(0.3)
+        assert vector.probability_at(0) == pytest.approx(0.7)
+        assert vector.probability_at(1) == pytest.approx(0.3)
+        assert vector.size == 1
+        assert vector.extension_count == 1
+
+    def test_example2_values(self):
+        # Paper Example 2: after t1..t3 (0.7, 0.2, 1.0):
+        # Pr(S,0)=0, Pr(S,1)=0.24, Pr(S,2)=0.62
+        vector = SubsetProbabilityVector(3)
+        vector.extend_many([0.7, 0.2, 1.0])
+        assert vector.probability_at(0) == pytest.approx(0.0)
+        assert vector.probability_at(1) == pytest.approx(0.24)
+        assert vector.probability_at(2) == pytest.approx(0.62)
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(QueryError):
+            SubsetProbabilityVector(0)
+
+    def test_probability_at_bounds(self):
+        vector = SubsetProbabilityVector(2)
+        with pytest.raises(QueryError):
+            vector.probability_at(2)
+        with pytest.raises(QueryError):
+            vector.probability_at(-1)
+
+    def test_probability_fewer_than(self):
+        vector = SubsetProbabilityVector(3)
+        vector.extend_many([0.5, 0.5])
+        assert vector.probability_fewer_than(0) == 0.0
+        assert vector.probability_fewer_than(2) == pytest.approx(0.75)
+        assert vector.probability_fewer_than(3) == pytest.approx(1.0)
+        with pytest.raises(QueryError):
+            vector.probability_fewer_than(4)
+
+    def test_probability_at_most(self):
+        vector = SubsetProbabilityVector(3)
+        vector.extend(0.5)
+        assert vector.probability_at_most(1) == pytest.approx(1.0)
+
+    def test_values_view_is_readonly(self):
+        vector = SubsetProbabilityVector(3)
+        with pytest.raises(ValueError):
+            vector.values[0] = 5.0
+
+    def test_copy_is_independent(self):
+        vector = SubsetProbabilityVector(3)
+        vector.extend(0.4)
+        clone = vector.copy()
+        clone.extend(0.9)
+        assert vector.size == 1
+        assert clone.size == 2
+        assert vector.probability_at(0) == pytest.approx(0.6)
+
+    def test_snapshot_roundtrip(self):
+        vector = SubsetProbabilityVector(4)
+        vector.extend_many([0.2, 0.9])
+        snap = vector.snapshot()
+        rebuilt = SubsetProbabilityVector.from_snapshot(snap, size=2)
+        assert rebuilt.size == 2
+        np.testing.assert_allclose(rebuilt.values, vector.values)
+
+    def test_snapshot_is_immutable(self):
+        vector = SubsetProbabilityVector(2)
+        snap = vector.snapshot()
+        with pytest.raises(ValueError):
+            snap[0] = 2.0
+
+
+class TestAgainstBruteForce:
+    @given(probs)
+    @settings(max_examples=60, deadline=None)
+    def test_full_pmf_matches_brute_force(self, probabilities):
+        expected = brute_force_pmf(probabilities)
+        got = poisson_binomial_pmf(probabilities)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    @given(probs, st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_matches_brute_force_prefix(self, probabilities, cap):
+        expected = brute_force_pmf(probabilities)[:cap]
+        expected += [0.0] * (cap - len(expected))
+        got = subset_probabilities(probabilities, cap)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    @given(probs)
+    @settings(max_examples=40, deadline=None)
+    def test_pmf_sums_to_one(self, probabilities):
+        pmf = poisson_binomial_pmf(probabilities)
+        assert math.fsum(pmf.tolist()) == pytest.approx(1.0, abs=1e-9)
+
+    @given(probs)
+    @settings(max_examples=40, deadline=None)
+    def test_order_insensitive(self, probabilities):
+        forward = poisson_binomial_pmf(probabilities)
+        backward = poisson_binomial_pmf(list(reversed(probabilities)))
+        np.testing.assert_allclose(forward, backward, atol=1e-12)
+
+
+class TestPrefixSnapshots:
+    def test_prefix_count(self):
+        snaps = prefix_subset_probabilities([0.5, 0.5, 0.5], cap=2)
+        assert len(snaps) == 4
+
+    def test_each_prefix_matches_direct_computation(self):
+        probabilities = [0.2, 0.7, 0.4, 0.9]
+        snaps = prefix_subset_probabilities(probabilities, cap=3)
+        for i in range(len(probabilities) + 1):
+            direct = subset_probabilities(probabilities[:i], cap=3)
+            np.testing.assert_allclose(snaps[i], direct, atol=1e-12)

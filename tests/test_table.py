@@ -1,0 +1,174 @@
+"""Unit tests for the uncertain table container."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateTupleError,
+    RuleConflictError,
+    UnknownTupleError,
+    ValidationError,
+)
+from repro.model.rules import GenerationRule
+from repro.model.table import UncertainTable, table_from_rows
+from repro.model.tuples import UncertainTuple
+
+
+def small_table() -> UncertainTable:
+    table = UncertainTable(name="small")
+    table.add("a", score=30, probability=0.5, color="red")
+    table.add("b", score=20, probability=0.4)
+    table.add("c", score=10, probability=0.3)
+    return table
+
+
+class TestConstruction:
+    def test_add_and_get(self):
+        table = small_table()
+        assert table.get("a").probability == 0.5
+        assert table.get("a").attributes["color"] == "red"
+
+    def test_len_and_iteration_order(self):
+        table = small_table()
+        assert len(table) == 3
+        assert [t.tid for t in table] == ["a", "b", "c"]
+
+    def test_duplicate_tuple_rejected(self):
+        table = small_table()
+        with pytest.raises(DuplicateTupleError):
+            table.add("a", score=1, probability=0.1)
+
+    def test_unknown_tuple_raises(self):
+        with pytest.raises(UnknownTupleError):
+            small_table().get("zzz")
+
+    def test_contains(self):
+        table = small_table()
+        assert "a" in table
+        assert "z" not in table
+
+    def test_table_from_rows(self):
+        table = table_from_rows([("x", 5, 0.2), ("y", 3, 0.9)])
+        assert len(table) == 2
+        assert table.probability("y") == 0.9
+
+
+class TestRules:
+    def test_add_rule_and_lookup(self):
+        table = small_table()
+        table.add_exclusive("r1", "a", "b")
+        assert table.rule_of("a").rule_id == "r1"
+        assert table.rule_of("b").rule_id == "r1"
+        assert not table.is_independent("a")
+        assert table.is_independent("c")
+
+    def test_synthetic_singleton_for_independent(self):
+        table = small_table()
+        rule = table.rule_of("c")
+        assert rule.is_singleton
+        assert rule.tuple_ids == ("c",)
+
+    def test_rules_partition_table(self):
+        table = small_table()
+        table.add_exclusive("r1", "a", "b")
+        covered = sorted(tid for rule in table.rules() for tid in rule.tuple_ids)
+        assert covered == ["a", "b", "c"]
+
+    def test_rule_with_unknown_member_rejected(self):
+        table = small_table()
+        with pytest.raises(UnknownTupleError):
+            table.add_exclusive("r1", "a", "nope")
+
+    def test_tuple_in_two_rules_rejected(self):
+        table = small_table()
+        table.add_exclusive("r1", "a", "b")
+        with pytest.raises(RuleConflictError):
+            table.add_exclusive("r2", "b", "c")
+
+    def test_rule_probability_above_one_rejected(self):
+        table = UncertainTable()
+        table.add("x", 1, 0.7)
+        table.add("y", 2, 0.7)
+        with pytest.raises(ValidationError):
+            table.add_exclusive("r", "x", "y")
+
+    def test_duplicate_rule_id_rejected(self):
+        table = small_table()
+        table.add_exclusive("r1", "a", "b")
+        with pytest.raises(ValidationError):
+            table.add_rule(GenerationRule(rule_id="r1", tuple_ids=("c",)))
+
+    def test_rule_probability_sum(self):
+        table = small_table()
+        rule = table.add_exclusive("r1", "a", "b")
+        assert table.rule_probability(rule) == pytest.approx(0.9)
+
+    def test_multi_rule_id_of(self):
+        table = small_table()
+        table.add_exclusive("r1", "a", "b")
+        assert table.multi_rule_id_of("a") == "r1"
+        assert table.multi_rule_id_of("c") is None
+
+
+class TestDerivedTables:
+    def test_filter_keeps_probabilities_and_attributes(self):
+        table = small_table()
+        filtered = table.filter(lambda t: t.score >= 20)
+        assert [t.tid for t in filtered] == ["a", "b"]
+        assert filtered.get("a").attributes["color"] == "red"
+
+    def test_filter_projects_rules(self):
+        table = small_table()
+        table.add_exclusive("r1", "a", "b")
+        filtered = table.filter(lambda t: t.tid != "b")
+        # rule reduced to one member -> tuple becomes independent
+        assert filtered.is_independent("a")
+        assert filtered.multi_rules() == []
+
+    def test_filter_keeps_surviving_multi_rules(self):
+        table = small_table()
+        table.add_exclusive("r1", "a", "b")
+        filtered = table.filter(lambda t: t.tid in ("a", "b"))
+        assert len(filtered.multi_rules()) == 1
+
+    def test_subset(self):
+        table = small_table()
+        sub = table.subset(["a", "c"])
+        assert sorted(t.tid for t in sub) == ["a", "c"]
+
+    def test_subset_unknown_id_raises(self):
+        with pytest.raises(UnknownTupleError):
+            small_table().subset(["a", "nope"])
+
+
+class TestRankingAndStats:
+    def test_ranked_tuples_descending_score(self):
+        table = small_table()
+        assert [t.tid for t in table.ranked_tuples()] == ["a", "b", "c"]
+
+    def test_ranked_tuples_custom_key(self):
+        table = small_table()
+        ranked = table.ranked_tuples(key=lambda t: t.probability)
+        assert [t.tid for t in ranked] == ["a", "b", "c"]
+
+    def test_ranked_tuples_tie_broken_by_id(self):
+        table = UncertainTable()
+        table.add("z", 5, 0.5)
+        table.add("a", 5, 0.5)
+        assert [t.tid for t in table.ranked_tuples()] == ["a", "z"]
+
+    def test_expected_size(self):
+        assert small_table().expected_size() == pytest.approx(1.2)
+
+    def test_validate_passes_on_well_formed(self):
+        table = small_table()
+        table.add_exclusive("r1", "a", "b")
+        table.validate()
+
+    def test_validate_catches_smuggled_bad_rule(self):
+        table = small_table()
+        # bypass add_rule's checks to simulate a corrupted deserialisation
+        table._rules["evil"] = GenerationRule(
+            rule_id="evil", tuple_ids=("a", "ghost")
+        )
+        with pytest.raises(UnknownTupleError):
+            table.validate()

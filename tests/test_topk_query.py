@@ -1,0 +1,79 @@
+"""Unit tests for the TopKQuery object and per-world top-k evaluation."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
+from repro.query.predicates import ScoreAbove
+from repro.query.topk import TopKQuery, top_k_ids_of_world, top_k_of_world
+
+
+def make(tid, score):
+    return UncertainTuple(tid=tid, score=score, probability=0.5)
+
+
+class TestValidation:
+    def test_rejects_zero_k(self):
+        with pytest.raises(QueryError):
+            TopKQuery(k=0)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(QueryError):
+            TopKQuery(k=-3)
+
+    def test_rejects_bool_k(self):
+        with pytest.raises(QueryError):
+            TopKQuery(k=True)
+
+    def test_rejects_float_k(self):
+        with pytest.raises(QueryError):
+            TopKQuery(k=2.0)
+
+
+class TestWorldEvaluation:
+    def test_top_k_of_world(self):
+        world = [make("a", 1), make("b", 5), make("c", 3)]
+        assert top_k_ids_of_world(world, 2) == ["b", "c"]
+
+    def test_world_smaller_than_k(self):
+        world = [make("a", 1)]
+        assert top_k_ids_of_world(world, 5) == ["a"]
+
+    def test_empty_world(self):
+        assert top_k_of_world([], 3) == []
+
+    def test_predicate_applied_before_ranking(self):
+        query = TopKQuery(k=2, predicate=ScoreAbove(2))
+        world = [make("a", 1), make("b", 5), make("c", 3)]
+        assert [t.tid for t in query.answer_on_world(world)] == ["b", "c"]
+        query_strict = TopKQuery(k=2, predicate=ScoreAbove(4))
+        assert [t.tid for t in query_strict.answer_on_world(world)] == ["b"]
+
+
+class TestSelection:
+    def build(self):
+        table = UncertainTable()
+        table.add("a", 30, 0.5)
+        table.add("b", 20, 0.4)
+        table.add("c", 10, 0.3)
+        table.add_exclusive("r", "a", "c")
+        return table
+
+    def test_trivial_predicate_shares_table(self):
+        table = self.build()
+        query = TopKQuery(k=2)
+        assert query.selected(table) is table
+
+    def test_predicate_projects_table_and_rules(self):
+        table = self.build()
+        query = TopKQuery(k=2, predicate=ScoreAbove(15))
+        selected = query.selected(table)
+        assert sorted(t.tid for t in selected) == ["a", "b"]
+        # rule reduced to {a}: a becomes independent
+        assert selected.is_independent("a")
+
+    def test_ranked_list(self):
+        table = self.build()
+        query = TopKQuery(k=2)
+        assert [t.tid for t in query.ranked_list(table)] == ["a", "b", "c"]

@@ -1,0 +1,94 @@
+"""Tests for the mobile-object tracking workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.tracking import (
+    TrackingConfig,
+    detection_stream,
+    detections_of_object,
+    tracking_table,
+)
+from repro.exceptions import ValidationError
+from repro.stream import SlidingWindowPTK
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TrackingConfig(n_objects=0).validate()
+        with pytest.raises(ValidationError):
+            TrackingConfig(detection_rate=0.0).validate()
+        with pytest.raises(ValidationError):
+            TrackingConfig(multi_station_rate=1.5).validate()
+
+
+class TestStream:
+    def config(self):
+        return TrackingConfig(n_objects=10, n_ticks=20, seed=4)
+
+    def test_time_ordered(self):
+        ticks = [
+            det.attributes["tick"] for det, _ in detection_stream(self.config())
+        ]
+        assert ticks == sorted(ticks)
+
+    def test_unique_ids(self):
+        ids = [det.tid for det, _ in detection_stream(self.config())]
+        assert len(set(ids)) == len(ids)
+
+    def test_tags_group_codetections(self):
+        tagged = {}
+        for det, tag in detection_stream(self.config()):
+            if tag is not None:
+                tagged.setdefault(tag, []).append(det)
+        assert tagged  # multi-station detections exist
+        for tag, dets in tagged.items():
+            assert 2 <= len(dets) <= 3
+            # one object, one tick
+            assert len({d.attributes["object"] for d in dets}) == 1
+            assert len({d.attributes["tick"] for d in dets}) == 1
+            # exclusive probabilities are legal
+            assert sum(d.probability for d in dets) <= 1.0 + 1e-9
+
+    def test_deterministic_under_seed(self):
+        a = [(d.tid, d.score) for d, _ in detection_stream(self.config())]
+        b = [(d.tid, d.score) for d, _ in detection_stream(self.config())]
+        assert a == b
+
+    def test_stream_feeds_window_without_errors(self):
+        window = SlidingWindowPTK(k=3, threshold=0.4, window_size=50)
+        for det, tag in detection_stream(self.config()):
+            window.append(det, rule_tag=tag)
+        answer = window.answer()
+        for tid in answer.answers:
+            assert answer.probabilities[tid] >= 0.4
+
+
+class TestTable:
+    def test_table_matches_stream(self):
+        config = TrackingConfig(n_objects=8, n_ticks=15, seed=5)
+        table = tracking_table(config)
+        stream_count = sum(1 for _ in detection_stream(config))
+        assert len(table) == stream_count
+        table.validate()
+
+    def test_rules_built_from_tags(self):
+        config = TrackingConfig(
+            n_objects=8, n_ticks=15, multi_station_rate=1.0, seed=5
+        )
+        table = tracking_table(config)
+        assert len(table.multi_rules()) > 0
+
+    def test_no_rules_when_single_station(self):
+        config = TrackingConfig(
+            n_objects=8, n_ticks=15, multi_station_rate=0.0, seed=5
+        )
+        assert tracking_table(config).multi_rules() == []
+
+    def test_detections_of_object(self):
+        config = TrackingConfig(n_objects=5, n_ticks=10, seed=6)
+        table = tracking_table(config)
+        detections = detections_of_object(table, "obj0")
+        assert detections
+        assert all(d.attributes["object"] == "obj0" for d in detections)

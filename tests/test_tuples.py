@@ -1,0 +1,113 @@
+"""Unit tests for the uncertain tuple model."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model.tuples import (
+    PROBABILITY_ATOL,
+    UncertainTuple,
+    validate_probability,
+)
+
+
+class TestValidateProbability:
+    def test_accepts_interior_values(self):
+        assert validate_probability(0.5) == 0.5
+
+    def test_accepts_one(self):
+        assert validate_probability(1.0) == 1.0
+
+    def test_clamps_tiny_overshoot(self):
+        assert validate_probability(1.0 + PROBABILITY_ATOL / 2) == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            validate_probability(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            validate_probability(-0.1)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            validate_probability(1.01)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            validate_probability(float("nan"))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValidationError):
+            validate_probability(float("inf"))
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            validate_probability(True)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError):
+            validate_probability("0.5")
+
+    def test_error_message_names_subject(self):
+        with pytest.raises(ValidationError, match="Pr\\(t9\\)"):
+            validate_probability(2.0, what="Pr(t9)")
+
+
+class TestUncertainTuple:
+    def test_basic_construction(self):
+        tup = UncertainTuple(tid="a", score=10.0, probability=0.4)
+        assert tup.tid == "a"
+        assert tup.score == 10.0
+        assert tup.probability == 0.4
+        assert tup.attributes == {}
+
+    def test_attributes_carried(self):
+        tup = UncertainTuple(
+            tid="a", score=1.0, probability=0.5, attributes={"loc": "B"}
+        )
+        assert tup.attributes["loc"] == "B"
+
+    def test_integer_score_allowed(self):
+        tup = UncertainTuple(tid="a", score=7, probability=0.5)
+        assert tup.score == 7
+
+    def test_rejects_nan_score(self):
+        with pytest.raises(ValidationError):
+            UncertainTuple(tid="a", score=math.nan, probability=0.5)
+
+    def test_rejects_non_numeric_score(self):
+        with pytest.raises(ValidationError):
+            UncertainTuple(tid="a", score="high", probability=0.5)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValidationError):
+            UncertainTuple(tid="a", score=1.0, probability=0.0)
+
+    def test_frozen(self):
+        tup = UncertainTuple(tid="a", score=1.0, probability=0.5)
+        with pytest.raises(AttributeError):
+            tup.probability = 0.9
+
+    def test_with_probability_returns_copy(self):
+        tup = UncertainTuple(
+            tid="a", score=1.0, probability=0.5, attributes={"x": 1}
+        )
+        other = tup.with_probability(0.25)
+        assert other.probability == 0.25
+        assert other.tid == tup.tid
+        assert other.score == tup.score
+        assert other.attributes == tup.attributes
+        assert tup.probability == 0.5  # original untouched
+
+    def test_equality_is_structural(self):
+        a = UncertainTuple(tid="a", score=1.0, probability=0.5)
+        b = UncertainTuple(tid="a", score=1.0, probability=0.5)
+        assert a == b
+
+    def test_probability_overshoot_clamped_on_construction(self):
+        tup = UncertainTuple(
+            tid="a", score=1.0, probability=1.0 + PROBABILITY_ATOL / 10
+        )
+        assert tup.probability == 1.0

@@ -1,0 +1,94 @@
+"""Tests for the U-TopK baseline (most probable top-k vector)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rule_compression import rule_index_of_table
+from repro.datagen.sensors import panda_table
+from repro.exceptions import QueryError
+from repro.query.topk import TopKQuery
+from repro.semantics.naive import naive_topk_vector_probabilities
+from repro.semantics.utopk import utopk_query, utopk_search
+from tests.conftest import build_table, uncertain_tables
+
+
+class TestPaperValues:
+    def test_panda_utop2(self):
+        # Paper Section 1: U-Top2 on Table 1 is <R5, R3>, probability 0.28
+        answer = utopk_query(panda_table(), TopKQuery(k=2))
+        assert answer.vector == ("R5", "R3")
+        assert answer.probability == pytest.approx(0.28)
+
+
+class TestBasics:
+    def test_certain_tuples(self):
+        table = build_table([1.0, 1.0, 1.0], rule_groups=[])
+        answer = utopk_query(table, TopKQuery(k=2))
+        assert answer.vector == ("t0", "t1")
+        assert answer.probability == pytest.approx(1.0)
+
+    def test_vector_in_ranking_order(self):
+        table = build_table([0.9, 0.9, 0.9], rule_groups=[])
+        answer = utopk_query(table, TopKQuery(k=2))
+        assert answer.vector == ("t0", "t1")
+
+    def test_k_larger_than_table(self):
+        table = build_table([0.9, 0.9], rule_groups=[])
+        answer = utopk_query(table, TopKQuery(k=5))
+        assert answer.vector == ("t0", "t1")
+        assert answer.probability == pytest.approx(0.81)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(QueryError):
+            utopk_search([], {}, k=0)
+
+    def test_expansion_cap(self):
+        table = build_table([0.5] * 12, rule_groups=[])
+        with pytest.raises(QueryError):
+            utopk_query(table, TopKQuery(k=6), max_expansions=3)
+
+    def test_sparse_world_shorter_vector_can_win(self):
+        # one tuple with tiny probability: the empty vector wins
+        table = build_table([0.01], rule_groups=[])
+        answer = utopk_query(table, TopKQuery(k=1))
+        assert answer.vector == ()
+        assert answer.probability == pytest.approx(0.99)
+
+
+class TestAgainstEnumeration:
+    @given(uncertain_tables(max_tuples=9), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_finds_most_probable_vector(self, table, k):
+        query = TopKQuery(k=k)
+        truth = naive_topk_vector_probabilities(table, query)
+        best_probability = max(truth.values())
+        answer = utopk_query(table, query)
+        assert answer.probability == pytest.approx(best_probability, abs=1e-9)
+        # the returned vector must actually achieve that probability
+        assert truth[answer.vector] == pytest.approx(
+            answer.probability, abs=1e-9
+        )
+
+    @given(uncertain_tables(max_tuples=8))
+    @settings(max_examples=25, deadline=None)
+    def test_vector_probability_is_exact(self, table):
+        query = TopKQuery(k=2)
+        truth = naive_topk_vector_probabilities(table, query)
+        answer = utopk_query(table, query)
+        assert answer.vector in truth
+
+
+class TestRuleHandling:
+    def test_exclusive_pair_never_together(self):
+        table = build_table([0.5, 0.5, 0.9], rule_groups=[[0, 1]])
+        answer = utopk_query(table, TopKQuery(k=2))
+        assert not ({"t0", "t1"} <= set(answer.vector))
+
+    def test_certain_rule(self):
+        # rule with total probability 1: exactly one member appears
+        table = build_table([0.6, 0.4, 0.8], rule_groups=[[0, 1]])
+        query = TopKQuery(k=2)
+        truth = naive_topk_vector_probabilities(table, query)
+        answer = utopk_query(table, query)
+        assert answer.probability == pytest.approx(max(truth.values()))

@@ -1,0 +1,120 @@
+"""Tests for possible-world enumeration and Equation 1."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import EnumerationLimitError
+from repro.datagen.sensors import panda_table
+from repro.model.table import UncertainTable
+from repro.model.worlds import (
+    count_possible_worlds,
+    enumerate_possible_worlds,
+    total_probability,
+    world_probability,
+)
+from tests.conftest import build_table, uncertain_tables
+
+
+class TestCounting:
+    def test_independent_tuples(self):
+        # every tuple doubles the world count
+        table = build_table([0.5, 0.5, 0.5], rule_groups=[])
+        assert count_possible_worlds(table) == 8
+
+    def test_certain_tuple_does_not_branch(self):
+        table = build_table([1.0, 0.5], rule_groups=[])
+        assert count_possible_worlds(table) == 2
+
+    def test_open_rule_counts_members_plus_one(self):
+        table = build_table([0.3, 0.3], rule_groups=[[0, 1]])
+        assert count_possible_worlds(table) == 3
+
+    def test_certain_rule_counts_members(self):
+        table = build_table([0.5, 0.5], rule_groups=[[0, 1]])
+        assert count_possible_worlds(table) == 2
+
+    def test_panda_example_has_twelve_worlds(self):
+        # Table 2 of the paper lists exactly 12 possible worlds.
+        assert count_possible_worlds(panda_table()) == 12
+
+
+class TestEnumeration:
+    def test_probabilities_sum_to_one(self):
+        table = build_table([0.5, 0.25, 0.8], rule_groups=[])
+        worlds = list(enumerate_possible_worlds(table))
+        assert total_probability(worlds) == pytest.approx(1.0)
+
+    def test_panda_world_probabilities_match_table2(self):
+        # Spot-check the paper's Table 2 values.
+        table = panda_table()
+        worlds = {
+            frozenset(w.tuple_ids): w.probability
+            for w in enumerate_possible_worlds(table)
+        }
+        assert worlds[frozenset({"R1", "R2", "R4", "R5"})] == pytest.approx(0.096)
+        assert worlds[frozenset({"R3", "R4", "R5"})] == pytest.approx(0.28)
+        assert worlds[frozenset({"R4", "R6"})] == pytest.approx(0.014)
+        assert len(worlds) == 12
+
+    def test_rule_never_contributes_two_tuples(self):
+        table = build_table([0.3, 0.4, 0.2], rule_groups=[[0, 1]])
+        for world in enumerate_possible_worlds(table):
+            assert len({"t0", "t1"} & set(world.tuple_ids)) <= 1
+
+    def test_certain_rule_always_contributes_one(self):
+        table = build_table([0.5, 0.5], rule_groups=[[0, 1]])
+        for world in enumerate_possible_worlds(table):
+            assert len(world) == 1
+
+    def test_limit_enforced(self):
+        table = build_table([0.5] * 10, rule_groups=[])
+        with pytest.raises(EnumerationLimitError):
+            list(enumerate_possible_worlds(table, limit=100))
+
+    def test_empty_table_has_one_empty_world(self):
+        table = UncertainTable()
+        worlds = list(enumerate_possible_worlds(table))
+        assert len(worlds) == 1
+        assert len(worlds[0]) == 0
+        assert worlds[0].probability == pytest.approx(1.0)
+
+    @given(uncertain_tables(max_tuples=8))
+    @settings(max_examples=40, deadline=None)
+    def test_enumeration_is_a_distribution(self, table):
+        worlds = list(enumerate_possible_worlds(table))
+        assert total_probability(worlds) == pytest.approx(1.0, abs=1e-9)
+        assert all(w.probability > 0 for w in worlds)
+
+    @given(uncertain_tables(max_tuples=7))
+    @settings(max_examples=25, deadline=None)
+    def test_marginals_match_membership_probabilities(self, table):
+        worlds = list(enumerate_possible_worlds(table))
+        for tup in table:
+            marginal = math.fsum(
+                w.probability for w in worlds if tup.tid in w.tuple_ids
+            )
+            assert marginal == pytest.approx(tup.probability, abs=1e-9)
+
+
+class TestWorldProbability:
+    def test_matches_enumeration(self):
+        table = build_table([0.5, 0.3, 0.4], rule_groups=[[1, 2]])
+        for world in enumerate_possible_worlds(table):
+            assert world_probability(table, list(world.tuple_ids)) == pytest.approx(
+                world.probability
+            )
+
+    def test_illegal_pair_from_rule_is_zero(self):
+        table = build_table([0.5, 0.3, 0.4], rule_groups=[[1, 2]])
+        assert world_probability(table, ["t1", "t2"]) == 0.0
+
+    def test_missing_certain_rule_member_is_zero(self):
+        table = build_table([1.0, 0.5], rule_groups=[])
+        assert world_probability(table, ["t1"]) == 0.0
+
+    def test_unknown_tuple_raises(self):
+        table = build_table([0.5], rule_groups=[])
+        with pytest.raises(Exception):
+            world_probability(table, ["ghost"])

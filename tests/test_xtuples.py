@@ -1,0 +1,152 @@
+"""Tests for the x-tuple (attribute-level uncertainty) embedding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError, ValidationError
+from repro.model.worlds import enumerate_possible_worlds
+from repro.model.xtuples import (
+    XTuple,
+    entity_of,
+    entity_ptk_query,
+    entity_topk_probabilities,
+    table_from_xtuples,
+)
+from repro.query.topk import TopKQuery
+
+
+def xt(entity, *alternatives, **attributes):
+    return XTuple(
+        entity_id=entity, alternatives=tuple(alternatives), attributes=attributes
+    )
+
+
+@st.composite
+def xtuple_sets(draw):
+    n = draw(st.integers(1, 5))
+    xtuples = []
+    for e in range(n):
+        m = draw(st.integers(1, 3))
+        raw = [
+            (
+                draw(st.floats(0, 100, allow_nan=False)),
+                draw(st.floats(0.05, 0.9)),
+            )
+            for _ in range(m)
+        ]
+        total = sum(p for _, p in raw)
+        if total > 0.95:
+            raw = [(s, p / total * 0.95) for s, p in raw]
+        xtuples.append(xt(f"e{e}", *raw))
+    return xtuples
+
+
+class TestXTupleValidation:
+    def test_rejects_empty_alternatives(self):
+        with pytest.raises(ValidationError):
+            XTuple(entity_id="e", alternatives=())
+
+    def test_rejects_oversubscribed(self):
+        with pytest.raises(ValidationError):
+            xt("e", (10, 0.6), (20, 0.6))
+
+    def test_existence_probability(self):
+        assert xt("e", (10, 0.3), (20, 0.5)).existence_probability == pytest.approx(
+            0.8
+        )
+
+
+class TestEmbedding:
+    def test_builds_rules_per_entity(self):
+        table = table_from_xtuples(
+            [xt("a", (10, 0.4), (20, 0.5)), xt("b", (15, 0.9))]
+        )
+        assert len(table) == 3
+        assert len(table.multi_rules()) == 1
+        assert entity_of(table, "a#0") == "a"
+        assert entity_of(table, "b#0") == "b"
+
+    def test_attributes_copied(self):
+        table = table_from_xtuples([xt("a", (10, 0.4), color="red")])
+        assert table.get("a#0").attributes["color"] == "red"
+
+    def test_duplicate_entity_rejected(self):
+        with pytest.raises(ValidationError):
+            table_from_xtuples([xt("a", (1, 0.5)), xt("a", (2, 0.5))])
+
+    def test_one_alternative_per_world(self):
+        table = table_from_xtuples([xt("a", (10, 0.4), (20, 0.5))])
+        for world in enumerate_possible_worlds(table):
+            assert len(world) <= 1
+
+
+class TestEntityProbabilities:
+    def test_disjoint_sum(self):
+        # entity "a" is top-1 when either alternative wins
+        table = table_from_xtuples(
+            [xt("a", (10, 0.3), (20, 0.3)), xt("b", (15, 0.5))]
+        )
+        query = TopKQuery(k=1)
+        probabilities = entity_topk_probabilities(table, query)
+        # a@20 wins whenever present (0.3); a@10 wins when present and
+        # neither a@20 (impossible together) nor b present: 0.3*0.5
+        assert probabilities["a"] == pytest.approx(0.3 + 0.3 * 0.5)
+        # b wins when present and a@20 absent: 0.5 * 0.7
+        assert probabilities["b"] == pytest.approx(0.5 * 0.7)
+
+    @given(xtuple_sets(), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_world_enumeration(self, xtuples, k):
+        table = table_from_xtuples(xtuples)
+        query = TopKQuery(k=k)
+        probabilities = entity_topk_probabilities(table, query)
+        # ground truth: per-world top-k, credited to entities
+        by_id = {t.tid: t for t in table}
+        truth = {x.entity_id: 0.0 for x in xtuples}
+        for world in enumerate_possible_worlds(table):
+            members = [by_id[tid] for tid in world.tuple_ids]
+            for tup in query.answer_on_world(members):
+                truth[entity_of(table, tup.tid)] += world.probability
+        for entity, expected in truth.items():
+            assert probabilities.get(entity, 0.0) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    @given(xtuple_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_by_existence(self, xtuples):
+        table = table_from_xtuples(xtuples)
+        probabilities = entity_topk_probabilities(table, TopKQuery(k=2))
+        existence = {x.entity_id: x.existence_probability for x in xtuples}
+        for entity, probability in probabilities.items():
+            assert probability <= existence[entity] + 1e-9
+
+
+class TestEntityQuery:
+    def test_answers_are_entities(self):
+        table = table_from_xtuples(
+            [xt("a", (10, 0.3), (20, 0.3)), xt("b", (15, 0.5))]
+        )
+        answer = entity_ptk_query(table, TopKQuery(k=1), 0.4)
+        assert answer.answer_set == {"a"}
+        assert answer.method == "entity-ptk"
+
+    def test_answers_ordered_by_best_alternative(self):
+        table = table_from_xtuples(
+            [xt("slow", (5, 0.8)), xt("fast", (50, 0.8))]
+        )
+        answer = entity_ptk_query(table, TopKQuery(k=2), 0.1)
+        assert answer.answers == ["fast", "slow"]
+
+    def test_threshold_validation(self):
+        table = table_from_xtuples([xt("a", (1, 0.5))])
+        with pytest.raises(QueryError):
+            entity_ptk_query(table, TopKQuery(k=1), 0.0)
+
+    def test_plain_table_degrades_gracefully(self):
+        from tests.conftest import build_table
+
+        table = build_table([0.5, 0.4], rule_groups=[])
+        probabilities = entity_topk_probabilities(table, TopKQuery(k=1))
+        assert set(probabilities) == {"t0", "t1"}
