@@ -1,26 +1,38 @@
 """Shared plumbing for the paper-reproduction benchmarks.
 
 Every benchmark prints its experiment table and also writes it under
-``benchmarks/results/`` so the numbers survive the pytest run.
+``benchmarks/results/`` — both the original free-form text file and a
+structured ``<stem>.metrics.json`` companion that carries the table's
+rows plus a snapshot of the observability registry, so downstream
+tooling never has to scrape text.
 
 Scale: the environment variable ``REPRO_BENCH_SCALE`` (default ``0.5``)
 uniformly shrinks workload sizes and k.  ``REPRO_BENCH_SCALE=1.0``
 reproduces the paper's exact workload sizes (20,000 tuples, k = 200,
 etc.); the default halves them so the full suite finishes in a couple of
 minutes while preserving every qualitative shape.
+
+Observability: set ``REPRO_BENCH_OBS=1`` to run every benchmark with the
+:mod:`repro.obs` layer enabled, populating the per-run metric snapshots
+with engine counters (pruning fires, DP extensions, sample lengths…).
+It defaults to off so timing benchmarks measure the uninstrumented hot
+path.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict
 
 import pytest
 
+from repro import obs
 from repro.bench.harness import ExperimentTable
 from repro.bench.reporting import render_table
 from repro.bench.sweeps import SweepSettings, sweep_axis
+from repro.obs import export as obs_export
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -30,8 +42,35 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 
 
+def bench_obs_enabled() -> bool:
+    """True when bench runs should collect engine metrics."""
+    return os.environ.get("REPRO_BENCH_OBS", "0") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_observability():
+    """Enable the obs layer for the whole bench session when asked to."""
+    if not bench_obs_enabled():
+        yield
+        return
+    obs.enable(fresh=True)
+    try:
+        yield
+    finally:
+        obs.disable()
+
+
+def _metrics_json_path(filename: str) -> Path:
+    return RESULTS_DIR / (Path(filename).stem + ".metrics.json")
+
+
 def emit(table: ExperimentTable, filename: str) -> None:
-    """Print an experiment table and persist it under results/."""
+    """Print an experiment table and persist it under results/.
+
+    Writes the legacy text file (appended, as before) and a structured
+    JSON companion holding the table rows and the current observability
+    snapshot.
+    """
     text = render_table(table)
     print()
     print(text)
@@ -39,6 +78,17 @@ def emit(table: ExperimentTable, filename: str) -> None:
     path = RESULTS_DIR / filename
     with open(path, "a") as handle:
         handle.write(text + "\n\n")
+    payload = {
+        "title": table.title,
+        "columns": table.columns,
+        "rows": table.rows,
+        "notes": table.notes,
+        "scale": bench_scale(),
+        "obs": obs_export.snapshot(),
+    }
+    with open(_metrics_json_path(filename), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
 
 
 def emit_chart(table: ExperimentTable, x: str, series, filename: str,

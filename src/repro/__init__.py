@@ -46,11 +46,15 @@ from repro.core.sampling import (
     sampled_ptk_query,
     sampled_topk_probabilities,
 )
+from repro import obs
 from repro.exceptions import (
     EnumerationLimitError,
+    ObservabilityError,
     QueryError,
     ReproError,
     SamplingError,
+    UnknownTableError,
+    UnknownTupleError,
     ValidationError,
 )
 from repro.model.rules import GenerationRule
@@ -71,6 +75,7 @@ __all__ = [
     "ExactVariant",
     "Explanation",
     "GenerationRule",
+    "ObservabilityError",
     "PTKAnswer",
     "PTKMonitor",
     "QueryError",
@@ -83,6 +88,8 @@ __all__ = [
     "TopKQuery",
     "UncertainTable",
     "UncertainTuple",
+    "UnknownTableError",
+    "UnknownTupleError",
     "ValidationError",
     "by_attribute",
     "by_score",
@@ -91,6 +98,7 @@ __all__ = [
     "explain_tuple",
     "naive_ptk_answer",
     "naive_topk_probabilities",
+    "obs",
     "sampled_ptk_query",
     "sampled_topk_probabilities",
     "table_from_rows",

@@ -17,6 +17,11 @@ Usage (also available as ``python -m repro``)::
     python -m repro query panda.json -k 2 --semantics ukranks
     python -m repro query s.json -k 50 -p 0.3 --sample 2000
 
+    # observability: metrics snapshots and per-phase timing
+    python -m repro query panda.json -k 2 -p 0.35 --emit-metrics m.json
+    python -m repro stats panda.json -k 2 -p 0.35
+    python -m repro stats panda.json -k 2 -p 0.35 --format prom
+
 Tables are JSON documents (see :mod:`repro.io.jsonio`) or CSV pairs
 (pass the stem; see :mod:`repro.io.csvio`) — the format is inferred
 from the extension.
@@ -40,6 +45,8 @@ from repro.io.csvio import read_table_csv, write_table_csv
 from repro.io.jsonio import read_table_json, write_table_json
 from repro.model.table import UncertainTable
 from repro.model.worlds import count_possible_worlds, enumerate_possible_worlds
+from repro import obs
+from repro.obs import export as obs_export
 from repro.query.parser import parse_predicate
 from repro.query.topk import TopKQuery
 from repro.semantics.extras import global_topk
@@ -123,11 +130,28 @@ def _cmd_worlds(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    emit_metrics = getattr(args, "emit_metrics", None)
+    if emit_metrics:
+        obs.enable(fresh=True)
     table = load_table(args.table)
     if args.where:
         query = TopKQuery(k=args.k, predicate=parse_predicate(args.where))
     else:
         query = TopKQuery(k=args.k)
+    semantics = args.semantics
+    if semantics == "ptk" and args.sample:
+        semantics = "ptk-sampled"
+    with obs.query_scope(
+        semantics, table=table.name, k=args.k, threshold=args.threshold
+    ):
+        code = _run_query(args, table, query)
+    if emit_metrics and code == 0:
+        path = obs_export.write_json(emit_metrics)
+        print(f"# metrics written to {path}", file=sys.stderr)
+    return code
+
+
+def _run_query(args: argparse.Namespace, table, query) -> int:
     if args.semantics == "ptk":
         if args.threshold is None:
             print("error: PT-k queries require --threshold/-p", file=sys.stderr)
@@ -167,6 +191,42 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"# {args.k} tuples of highest top-{args.k} probability")
         for tid, probability in global_topk(table, query):
             print(f"{tid}\t{probability:.6f}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run one query under full observability and report the metrics."""
+    obs.enable(fresh=True)
+    table = load_table(args.table)
+    query = TopKQuery(k=args.k)
+    with obs.query_scope(
+        "ptk-sampled" if args.sample else "ptk",
+        table=table.name,
+        k=args.k,
+        threshold=args.threshold,
+    ):
+        if args.sample:
+            sampled_ptk_query(
+                table,
+                query,
+                args.threshold,
+                config=SamplingConfig(
+                    sample_size=args.sample, progressive=False, seed=args.seed
+                ),
+            )
+        else:
+            exact_ptk_query(
+                table, query, args.threshold, variant=ExactVariant(args.variant)
+            )
+    if args.format == "json":
+        print(obs_export.to_json())
+    elif args.format == "prom":
+        print(obs_export.to_prometheus(), end="")
+    else:
+        print(obs_export.render_text(), end="")
+    if args.emit_metrics:
+        path = obs_export.write_json(args.emit_metrics)
+        print(f"# metrics written to {path}", file=sys.stderr)
     return 0
 
 
@@ -237,7 +297,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="predicate expression, e.g. \"score > 10 and location = 'B'\"",
     )
+    query.add_argument(
+        "--emit-metrics",
+        default=None,
+        metavar="PATH",
+        help="enable observability and write a JSON metrics snapshot here",
+    )
     query.set_defaults(fn=_cmd_query)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run one PT-k query under full observability and report metrics",
+    )
+    stats.add_argument("table")
+    stats.add_argument("-k", type=int, required=True)
+    stats.add_argument(
+        "-p", "--threshold", type=float, required=True, help="PT-k threshold"
+    )
+    stats.add_argument(
+        "--variant",
+        choices=[v.value for v in ExactVariant],
+        default=ExactVariant.RC_LR.value,
+    )
+    stats.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="use the sampling algorithm with this many units",
+    )
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument(
+        "--format",
+        choices=["text", "json", "prom"],
+        default="text",
+        help="report format: human-readable, JSON snapshot, or Prometheus",
+    )
+    stats.add_argument(
+        "--emit-metrics",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON metrics snapshot here",
+    )
+    stats.set_defaults(fn=_cmd_stats)
 
     explain = commands.add_parser(
         "explain", help="explain one tuple's top-k probability"

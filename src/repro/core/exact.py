@@ -41,6 +41,7 @@ from repro.core.rule_compression import (
 )
 from repro.exceptions import QueryError
 from repro.model.rules import GenerationRule
+from repro.obs import OBS, catalogued, span as obs_span
 from repro.model.table import UncertainTable
 from repro.model.tuples import UncertainTuple
 from repro.query.access import RankedStream
@@ -142,41 +143,70 @@ class ExactPTKEngine:
             stop_check_interval=stop_check_interval,
             flags=pruning_flags,
         )
+        # Observability: resolve metric handles once per engine so the
+        # per-tuple hot path pays only a None check when obs is off.
+        self._obs_dp_units = (
+            catalogued("repro_ptk_dp_units") if OBS.enabled else None
+        )
 
     def run(self) -> PTKAnswer:
         """Execute the scan and return the complete answer object."""
         answer = PTKAnswer(k=self.k, threshold=self.threshold, method=self.variant.value)
         stats = answer.stats
-        for tup in self._stream:
-            self._tracker.note_first_encounter(tup)
-            skip_reason = self._tracker.should_skip(tup) if self.pruning else None
-            if skip_reason is None:
-                probability = self._evaluate(tup)
-                stats.tuples_evaluated += 1
-                answer.probabilities[tup.tid] = probability
-                if probability >= self.threshold:
-                    answer.answers.append(tup.tid)
-                self._tracker.observe(tup, probability)
-            else:
-                if skip_reason == "membership":
-                    stats.tuples_pruned_membership += 1
+        with obs_span("ptk.scan", variant=self.variant.value, k=self.k) as scan_span:
+            for tup in self._stream:
+                self._tracker.note_first_encounter(tup)
+                skip_reason = self._tracker.should_skip(tup) if self.pruning else None
+                if skip_reason is None:
+                    probability = self._evaluate(tup)
+                    stats.tuples_evaluated += 1
+                    answer.probabilities[tup.tid] = probability
+                    if probability >= self.threshold:
+                        answer.answers.append(tup.tid)
+                    self._tracker.observe(tup, probability)
                 else:
-                    stats.tuples_pruned_same_rule += 1
-                self._tracker.observe_skipped(tup, skip_reason)
-            self._scan.advance(tup)
-            if self.pruning:
-                stop_reason = self._tracker.should_stop(self._scan)
-                if stop_reason is not None:
-                    stats.stopped_by = stop_reason
-                    break
-        stats.scan_depth = self._stream.scan_depth
-        stats.subset_extensions = self._dp.extensions
+                    if skip_reason == "membership":
+                        stats.tuples_pruned_membership += 1
+                    else:
+                        stats.tuples_pruned_same_rule += 1
+                    self._tracker.observe_skipped(tup, skip_reason)
+                self._scan.advance(tup)
+                if self.pruning:
+                    stop_reason = self._tracker.should_stop(self._scan)
+                    if stop_reason is not None:
+                        stats.stopped_by = stop_reason
+                        break
+            stats.scan_depth = self._stream.scan_depth
+            stats.subset_extensions = self._dp.extensions
+            scan_span.set(
+                scan_depth=stats.scan_depth, stopped_by=stats.stopped_by
+            )
+        if OBS.enabled:
+            self._publish(stats)
         return answer
+
+    def _publish(self, stats) -> None:
+        """Flush the run's counters into the global metrics registry.
+
+        Done once per query (not per tuple) so enabled-mode overhead
+        stays off the inner loop.
+        """
+        catalogued("repro_ptk_queries_total").inc(1.0, method=self.variant.value)
+        catalogued("repro_ptk_tuples_scanned_total").inc(stats.scan_depth)
+        catalogued("repro_ptk_scan_depth").observe(stats.scan_depth)
+        catalogued("repro_ptk_tuples_evaluated_total").inc(stats.tuples_evaluated)
+        pruned = catalogued("repro_ptk_tuples_pruned_total")
+        pruned.inc(stats.tuples_pruned_membership, theorem="membership")
+        pruned.inc(stats.tuples_pruned_same_rule, theorem="same-rule")
+        catalogued("repro_ptk_scan_stops_total").inc(1.0, reason=stats.stopped_by)
+        catalogued("repro_ptk_dp_extensions_total").inc(stats.subset_extensions)
 
     def _evaluate(self, tup: UncertainTuple) -> float:
         """Equation 4 over the compressed dominant set of ``tup``."""
         units = self._scan.units_for(tup)
         order = self._strategy.order_units(units, self._previous_order)
+        if self._obs_dp_units is not None:
+            self._obs_dp_units.observe(len(order))
         vector = self._dp.vector_for(order)
         if self.variant.shares_prefix:
             self._previous_order = order
@@ -206,10 +236,11 @@ def exact_ptk_query(
         ignored when ``pruning`` is False.
     :returns: a :class:`~repro.core.results.PTKAnswer`.
     """
-    selected = query.selected(table)
-    ranked = query.ranking.rank_table(selected)
-    rule_of = rule_index_of_table(selected)
-    rule_probability = _rule_probabilities(selected, rule_of)
+    with obs_span("ptk.prepare"):
+        selected = query.selected(table)
+        ranked = query.ranking.rank_table(selected)
+        rule_of = rule_index_of_table(selected)
+        rule_probability = _rule_probabilities(selected, rule_of)
     engine = ExactPTKEngine(
         ranked,
         rule_of,

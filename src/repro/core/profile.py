@@ -72,12 +72,12 @@ def answer_sizes_by_k(
             f"probability threshold must be in (0, 1], got {threshold!r}"
         )
     profiles = topk_probability_profile(table, query)
-    sizes = [0] * query.k
-    for profile in profiles.values():
-        for j in range(query.k):
-            if profile[j] >= threshold:
-                sizes[j] += 1
-    return sizes
+    if not profiles:
+        return [0] * query.k
+    # One vectorised pass over the stacked (n, k) profile matrix instead
+    # of the O(n*k) Python double loop.
+    passing = np.sum(np.stack(list(profiles.values())) >= threshold, axis=0)
+    return [int(count) for count in passing]
 
 
 def minimal_k_for_threshold(

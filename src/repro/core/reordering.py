@@ -35,6 +35,21 @@ import numpy as np
 
 from repro.core.rule_compression import CompressionUnit
 from repro.core.subset_probability import SubsetProbabilityVector
+from repro.obs import OBS, catalogued
+
+
+def _resolve_prefix_metrics():
+    """The four prefix-sharing counters, pre-seeded so every sample
+    exists (value 0) from the first instrumented query; ``None`` off."""
+    if not OBS.enabled:
+        return None
+    hits = catalogued("repro_reorder_prefix_hits_total")
+    misses = catalogued("repro_reorder_prefix_misses_total")
+    reused = catalogued("repro_reorder_dp_cells_reused_total")
+    recomputed = catalogued("repro_reorder_dp_cells_recomputed_total")
+    for metric in (hits, misses, reused, recomputed):
+        metric.inc(0.0)
+    return hits, misses, reused, recomputed
 
 
 def _closed_then_open(units: Sequence[CompressionUnit]) -> List[CompressionUnit]:
@@ -152,6 +167,7 @@ class PrefixSharedDP:
         empty = SubsetProbabilityVector(cap)
         self._snapshots: List[np.ndarray] = [empty.snapshot()]
         self.extensions = 0
+        self._obs = _resolve_prefix_metrics()
 
     def _common_prefix_length(self, order: Sequence[CompressionUnit]) -> int:
         limit = min(len(self._order), len(order))
@@ -166,6 +182,14 @@ class PrefixSharedDP:
         :returns: read-only array of ``Pr(T, j)`` for ``j = 0..cap-1``.
         """
         keep = self._common_prefix_length(order)
+        if self._obs is not None:
+            hits, misses, reused, recomputed = self._obs
+            if keep:
+                hits.inc()
+            else:
+                misses.inc()
+            reused.inc(keep)
+            recomputed.inc(len(order) - keep)
         del self._order[keep:]
         del self._snapshots[keep + 1 :]
         if keep < len(order):
@@ -197,8 +221,13 @@ class FreshDP:
     def __init__(self, cap: int) -> None:
         self.cap = cap
         self.extensions = 0
+        self._obs = _resolve_prefix_metrics()
 
     def vector_for(self, order: Sequence[CompressionUnit]) -> np.ndarray:
+        if self._obs is not None:
+            _, misses, _, recomputed = self._obs
+            misses.inc()
+            recomputed.inc(len(order))
         vector = SubsetProbabilityVector(self.cap)
         for unit in order:
             vector.extend(unit.probability)

@@ -38,6 +38,7 @@ from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence
 from repro.model.rules import GenerationRule
 from repro.model.table import UncertainTable
 from repro.model.tuples import UncertainTuple
+from repro.obs import OBS, catalogued
 
 
 @dataclass(frozen=True)
@@ -206,6 +207,16 @@ class DominantSetScan:
         self._rule_prob: Dict[Any, float] = {}
         self._rule_unit_cache: Dict[Any, CompressionUnit] = {}
         self._scanned = 0
+        # Observability handles, resolved once per scan; None when off so
+        # the hot advance()/units_for() paths pay only a None check.
+        if OBS.enabled:
+            self._obs_units = catalogued("repro_compression_units_total")
+            self._obs_merges = catalogued("repro_compression_rule_merges_total")
+            self._obs_set_size = catalogued("repro_compression_dominant_set_size")
+        else:
+            self._obs_units = None
+            self._obs_merges = None
+            self._obs_set_size = None
 
     @property
     def scanned(self) -> int:
@@ -227,6 +238,8 @@ class DominantSetScan:
                     next_rank=None,
                 )
             )
+            if self._obs_units is not None:
+                self._obs_units.inc(1.0, kind="independent")
         else:
             seen = self._rule_seen.setdefault(rule.rule_id, [])
             seen.append(tup.tid)
@@ -234,6 +247,10 @@ class DominantSetScan:
                 self._rule_prob.get(rule.rule_id, 0.0) + tup.probability
             )
             self._rebuild_rule_unit(rule.rule_id)
+            if self._obs_units is not None:
+                self._obs_units.inc(1.0, kind="rule")
+                if len(seen) > 1:
+                    self._obs_merges.inc()
         self._scanned += 1
 
     def _rebuild_rule_unit(self, rule_id: Any) -> None:
@@ -269,6 +286,8 @@ class DominantSetScan:
         for rule_id, unit in self._rule_unit_cache.items():
             if rule_id != own_rule_id:
                 units.append(unit)
+        if self._obs_set_size is not None:
+            self._obs_set_size.observe(len(units))
         return units
 
     def excluded_unit_for(self, tup: UncertainTuple) -> Optional[CompressionUnit]:

@@ -30,6 +30,16 @@ class UnknownTupleError(ReproError):
     """An operation referenced a tuple id that is not in the table."""
 
 
+class UnknownTableError(UnknownTupleError):
+    """A query referenced a table name that is not registered.
+
+    Subclasses :class:`UnknownTupleError` for one release:
+    :meth:`repro.query.engine.UncertainDB.table` historically raised
+    ``UnknownTupleError`` for missing *tables*, so existing ``except``
+    clauses keep working while callers migrate.
+    """
+
+
 class RuleConflictError(ValidationError):
     """A tuple is involved in more than one multi-tuple generation rule.
 
@@ -44,6 +54,14 @@ class QueryError(ReproError):
 
 class SamplingError(ReproError):
     """The sampling subsystem was configured inconsistently."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was used inconsistently.
+
+    Raised for metric type or label-set conflicts in the registry,
+    negative counter increments, and malformed histogram buckets.
+    """
 
 
 class EnumerationLimitError(ReproError):

@@ -1,0 +1,221 @@
+"""repro.obs — the query-engine observability layer.
+
+A thread-safe metrics registry (:class:`~repro.obs.metrics.Counter`,
+:class:`~repro.obs.metrics.Gauge`, :class:`~repro.obs.metrics.Histogram`,
+:class:`~repro.obs.metrics.Timer`) plus lightweight query tracing
+(:func:`span` context managers with query-scoped trace ids), feeding the
+JSON / Prometheus exporters in :mod:`repro.obs.export`.
+
+Observability is **off by default** and instrumented hot paths pay only
+one attribute check while it stays off::
+
+    from repro.obs import OBS
+
+    if OBS.enabled:                      # the single cheap check
+        OBS.registry.counter("repro_storage_pages_read_total").inc()
+
+Enable globally or per scope::
+
+    from repro import obs
+
+    obs.enable()
+    db.ptk("sightings", k=5, threshold=0.5)
+    print(obs.export.to_json())
+
+    with obs.enabled_scope():            # auto-restores the prior state
+        db.ptk("sightings", k=5, threshold=0.5)
+
+Every metric the engine emits is declared in
+:mod:`repro.obs.catalog`; ``docs/observability.md`` maps each one to the
+theorem or paper section it witnesses.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Union
+
+from repro.obs import catalog, export  # noqa: F401  (re-exported submodules)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.tracing import NOOP_SPAN, NoopSpan, Span, Tracer
+
+
+class ObservabilityState:
+    """Process-wide observability state: the flag, registry, and tracer.
+
+    A single shared instance (:data:`OBS`) exists; instrumented modules
+    hold a reference and check ``OBS.enabled`` before doing any work.
+    Tests may build private instances to exercise components in
+    isolation.
+    """
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+    def reset(self) -> None:
+        """Drop all collected metrics and finished traces."""
+        self.registry.reset()
+        self.tracer.reset()
+
+
+#: The process-wide observability state.
+OBS = ObservabilityState()
+
+
+def is_enabled() -> bool:
+    """True when the observability layer is collecting."""
+    return OBS.enabled
+
+
+def enable(fresh: bool = False) -> None:
+    """Turn collection on (``fresh=True`` also clears prior data)."""
+    if fresh:
+        OBS.reset()
+    OBS.enabled = True
+
+
+def disable() -> None:
+    """Turn collection off; already-collected data is retained."""
+    OBS.enabled = False
+
+
+def reset() -> None:
+    """Clear all collected metrics and traces (flag unchanged)."""
+    OBS.reset()
+
+
+@contextmanager
+def enabled_scope(fresh: bool = False) -> Iterator[ObservabilityState]:
+    """Enable observability inside a ``with`` block, then restore.
+
+    :param fresh: clear previously collected data on entry.
+    """
+    previous = OBS.enabled
+    enable(fresh=fresh)
+    try:
+        yield OBS
+    finally:
+        OBS.enabled = previous
+
+
+def span(name: str, **attributes: Any) -> Union["NoopSpan", Any]:
+    """A tracing span context manager, or a shared no-op when disabled.
+
+    ::
+
+        with obs.span("ptk.scan", k=5) as s:
+            ...
+            s.set(scan_depth=depth)      # works on the no-op too
+    """
+    if not OBS.enabled:
+        return NOOP_SPAN
+    return OBS.tracer.span(name, **attributes)
+
+
+def query_scope(semantics: str, **attributes: Any):
+    """Span + latency timer for one query under one semantics.
+
+    Opens a root-or-nested span ``query.<semantics>`` and records the
+    elapsed time into ``repro_query_seconds{semantics=...}``; a shared
+    no-op when observability is off.
+    """
+    if not OBS.enabled:
+        return NOOP_SPAN
+    return _QueryScope(semantics, attributes)
+
+
+class _QueryScope:
+    __slots__ = ("_semantics", "_attributes", "_span_cm", "_timer_cm")
+
+    def __init__(self, semantics: str, attributes: dict) -> None:
+        self._semantics = semantics
+        self._attributes = attributes
+        self._span_cm = None
+        self._timer_cm = None
+
+    def __enter__(self) -> "Span":
+        self._timer_cm = OBS.registry.timer(
+            "repro_query_seconds",
+            help=catalog.CATALOG["repro_query_seconds"].help,
+            labelnames=("semantics",),
+        ).time(semantics=self._semantics)
+        self._timer_cm.__enter__()
+        self._span_cm = OBS.tracer.span(
+            f"query.{self._semantics}", **self._attributes
+        )
+        return self._span_cm.__enter__()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._span_cm.__exit__(*exc_info)
+        self._timer_cm.__exit__(*exc_info)
+
+
+def counter(name: str, **labels: Any) -> None:
+    """Convenience: increment a catalogued counter by 1 when enabled."""
+    if OBS.enabled:
+        spec = catalog.CATALOG.get(name)
+        OBS.registry.counter(
+            name,
+            help=spec.help if spec else "",
+            labelnames=spec.labels if spec else tuple(sorted(labels)),
+        ).inc(1.0, **labels)
+
+
+def catalogued(name: str):
+    """Get-or-create the metric ``name`` with its catalogue declaration.
+
+    Central helper used by instrumentation sites so names, types, label
+    sets, and help strings always match :data:`repro.obs.catalog.CATALOG`.
+    """
+    spec = catalog.spec_of(name)
+    registry = OBS.registry
+    if spec.type == "counter":
+        return registry.counter(name, help=spec.help, labelnames=spec.labels)
+    if spec.type == "gauge":
+        return registry.gauge(name, help=spec.help, labelnames=spec.labels)
+    if spec.type == "histogram":
+        return registry.histogram(name, help=spec.help, labelnames=spec.labels)
+    if spec.type == "timer":
+        return registry.timer(name, help=spec.help, labelnames=spec.labels)
+    raise ValueError(f"catalogue entry {name!r} has unknown type {spec.type!r}")
+
+
+def last_trace() -> Optional[Span]:
+    """The most recently completed root span, if any."""
+    return OBS.tracer.last_trace()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopSpan",
+    "OBS",
+    "ObservabilityState",
+    "Span",
+    "Timer",
+    "Tracer",
+    "catalog",
+    "catalogued",
+    "counter",
+    "disable",
+    "enable",
+    "enabled_scope",
+    "export",
+    "is_enabled",
+    "last_trace",
+    "query_scope",
+    "reset",
+    "span",
+]

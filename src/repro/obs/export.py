@@ -1,0 +1,272 @@
+"""Exporters: JSON snapshots and Prometheus text exposition.
+
+Two structured views of the collected data:
+
+* :func:`snapshot` — a JSON-able dict bundling every metric (with its
+  catalogue description and samples) and the finished span trees;
+  :func:`to_json` / :func:`write_json` serialise it.  The snapshot is
+  self-describing: re-parsing the JSON yields the snapshot verbatim
+  (the round-trip property the test suite checks).
+* :func:`to_prometheus` — the plain-text exposition format understood
+  by Prometheus scrapers.  Counters and gauges map directly; histograms
+  export ``_bucket``/``_sum``/``_count`` series with cumulative ``le``
+  buckets; timers export as summaries (``_sum``/``_count`` plus a
+  ``_max`` gauge).  :func:`parse_prometheus` reads the samples back for
+  tests and ad-hoc tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from repro.obs.tracing import Tracer
+
+#: Schema version stamped into every JSON snapshot.
+SNAPSHOT_VERSION = 1
+
+
+def _default_state():
+    from repro.obs import OBS  # deferred: repro.obs imports this module
+
+    return OBS
+
+
+def snapshot(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Dict[str, Any]:
+    """One JSON-able dict of everything collected so far.
+
+    :param registry: defaults to the global registry.
+    :param tracer: defaults to the global tracer; pass ``False``-y
+        custom tracer to control which traces are included.
+    :returns: ``{"version", "metrics": {name: description}, "traces":
+        [span trees, oldest first]}``.
+    """
+    state = _default_state()
+    registry = registry if registry is not None else state.registry
+    tracer = tracer if tracer is not None else state.tracer
+    return {
+        "version": SNAPSHOT_VERSION,
+        "metrics": registry.snapshot(),
+        "traces": [span.to_dict() for span in tracer.traces()],
+    }
+
+
+def to_json(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    indent: Optional[int] = 2,
+) -> str:
+    """The snapshot serialised as JSON text."""
+    return json.dumps(snapshot(registry, tracer), indent=indent, sort_keys=True)
+
+
+def write_json(
+    path: Union[str, Path],
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Path:
+    """Write the JSON snapshot to ``path``; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_json(registry, tracer) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels.items(), *extra]
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format."""
+    state = _default_state()
+    registry = registry if registry is not None else state.registry
+    lines: List[str] = []
+    for metric in sorted(registry, key=lambda m: m.name):
+        if isinstance(metric, Counter):
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} counter")
+            for sample in metric.samples():
+                lines.append(
+                    f"{metric.name}{_format_labels(sample['labels'])} "
+                    f"{_format_value(sample['value'])}"
+                )
+        elif isinstance(metric, Gauge):
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} gauge")
+            for sample in metric.samples():
+                lines.append(
+                    f"{metric.name}{_format_labels(sample['labels'])} "
+                    f"{_format_value(sample['value'])}"
+                )
+        elif isinstance(metric, Histogram):
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} histogram")
+            for sample in metric.samples():
+                labels = sample["labels"]
+                running = 0
+                for bound, cumulative in zip(
+                    metric.buckets,
+                    list(sample["buckets"].values())[: len(metric.buckets)],
+                ):
+                    running = cumulative
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(labels, (('le', _format_value(bound)),))} "
+                        f"{running}"
+                    )
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_format_labels(labels, (('le', '+Inf'),))} "
+                    f"{sample['count']}"
+                )
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(labels)} "
+                    f"{sample['count']}"
+                )
+        elif isinstance(metric, Timer):
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} summary")
+            for sample in metric.samples():
+                labels = sample["labels"]
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(labels)} "
+                    f"{sample['count']}"
+                )
+                lines.append(
+                    f"{metric.name}_max{_format_labels(labels)} "
+                    f"{_format_value(sample['max'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse exposition text back into ``{(name, labels): value}``.
+
+    Labels are a sorted tuple of ``(name, value)`` pairs.  Comment and
+    blank lines are skipped.  Used by the round-trip tests and handy for
+    quick assertions in notebooks.
+    """
+    out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            continue
+        labels_text = match.group("labels") or ""
+        labels = tuple(
+            sorted(
+                (name, value.replace(r"\"", '"').replace(r"\\", "\\"))
+                for name, value in _LABEL_RE.findall(labels_text)
+            )
+        )
+        raw = match.group("value")
+        value = math.inf if raw == "+Inf" else float(raw)
+        out[(match.group("name"), labels)] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# Human-readable rendering (the `repro stats` CLI view)
+# ----------------------------------------------------------------------
+def render_text(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> str:
+    """A compact terminal report: metric values plus the last span tree."""
+    state = _default_state()
+    registry = registry if registry is not None else state.registry
+    tracer = tracer if tracer is not None else state.tracer
+    lines: List[str] = ["== metrics =="]
+    for metric in sorted(registry, key=lambda m: m.name):
+        for sample in metric.samples():
+            labels = _format_labels(sample["labels"])
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(
+                    f"{metric.name}{labels} = {_format_value(sample['value'])}"
+                )
+            elif isinstance(metric, Histogram):
+                count = sample["count"]
+                mean = sample["sum"] / count if count else 0.0
+                lines.append(
+                    f"{metric.name}{labels} count={count} mean={mean:.3g}"
+                )
+            elif isinstance(metric, Timer):
+                count = sample["count"]
+                mean = sample["sum"] / count if count else 0.0
+                lines.append(
+                    f"{metric.name}{labels} count={count} "
+                    f"total={sample['sum']:.6f}s mean={mean:.6f}s "
+                    f"max={sample['max']:.6f}s"
+                )
+    trace = tracer.last_trace()
+    if trace is not None:
+        lines.append("")
+        lines.append(f"== last trace ({trace.trace_id}) ==")
+        _render_span(trace, lines, depth=0)
+    return "\n".join(lines) + "\n"
+
+
+def _render_span(span, lines: List[str], depth: int) -> None:
+    indent = "  " * depth
+    attrs = ""
+    if span.attributes:
+        inner = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(span.attributes.items())
+        )
+        attrs = f"  [{inner}]"
+    lines.append(
+        f"{indent}{span.name}  {span.duration * 1000:.3f} ms{attrs}"
+    )
+    for child in span.children:
+        _render_span(child, lines, depth + 1)

@@ -1,0 +1,440 @@
+"""Thread-safe metric primitives and the registry that owns them.
+
+Four metric types cover everything the query engine needs to witness the
+paper's cost claims at runtime:
+
+* :class:`Counter` — monotonically increasing totals (tuples scanned,
+  pruning fires, DP extensions).
+* :class:`Gauge` — point-in-time values that move both ways (sample
+  budget vs units actually drawn).
+* :class:`Histogram` — distributions over fixed buckets (scan depth,
+  dominant-set size, per-unit sample length).
+* :class:`Timer` — accumulated wall-time with a call count and max
+  (query latency, window-advance latency).
+
+All metrics support optional labels, Prometheus style: a metric is
+created with a fixed tuple of ``labelnames`` and every update supplies
+one value per label (``counter.inc(1, theorem="membership")``).  Each
+``(label values)`` combination is an independent sample series.
+
+Metrics are obtained from a :class:`MetricsRegistry` with get-or-create
+semantics; asking for an existing name with a conflicting type or label
+set raises :class:`~repro.exceptions.ObservabilityError`.  Updates take
+a per-metric lock, so concurrent queries on different threads may share
+one registry.
+
+Nothing in this module consults the global enable flag — gating lives at
+the instrumentation sites (see :mod:`repro.obs`), which perform one
+cheap attribute check before touching any metric.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ObservabilityError
+
+#: Default histogram buckets: powers of two up to 64k, a good fit for
+#: the count-like quantities (scan depth, unit counts, sample lengths)
+#: this library observes.  Values above the last bound land in +Inf.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+    1024, 2048, 4096, 8192, 16384, 65536,
+)
+
+#: Buckets for sub-second latencies (timers export these implicitly).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(
+    labelnames: Tuple[str, ...], labels: Mapping[str, Any]
+) -> Tuple[str, ...]:
+    """Validate and canonicalise one update's labels into a tuple key."""
+    if len(labels) != len(labelnames) or any(
+        name not in labels for name in labelnames
+    ):
+        raise ObservabilityError(
+            f"expected labels {list(labelnames)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class Metric:
+    """Common shape of every metric: name, help text, label names."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def samples(self) -> List[Dict[str, Any]]:
+        """Per-label-combination sample dicts (see subclasses)."""
+        raise NotImplementedError  # pragma: no cover
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able description: type, help, labels, and all samples."""
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "samples": self.samples(),
+        }
+
+    def _labels_dict(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+
+class Counter(Metric):
+    """A monotonically increasing total, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current total of the labelled series (0 when never updated)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                {"labels": self._labels_dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+
+
+class Gauge(Metric):
+    """A value that can move in both directions."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                {"labels": self._labels_dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "count", "sum")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * (n_buckets + 1)  # last slot is +Inf
+        self.count = 0
+        self.sum = 0.0
+
+
+class Histogram(Metric):
+    """A distribution over fixed, monotonically increasing buckets.
+
+    Buckets are upper bounds (inclusive); an implicit ``+Inf`` bucket
+    catches everything beyond the last bound.  Exported bucket counts
+    are *cumulative*, matching Prometheus semantics.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be non-empty and increasing"
+            )
+        self.buckets = bounds
+        self._series: Dict[Tuple[str, ...], _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            index = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = i
+                    break
+            series.bucket_counts[index] += 1
+            series.count += 1
+            series.sum += value
+
+    def count(self, **labels: Any) -> int:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.sum if series else 0.0
+
+    def samples(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            out = []
+            for key, series in sorted(self._series.items()):
+                cumulative: Dict[str, int] = {}
+                running = 0
+                for bound, n in zip(self.buckets, series.bucket_counts):
+                    running += n
+                    cumulative[repr(bound)] = running
+                cumulative["+Inf"] = series.count
+                out.append(
+                    {
+                        "labels": self._labels_dict(key),
+                        "count": series.count,
+                        "sum": series.sum,
+                        "buckets": cumulative,
+                    }
+                )
+            return out
+
+
+class _TimerSeries:
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+
+class Timer(Metric):
+    """Accumulated wall-time: total seconds, call count, and max.
+
+    Use as a context manager factory::
+
+        with registry.timer("repro_query_seconds").time(semantics="ptk"):
+            run_query()
+    """
+
+    kind = "timer"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._series: Dict[Tuple[str, ...], _TimerSeries] = {}
+
+    def observe(self, seconds: float, **labels: Any) -> None:
+        """Record one timed interval, in seconds."""
+        if seconds < 0 or not math.isfinite(seconds):
+            raise ObservabilityError(
+                f"timer {self.name!r} observed invalid duration {seconds!r}"
+            )
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _TimerSeries()
+            series.count += 1
+            series.total += seconds
+            if seconds > series.max:
+                series.max = seconds
+
+    def time(self, **labels: Any) -> "_TimerContext":
+        """Context manager recording the elapsed wall time on exit."""
+        return _TimerContext(self, labels)
+
+    def count(self, **labels: Any) -> int:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series else 0
+
+    def total_seconds(self, **labels: Any) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.total if series else 0.0
+
+    def samples(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                {
+                    "labels": self._labels_dict(key),
+                    "count": series.count,
+                    "sum": series.total,
+                    "max": series.max,
+                }
+                for key, series in sorted(self._series.items())
+            ]
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_labels", "_start")
+
+    def __init__(self, timer: Timer, labels: Mapping[str, Any]) -> None:
+        self._timer = timer
+        self._labels = labels
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        import time
+
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        import time
+
+        self._timer.observe(
+            time.perf_counter() - self._start, **self._labels
+        )
+
+
+_KINDS = {
+    Counter.kind: Counter,
+    Gauge.kind: Gauge,
+    Histogram.kind: Histogram,
+    Timer.kind: Timer,
+}
+
+
+class MetricsRegistry:
+    """Owns every metric; get-or-create by name with consistency checks.
+
+    The registry itself is thread-safe: creation takes a registry lock,
+    updates take the metric's own lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors
+    # ------------------------------------------------------------------
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labelnames: Sequence[str], **kwargs: Any
+    ) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered with labels "
+                        f"{list(existing.labelnames)}, requested {list(labelnames)}"
+                    )
+                return existing
+            metric = cls(name, help=help, labelnames=labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )  # type: ignore[return-value]
+
+    def timer(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Timer:
+        return self._get_or_create(Timer, name, help, labelnames)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        """The metric registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return iter(metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-able dump of every metric: name -> description + samples."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.describe() for name, metric in sorted(metrics)}
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()

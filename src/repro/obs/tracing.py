@@ -1,0 +1,232 @@
+"""Lightweight query tracing: nested spans with query-scoped trace IDs.
+
+A *span* is one timed phase of a query (ranking, scanning, sampling…).
+Spans nest: entering a span while another is open makes it a child, so
+one query produces a tree whose root carries a fresh *trace id* shared
+by every descendant.  The per-thread span stack lives in a
+``threading.local``, so concurrent queries on different threads produce
+separate, correctly-parented traces.
+
+Completed root spans are retained in a bounded ring (newest last); the
+exporter serialises them as a nested timing tree.
+
+The tracer never checks the global enable flag — the :func:`repro.obs.span`
+helper returns a shared no-op context manager when observability is off,
+so disabled code paths never construct a span at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed phase; part of a tree rooted at a query-level span.
+
+    :param name: phase name, dotted by convention (``query.ptk``,
+        ``ptk.scan``).
+    :param trace_id: id shared by every span of one query.
+    :param parent: enclosing span, ``None`` for roots.
+    :param attributes: free-form key/value annotations.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent",
+        "attributes",
+        "children",
+        "start",
+        "end",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent: Optional["Span"] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = uuid.uuid4().hex[:16]
+        self.parent = parent
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List["Span"] = []
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds; measured up to *now* while still open."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach annotations to the span; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span subtree as a JSON-able nested dict."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "duration_seconds": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """Depth-first iteration over the subtree, self first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in the subtree (depth-first)."""
+        for span in self.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"{self.duration * 1000:.3f}ms" if self.finished else "open"
+        return f"Span<{self.name}:{state}:{len(self.children)} children>"
+
+
+class _SpanContext:
+    """Context manager pushing/popping one span on the thread's stack."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._push(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", repr(exc))
+        self._tracer._pop(self._span)
+
+
+class NoopSpan:
+    """Shared do-nothing span: what instrumented code sees when obs is off.
+
+    Supports the same surface as :class:`Span` within a ``with`` block so
+    call sites need no branching beyond the context-manager expression.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "NoopSpan":
+        return self
+
+
+#: The singleton no-op span; never allocate a new one.
+NOOP_SPAN = NoopSpan()
+
+
+class Tracer:
+    """Owns the per-thread span stack and the ring of finished traces.
+
+    :param max_traces: completed root spans retained (oldest dropped).
+    """
+
+    def __init__(self, max_traces: int = 64) -> None:
+        self.max_traces = max_traces
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._finished: Deque[Span] = deque(maxlen=max_traces)
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a span around a ``with`` block.
+
+        ::
+
+            with tracer.span("ptk.scan", k=5) as span:
+                ...
+                span.set(scan_depth=depth)
+        """
+        return _SpanContext(self, name, attributes)
+
+    def _push(self, name: str, attributes: Dict[str, Any]) -> Span:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        trace_id = parent.trace_id if parent else uuid.uuid4().hex[:16]
+        span = Span(name, trace_id, parent=parent, attributes=attributes)
+        if parent is not None:
+            parent.children.append(span)
+        stack.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = self._stack()
+        # Tolerate exotic unwind orders: pop through to the given span.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if span.parent is None:
+            with self._lock:
+                self._finished.append(span)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def current_trace_id(self) -> Optional[str]:
+        """Trace id of the current query, if a span is open."""
+        span = self.current_span()
+        return span.trace_id if span else None
+
+    def traces(self) -> List[Span]:
+        """Completed root spans, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def last_trace(self) -> Optional[Span]:
+        """The most recently completed root span."""
+        with self._lock:
+            return self._finished[-1] if self._finished else None
+
+    def reset(self) -> None:
+        """Forget finished traces (open spans on live threads survive)."""
+        with self._lock:
+            self._finished.clear()

@@ -25,8 +25,9 @@ from repro.core.exact import (
 )
 from repro.core.results import PTKAnswer
 from repro.core.sampling import SamplingConfig, sampled_ptk_query
-from repro.exceptions import QueryError, UnknownTupleError
+from repro.exceptions import QueryError, UnknownTableError
 from repro.model.table import UncertainTable
+from repro.obs import query_scope
 from repro.query.topk import TopKQuery
 from repro.semantics.extras import expected_ranks, global_topk
 from repro.semantics.ukranks import UKRanksAnswer, ukranks_query
@@ -93,11 +94,15 @@ class UncertainDB:
         return key
 
     def table(self, name: str) -> UncertainTable:
-        """Look up a registered table."""
+        """Look up a registered table.
+
+        :raises UnknownTableError: when no table is registered under
+            ``name``.
+        """
         try:
             return self._tables[name]
         except KeyError:
-            raise UnknownTupleError(f"no table registered as {name!r}") from None
+            raise UnknownTableError(f"no table registered as {name!r}") from None
 
     def tables(self) -> List[str]:
         """Names of all registered tables."""
@@ -121,13 +126,14 @@ class UncertainDB:
         pruning: bool = True,
     ) -> PTKAnswer:
         """Exact PT-k query against a registered table."""
-        return exact_ptk_query(
-            self.table(name),
-            query or TopKQuery(k=k),
-            threshold,
-            variant=variant,
-            pruning=pruning,
-        )
+        with query_scope("ptk", table=name, k=k, threshold=threshold):
+            return exact_ptk_query(
+                self.table(name),
+                query or TopKQuery(k=k),
+                threshold,
+                variant=variant,
+                pruning=pruning,
+            )
 
     def ptk_sampled(
         self,
@@ -138,27 +144,31 @@ class UncertainDB:
         config: Optional[SamplingConfig] = None,
     ) -> PTKAnswer:
         """Approximate PT-k query via the sampling method."""
-        return sampled_ptk_query(
-            self.table(name), query or TopKQuery(k=k), threshold, config=config
-        )
+        with query_scope("ptk-sampled", table=name, k=k, threshold=threshold):
+            return sampled_ptk_query(
+                self.table(name), query or TopKQuery(k=k), threshold, config=config
+            )
 
     def utopk(
         self, name: str, k: int, query: Optional[TopKQuery] = None
     ) -> UTopKAnswer:
         """U-TopK query (most probable top-k vector)."""
-        return utopk_query(self.table(name), query or TopKQuery(k=k))
+        with query_scope("utopk", table=name, k=k):
+            return utopk_query(self.table(name), query or TopKQuery(k=k))
 
     def ukranks(
         self, name: str, k: int, query: Optional[TopKQuery] = None
     ) -> UKRanksAnswer:
         """U-KRanks query (most probable tuple per rank)."""
-        return ukranks_query(self.table(name), query or TopKQuery(k=k))
+        with query_scope("ukranks", table=name, k=k):
+            return ukranks_query(self.table(name), query or TopKQuery(k=k))
 
     def global_topk(
         self, name: str, k: int, query: Optional[TopKQuery] = None
     ) -> List[Tuple[Any, float]]:
         """Global-Topk: the k tuples of highest top-k probability."""
-        return global_topk(self.table(name), query or TopKQuery(k=k))
+        with query_scope("global-topk", table=name, k=k):
+            return global_topk(self.table(name), query or TopKQuery(k=k))
 
     def expected_rank_topk(
         self, name: str, k: int, query: Optional[TopKQuery] = None
@@ -166,19 +176,24 @@ class UncertainDB:
         """Expected-rank top-k (Cormode et al. semantics)."""
         from repro.semantics.expected_rank import expected_rank_topk
 
-        return expected_rank_topk(self.table(name), query or TopKQuery(k=k))
+        with query_scope("expected-rank", table=name, k=k):
+            return expected_rank_topk(self.table(name), query or TopKQuery(k=k))
 
     def topk_probabilities(
         self, name: str, k: int, query: Optional[TopKQuery] = None
     ) -> Dict[Any, float]:
         """Exact ``Pr^k`` of every tuple satisfying the predicate."""
-        return exact_topk_probabilities(self.table(name), query or TopKQuery(k=k))
+        with query_scope("topk-probabilities", table=name, k=k):
+            return exact_topk_probabilities(
+                self.table(name), query or TopKQuery(k=k)
+            )
 
     def expected_ranks(
         self, name: str, query: Optional[TopKQuery] = None
     ) -> Dict[Any, float]:
         """Conditional expected rank of every tuple (see semantics.extras)."""
-        return expected_ranks(self.table(name), query or TopKQuery(k=1))
+        with query_scope("expected-ranks", table=name):
+            return expected_ranks(self.table(name), query or TopKQuery(k=1))
 
     def explain_plan(self, name: str, k: int, threshold: float) -> dict:
         """Planning-time cost report for a PT-k query.
@@ -209,10 +224,11 @@ class UncertainDB:
         """Run PT-k, U-TopK and U-KRanks side by side (the Section 6.1 study)."""
         table = self.table(name)
         query = query or TopKQuery(k=k)
-        ptk = exact_ptk_query(table, query, threshold)
-        utopk = utopk_query(table, query)
-        ukranks = ukranks_query(table, query)
-        probabilities = exact_topk_probabilities(table, query)
+        with query_scope("compare-semantics", table=name, k=k):
+            ptk = exact_ptk_query(table, query, threshold)
+            utopk = utopk_query(table, query)
+            ukranks = ukranks_query(table, query)
+            probabilities = exact_topk_probabilities(table, query)
         mentioned = (
             set(ptk.answers) | set(utopk.vector) | set(ukranks.tuple_ids)
         )

@@ -13,6 +13,7 @@ from typing import Any, Iterator, List, Sequence
 
 from repro.exceptions import QueryError, UnknownTupleError
 from repro.model.tuples import UncertainTuple
+from repro.obs import OBS, catalogued
 
 #: Default tuples per page; small enough that paging effects are visible
 #: on test-sized tables, large enough to be realistic for narrow records.
@@ -108,6 +109,8 @@ class HeapFile:
         if page_id < 0 or page_id >= len(self._pages):
             raise QueryError(f"no page {page_id} (file has {len(self._pages)})")
         self.pages_read += 1
+        if OBS.enabled:
+            catalogued("repro_storage_pages_read_total").inc()
         return self._pages[page_id]
 
     def fetch(self, tid: Any) -> UncertainTuple:

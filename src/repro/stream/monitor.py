@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Set
 
 from repro.model.tuples import UncertainTuple
+from repro.obs import OBS, catalogued
 from repro.stream.window import SlidingWindowPTK
 
 
@@ -61,14 +62,25 @@ class PTKMonitor:
         self, tup: UncertainTuple, rule_tag: Optional[Any] = None
     ) -> AnswerDelta:
         """Feed one arrival and return the resulting answer delta."""
+        obs_on = OBS.enabled
+        if obs_on:
+            advance_timer = catalogued("repro_stream_advance_seconds").time()
+            advance_timer.__enter__()
         self.window.append(tup, rule_tag=rule_tag)
         new_answer = self.window.answer().answer_set
+        if obs_on:
+            advance_timer.__exit__(None, None, None)
         delta = AnswerDelta(
             arrival=tup.tid,
             entered=frozenset(new_answer - self._current),
             left=frozenset(self._current - new_answer),
             answer_size=len(new_answer),
         )
+        if obs_on:
+            catalogued("repro_stream_arrivals_total").inc()
+            churn = catalogued("repro_stream_answer_churn_total")
+            churn.inc(len(delta.entered), direction="entered")
+            churn.inc(len(delta.left), direction="left")
         self._current = set(new_answer)
         self._history.append(delta)
         return delta
