@@ -162,7 +162,10 @@ def _run_query(args: argparse.Namespace, table, query) -> int:
                 query,
                 args.threshold,
                 config=SamplingConfig(
-                    sample_size=args.sample, progressive=False, seed=args.seed
+                    sample_size=args.sample,
+                    progressive=False,
+                    seed=args.seed,
+                    batch_size=args.sample_batch_size,
                 ),
             )
         else:
@@ -211,7 +214,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 query,
                 args.threshold,
                 config=SamplingConfig(
-                    sample_size=args.sample, progressive=False, seed=args.seed
+                    sample_size=args.sample,
+                    progressive=False,
+                    seed=args.seed,
+                    batch_size=args.sample_batch_size,
                 ),
             )
         else:
@@ -291,6 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="use the sampling algorithm with this many units",
     )
+    query.add_argument(
+        "--sample-batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="units per vectorised sampler batch (default: auto); "
+        "estimates are deterministic for a fixed seed and batch size",
+    )
     query.add_argument("--seed", type=int, default=7)
     query.add_argument(
         "--where",
@@ -324,6 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="use the sampling algorithm with this many units",
+    )
+    stats.add_argument(
+        "--sample-batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="units per vectorised sampler batch (default: auto)",
     )
     stats.add_argument("--seed", type=int, default=7)
     stats.add_argument(

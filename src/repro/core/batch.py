@@ -10,12 +10,13 @@ can share a single RC+LR scan.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.profile import topk_probability_profile
 from repro.core.results import AlgorithmStats, PTKAnswer
 from repro.exceptions import QueryError
 from repro.model.table import UncertainTable
+from repro.query.prepare import PrepareCache, resolve_prepared
 from repro.query.ranking import RankingFunction, by_score
 from repro.query.topk import TopKQuery
 
@@ -24,15 +25,23 @@ def batch_ptk_queries(
     table: UncertainTable,
     requests: Sequence[Tuple[int, float]],
     ranking: RankingFunction | None = None,
+    cache: Optional[PrepareCache] = None,
 ) -> List[PTKAnswer]:
     """Answer several ``(k, threshold)`` PT-k queries in one scan.
 
     :param requests: ``(k, p)`` pairs; validated up front.
     :param ranking: shared ranking function.
+    :param cache: an optional :class:`PrepareCache`; selection, ranking,
+        and rule indexing run at most once either way — the cache lets
+        *successive* batch calls on an unchanged table skip them too.
     :returns: one :class:`PTKAnswer` per request, in request order.
         Each answer carries the full probability map for its k (sliced
         from the shared profile), so per-request behaviour matches
         :func:`repro.core.exact.exact_ptk_query` with ``pruning=False``.
+        Stats report the *shared* scan honestly: every answer records
+        the common scan depth, but only the first answer bills the
+        ``tuples_evaluated`` of the single underlying scan (the others
+        report 0 — their marginal cost).
     """
     if not requests:
         return []
@@ -46,11 +55,12 @@ def batch_ptk_queries(
     ranking = ranking or by_score()
     max_k = max(k for k, _ in requests)
     query = TopKQuery(k=max_k, ranking=ranking)
-    profiles = topk_probability_profile(table, query)
-    ranked = ranking.rank_table(query.selected(table))
+    prepared = resolve_prepared(table, query, cache=cache)
+    profiles = topk_probability_profile(table, query, prepared=prepared)
+    ranked = prepared.ranked
 
     answers: List[PTKAnswer] = []
-    for k, threshold in requests:
+    for index, (k, threshold) in enumerate(requests):
         probabilities: Dict[Any, float] = {
             tid: float(profile[k - 1]) for tid, profile in profiles.items()
         }
@@ -60,7 +70,8 @@ def batch_ptk_queries(
             tup.tid for tup in ranked if probabilities[tup.tid] >= threshold
         ]
         answer.stats = AlgorithmStats(
-            scan_depth=len(ranked), tuples_evaluated=len(ranked)
+            scan_depth=len(ranked),
+            tuples_evaluated=len(ranked) if index == 0 else 0,
         )
         answers.append(answer)
     return answers

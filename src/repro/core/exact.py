@@ -45,6 +45,7 @@ from repro.obs import OBS, catalogued, span as obs_span
 from repro.model.table import UncertainTable
 from repro.model.tuples import UncertainTuple
 from repro.query.access import RankedStream
+from repro.query.prepare import PrepareCache, PreparedRanking, resolve_prepared
 from repro.query.topk import TopKQuery
 
 
@@ -224,6 +225,8 @@ def exact_ptk_query(
     pruning: bool = True,
     stop_check_interval: int = 16,
     pruning_flags: Optional[PruningFlags] = None,
+    prepared: Optional[PreparedRanking] = None,
+    cache: Optional[PrepareCache] = None,
 ) -> PTKAnswer:
     """Answer a PT-k query exactly (the paper's main algorithm).
 
@@ -234,17 +237,18 @@ def exact_ptk_query(
     :param pruning: set False to compute every tuple's probability.
     :param pruning_flags: enable individual pruning rules (ablation);
         ignored when ``pruning`` is False.
+    :param prepared: a ready :class:`PreparedRanking` for ``(table,
+        query)``; skips selection/ranking/rule indexing entirely.
+    :param cache: a :class:`PrepareCache` to consult (and fill) when
+        ``prepared`` is not given.
     :returns: a :class:`~repro.core.results.PTKAnswer`.
     """
     with obs_span("ptk.prepare"):
-        selected = query.selected(table)
-        ranked = query.ranking.rank_table(selected)
-        rule_of = rule_index_of_table(selected)
-        rule_probability = _rule_probabilities(selected, rule_of)
+        prepared = resolve_prepared(table, query, prepared=prepared, cache=cache)
     engine = ExactPTKEngine(
-        ranked,
-        rule_of,
-        rule_probability,
+        prepared.ranked,
+        prepared.rule_of,
+        prepared.rule_probability,
         k=query.k,
         threshold=threshold,
         variant=variant,
@@ -259,6 +263,8 @@ def exact_topk_probabilities(
     table: UncertainTable,
     query: TopKQuery,
     variant: ExactVariant = ExactVariant.RC_LR,
+    prepared: Optional[PreparedRanking] = None,
+    cache: Optional[PrepareCache] = None,
 ) -> Dict[Any, float]:
     """``Pr^k`` for *every* tuple satisfying the predicate (full scan).
 
@@ -272,6 +278,8 @@ def exact_topk_probabilities(
         threshold=1e-300,
         variant=variant,
         pruning=False,
+        prepared=prepared,
+        cache=cache,
     )
     return answer.probabilities
 

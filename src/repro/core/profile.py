@@ -20,31 +20,33 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.core.reordering import LazyReordering, PrefixSharedDP
-from repro.core.rule_compression import (
-    CompressionUnit,
-    DominantSetScan,
-    rule_index_of_table,
-)
+from repro.core.rule_compression import CompressionUnit, DominantSetScan
 from repro.exceptions import QueryError
 from repro.model.table import UncertainTable
+from repro.query.prepare import PrepareCache, PreparedRanking, resolve_prepared
 from repro.query.topk import TopKQuery
 
 
 def topk_probability_profile(
     table: UncertainTable,
     query: TopKQuery,
+    prepared: Optional[PreparedRanking] = None,
+    cache: Optional[PrepareCache] = None,
 ) -> Dict[Any, np.ndarray]:
     """``Pr^j`` for ``j = 1..k`` for every tuple, in one RC+LR scan.
 
+    :param prepared: a ready :class:`PreparedRanking` for ``(table,
+        query)``; skips selection/ranking/rule indexing entirely.
+    :param cache: a :class:`PrepareCache` to consult (and fill) when
+        ``prepared`` is not given.
     :returns: mapping tuple id -> array ``profile`` with
         ``profile[j-1] = Pr^j(t)``.  Each profile is non-decreasing in j
         and capped by the tuple's membership probability.
     """
     k = query.k
-    selected = query.selected(table)
-    ranked = query.ranking.rank_table(selected)
-    rule_of = rule_index_of_table(selected)
-    scan = DominantSetScan(ranked, rule_of)
+    prepared = resolve_prepared(table, query, prepared=prepared, cache=cache)
+    ranked = prepared.ranked
+    scan = DominantSetScan(ranked, prepared.rule_of)
     strategy = LazyReordering()
     dp = PrefixSharedDP(cap=k)
     previous: List[CompressionUnit] = []

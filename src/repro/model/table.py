@@ -49,6 +49,18 @@ class UncertainTable:
         self._order: List[Any] = []
         self._rules: Dict[Any, GenerationRule] = {}
         self._rule_of_tuple: Dict[Any, Any] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation.
+
+        ``(table, version)`` identifies one immutable snapshot of the
+        table's contents; the prepared-ranking cache
+        (:mod:`repro.query.prepare`) keys on it so stale selections and
+        rankings are never served after a mutation.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -64,6 +76,7 @@ class UncertainTable:
             )
         self._tuples[tup.tid] = tup
         self._order.append(tup.tid)
+        self._version += 1
 
     def add(
         self,
@@ -116,6 +129,7 @@ class UncertainTable:
         if rule.is_multi:
             for tid in rule.tuple_ids:
                 self._rule_of_tuple[tid] = rule.rule_id
+        self._version += 1
 
     def add_exclusive(self, rule_id: Any, *tuple_ids: Any) -> GenerationRule:
         """Convenience wrapper: build and add a :class:`GenerationRule`."""
@@ -151,6 +165,7 @@ class UncertainTable:
             for key, rule in list(self._rules.items()):
                 if rule.is_singleton and rule.tuple_ids[0] == tid:
                     del self._rules[key]
+        self._version += 1
         return removed
 
     def update_probability(self, tid: Any, probability: float) -> UncertainTuple:
@@ -175,6 +190,7 @@ class UncertainTable:
                     f"{rule_id!r} total probability {total:.6f} > 1"
                 )
         self._tuples[tid] = updated
+        self._version += 1
         return updated
 
     # ------------------------------------------------------------------

@@ -125,11 +125,34 @@ CATALOG: Dict[str, MetricSpec] = {
             "DP entries extended past the shared prefix.",
             "Equation 5 (cost paid)",
         ),
+        # -------------------------------------------------- prepare cache
+        _spec(
+            "repro_prepare_cache_hits_total", "counter", (),
+            "Query preparations (selection + ranking + rule index) served "
+            "from the table-level cache.",
+            "Beyond the paper (production serving)",
+        ),
+        _spec(
+            "repro_prepare_cache_misses_total", "counter", (),
+            "Query preparations built from scratch (cache miss or no cache).",
+            "Beyond the paper (production serving)",
+        ),
+        _spec(
+            "repro_prepare_cache_invalidations_total", "counter", (),
+            "Cached preparations dropped by explicit invalidation "
+            "(table drops, re-registrations).",
+            "Beyond the paper (production serving)",
+        ),
         # ------------------------------------------------------- sampling
         _spec(
             "repro_sampler_units_total", "counter", (),
             "Sample units (possible-world top-k lists) drawn.",
             "Section 5",
+        ),
+        _spec(
+            "repro_sampler_batches_total", "counter", (),
+            "Vectorised sampler batches drawn (each covers many units).",
+            "Section 5 (batched unit generation)",
         ),
         _spec(
             "repro_sampler_unit_scan_length", "histogram", (),

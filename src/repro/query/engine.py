@@ -28,6 +28,7 @@ from repro.core.sampling import SamplingConfig, sampled_ptk_query
 from repro.exceptions import QueryError, UnknownTableError
 from repro.model.table import UncertainTable
 from repro.obs import query_scope
+from repro.query.prepare import PrepareCache
 from repro.query.topk import TopKQuery
 from repro.semantics.extras import expected_ranks, global_topk
 from repro.semantics.ukranks import UKRanksAnswer, ukranks_query
@@ -77,6 +78,16 @@ class UncertainDB:
 
     def __init__(self) -> None:
         self._tables: Dict[str, UncertainTable] = {}
+        self._prepare_cache = PrepareCache()
+
+    @property
+    def prepare_cache(self) -> PrepareCache:
+        """The table-level prepared-ranking cache (see ``repro.query.prepare``).
+
+        Shared by the exact, sampling, profile, and batch paths; consult
+        :meth:`PrepareCache.stats` for hit/miss counters.
+        """
+        return self._prepare_cache
 
     # ------------------------------------------------------------------
     # Catalogue
@@ -91,6 +102,9 @@ class UncertainDB:
         if key in self._tables:
             raise QueryError(f"a table named {key!r} is already registered")
         self._tables[key] = table
+        # A fresh registration must never serve preparations of a table
+        # previously known under this name (drop + re-register).
+        self._prepare_cache.invalidate(table)
         return key
 
     def table(self, name: str) -> UncertainTable:
@@ -109,9 +123,10 @@ class UncertainDB:
         return list(self._tables)
 
     def drop(self, name: str) -> None:
-        """Remove a table from the registry."""
-        self.table(name)
+        """Remove a table from the registry and forget its preparations."""
+        table = self.table(name)
         del self._tables[name]
+        self._prepare_cache.invalidate(table)
 
     # ------------------------------------------------------------------
     # Queries
@@ -133,6 +148,7 @@ class UncertainDB:
                 threshold,
                 variant=variant,
                 pruning=pruning,
+                cache=self._prepare_cache,
             )
 
     def ptk_sampled(
@@ -146,7 +162,33 @@ class UncertainDB:
         """Approximate PT-k query via the sampling method."""
         with query_scope("ptk-sampled", table=name, k=k, threshold=threshold):
             return sampled_ptk_query(
-                self.table(name), query or TopKQuery(k=k), threshold, config=config
+                self.table(name),
+                query or TopKQuery(k=k),
+                threshold,
+                config=config,
+                cache=self._prepare_cache,
+            )
+
+    def ptk_batch(
+        self,
+        name: str,
+        requests: "List[Tuple[int, float]]",
+        ranking=None,
+    ) -> List[PTKAnswer]:
+        """Several ``(k, threshold)`` PT-k queries sharing one scan.
+
+        Delegates to :func:`repro.core.batch.batch_ptk_queries` with this
+        engine's prepare cache, so back-to-back batches on an unchanged
+        table skip selection/ranking/rule indexing entirely.
+        """
+        from repro.core.batch import batch_ptk_queries
+
+        with query_scope("ptk-batch", table=name, requests=len(requests)):
+            return batch_ptk_queries(
+                self.table(name),
+                requests,
+                ranking=ranking,
+                cache=self._prepare_cache,
             )
 
     def utopk(
@@ -185,7 +227,9 @@ class UncertainDB:
         """Exact ``Pr^k`` of every tuple satisfying the predicate."""
         with query_scope("topk-probabilities", table=name, k=k):
             return exact_topk_probabilities(
-                self.table(name), query or TopKQuery(k=k)
+                self.table(name),
+                query or TopKQuery(k=k),
+                cache=self._prepare_cache,
             )
 
     def expected_ranks(
@@ -225,10 +269,14 @@ class UncertainDB:
         table = self.table(name)
         query = query or TopKQuery(k=k)
         with query_scope("compare-semantics", table=name, k=k):
-            ptk = exact_ptk_query(table, query, threshold)
+            ptk = exact_ptk_query(
+                table, query, threshold, cache=self._prepare_cache
+            )
             utopk = utopk_query(table, query)
             ukranks = ukranks_query(table, query)
-            probabilities = exact_topk_probabilities(table, query)
+            probabilities = exact_topk_probabilities(
+                table, query, cache=self._prepare_cache
+            )
         mentioned = (
             set(ptk.answers) | set(utopk.vector) | set(ukranks.tuple_ids)
         )

@@ -27,6 +27,15 @@ class Predicate:
     def __call__(self, tup: UncertainTuple) -> bool:  # pragma: no cover
         raise NotImplementedError
 
+    def cache_key(self) -> tuple:
+        """Hashable identity for prepared-ranking cache lookups.
+
+        Two predicates sharing a cache key must select exactly the same
+        tuples.  Structural predicates override this; the fallback is
+        object identity, which is never falsely shared.
+        """
+        return ("instance", id(self))
+
     def __and__(self, other: "Predicate") -> "Predicate":
         return _And(self, other)
 
@@ -45,6 +54,9 @@ class _And(Predicate):
     def __call__(self, tup: UncertainTuple) -> bool:
         return self.left(tup) and self.right(tup)
 
+    def cache_key(self) -> tuple:
+        return ("and", self.left.cache_key(), self.right.cache_key())
+
 
 @dataclass
 class _Or(Predicate):
@@ -54,6 +66,9 @@ class _Or(Predicate):
     def __call__(self, tup: UncertainTuple) -> bool:
         return self.left(tup) or self.right(tup)
 
+    def cache_key(self) -> tuple:
+        return ("or", self.left.cache_key(), self.right.cache_key())
+
 
 @dataclass
 class _Not(Predicate):
@@ -61,6 +76,9 @@ class _Not(Predicate):
 
     def __call__(self, tup: UncertainTuple) -> bool:
         return not self.inner(tup)
+
+    def cache_key(self) -> tuple:
+        return ("not", self.inner.cache_key())
 
 
 class AlwaysTrue(Predicate):
@@ -74,6 +92,9 @@ class AlwaysTrue(Predicate):
     def __call__(self, tup: UncertainTuple) -> bool:
         return True
 
+    def cache_key(self) -> tuple:
+        return ("always",)
+
 
 @dataclass
 class ScoreAbove(Predicate):
@@ -84,6 +105,9 @@ class ScoreAbove(Predicate):
     def __call__(self, tup: UncertainTuple) -> bool:
         return tup.score > self.threshold
 
+    def cache_key(self) -> tuple:
+        return ("score-above", self.threshold)
+
 
 @dataclass
 class ScoreBelow(Predicate):
@@ -93,6 +117,9 @@ class ScoreBelow(Predicate):
 
     def __call__(self, tup: UncertainTuple) -> bool:
         return tup.score < self.threshold
+
+    def cache_key(self) -> tuple:
+        return ("score-below", self.threshold)
 
 
 @dataclass
@@ -108,6 +135,10 @@ class AttributeEquals(Predicate):
     def __call__(self, tup: UncertainTuple) -> bool:
         sentinel = object()
         return tup.attributes.get(self.name, sentinel) == self.value
+
+    def cache_key(self) -> tuple:
+        value = self.value if isinstance(self.value, (str, int, float, bool, type(None))) else ("instance", id(self.value))
+        return ("attr-equals", self.name, value)
 
 
 @dataclass

@@ -9,7 +9,7 @@ agree exactly with the fast algorithms.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.model.table import UncertainTable
 from repro.model.tuples import UncertainTuple
@@ -23,6 +23,12 @@ class RankingFunction:
         "most drifted days" in the paper); lower is better otherwise.
     :param descending: sort direction.
     :param name: label used in reports.
+    :param cache_key: optional hashable identity used by the prepared-
+        ranking cache (:mod:`repro.query.prepare`).  Two ranking
+        functions sharing a cache key must order any tuple sequence
+        identically; the factories below supply structural keys, while
+        hand-built instances default to object identity (safe, never
+        falsely shared).
     """
 
     def __init__(
@@ -30,10 +36,18 @@ class RankingFunction:
         key: Callable[[UncertainTuple], float],
         descending: bool = True,
         name: str = "score",
+        cache_key: Optional[Tuple] = None,
     ) -> None:
         self._key = key
         self.descending = descending
         self.name = name
+        self._cache_key = cache_key
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity for prepared-ranking cache lookups."""
+        if self._cache_key is not None:
+            return self._cache_key
+        return ("instance", id(self))
 
     def score(self, tup: UncertainTuple) -> float:
         """The raw ranking score of ``tup``."""
@@ -64,7 +78,12 @@ class RankingFunction:
 
 def by_score(descending: bool = True) -> RankingFunction:
     """Rank by the tuple's built-in ``score`` attribute (the default)."""
-    return RankingFunction(lambda t: t.score, descending=descending, name="score")
+    return RankingFunction(
+        lambda t: t.score,
+        descending=descending,
+        name="score",
+        cache_key=("score", descending),
+    )
 
 
 def by_attribute(name: str, descending: bool = True) -> RankingFunction:
@@ -73,14 +92,20 @@ def by_attribute(name: str, descending: bool = True) -> RankingFunction:
     :raises KeyError: at sort time, if some tuple lacks the attribute.
     """
     return RankingFunction(
-        lambda t: t.attributes[name], descending=descending, name=name
+        lambda t: t.attributes[name],
+        descending=descending,
+        name=name,
+        cache_key=("attribute", name, descending),
     )
 
 
 def by_probability(descending: bool = True) -> RankingFunction:
     """Rank by membership probability (useful for diagnostics and extras)."""
     return RankingFunction(
-        lambda t: t.probability, descending=descending, name="probability"
+        lambda t: t.probability,
+        descending=descending,
+        name="probability",
+        cache_key=("probability", descending),
     )
 
 

@@ -8,6 +8,7 @@ delta after each arrival.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Set
 
@@ -63,13 +64,17 @@ class PTKMonitor:
     ) -> AnswerDelta:
         """Feed one arrival and return the resulting answer delta."""
         obs_on = OBS.enabled
-        if obs_on:
-            advance_timer = catalogued("repro_stream_advance_seconds").time()
-            advance_timer.__enter__()
-        self.window.append(tup, rule_tag=rule_tag)
-        new_answer = self.window.answer().answer_set
-        if obs_on:
-            advance_timer.__exit__(None, None, None)
+        advance_timer = (
+            catalogued("repro_stream_advance_seconds").time()
+            if obs_on
+            else nullcontext()
+        )
+        # ``with`` guarantees the timer closes even when the append is
+        # rejected (duplicate id, over-full rule tag); a leaked timer
+        # context would silently drop every later observation.
+        with advance_timer:
+            self.window.append(tup, rule_tag=rule_tag)
+            new_answer = self.window.answer().answer_set
         delta = AnswerDelta(
             arrival=tup.tid,
             entered=frozenset(new_answer - self._current),

@@ -69,6 +69,7 @@ class SlidingWindowPTK:
         self.variant = variant
         self._window: Deque[Tuple[UncertainTuple, Optional[Any]]] = deque()
         self._rule_mass: Dict[Any, float] = {}
+        self._rule_live: Dict[Any, int] = {}
         self._seen_ids: Dict[Any, int] = {}
         self._version = 0
         self._cached_version = -1
@@ -108,6 +109,7 @@ class SlidingWindowPTK:
                     f"{mass:.6f} > 1 within the window"
                 )
             self._rule_mass[rule_tag] = mass
+            self._rule_live[rule_tag] = self._rule_live.get(rule_tag, 0) + 1
         self._window.append((tup, rule_tag))
         self._seen_ids[tup.tid] = self._seen_ids.get(tup.tid, 0) + 1
         self._arrivals += 1
@@ -121,11 +123,18 @@ class SlidingWindowPTK:
         if self._seen_ids[expired.tid] == 0:
             del self._seen_ids[expired.tid]
         if tag is not None:
-            remaining = self._rule_mass[tag] - expired.probability
-            if remaining <= PROBABILITY_ATOL:
+            # Forget the tag only when no live member still carries it:
+            # float cancellation can drive the remaining mass to ~0 while
+            # tiny-probability members are still in the window, and
+            # deleting then would restart the tag's mass accounting from
+            # scratch (and KeyError on the next same-tag eviction).
+            self._rule_live[tag] -= 1
+            if self._rule_live[tag] == 0:
+                del self._rule_live[tag]
                 del self._rule_mass[tag]
             else:
-                self._rule_mass[tag] = remaining
+                remaining = self._rule_mass[tag] - expired.probability
+                self._rule_mass[tag] = max(remaining, 0.0)
 
     def extend(self, tuples, rule_tags=None) -> None:
         """Append many tuples (``rule_tags`` parallel to ``tuples``)."""

@@ -17,6 +17,7 @@ from repro.exceptions import QueryError, SamplingError
 from repro.query.topk import TopKQuery
 from repro.semantics.naive import naive_topk_probabilities
 from repro.stats.bounds import chernoff_hoeffding_sample_size
+from repro.stats.intervals import wilson_interval
 from tests.conftest import build_table, uncertain_tables
 
 
@@ -105,6 +106,186 @@ class TestWorldSampler:
         rng = np.random.default_rng(6)
         _, scanned = sampler.sample_unit(rng)
         assert scanned == 20
+
+
+class TestBatchedSampler:
+    """The vectorised batch path against the per-unit reference path.
+
+    The batch kernel consumes the RNG stream lazily (it never draws the
+    coins the lazy scan would skip), so agreement with the per-unit path
+    is statistical — same distribution, not the same coins: estimates
+    must agree within Wilson bounds and scan-length statistics must
+    match in expectation.
+    """
+
+    def _reference_counts(self, sampler, seed, n_units):
+        """Accumulate counts/scan lengths unit by unit (the old loop)."""
+        rng = np.random.default_rng(seed)
+        counts = {}
+        scanned = []
+        for _ in range(n_units):
+            top, length = sampler.sample_unit(rng)
+            scanned.append(length)
+            for tid in top:
+                counts[tid] = counts.get(tid, 0) + 1
+        return counts, scanned
+
+    @pytest.mark.parametrize("batch_size", [7, 64, 500])
+    def test_batch_agrees_with_per_unit_within_wilson_bounds(self, batch_size):
+        table = panda_table()
+        rule_of = rule_index_of_table(table)
+        ranked = table.ranked_tuples()
+        n_units = 4000
+        sampler = WorldSampler(ranked, rule_of, k=2)
+        ref_counts, ref_scanned = self._reference_counts(
+            sampler, seed=11, n_units=n_units
+        )
+        rng = np.random.default_rng(11)
+        counts = np.zeros(len(ranked), dtype=np.int64)
+        scanned = []
+        drawn = 0
+        while drawn < n_units:
+            step = min(batch_size, n_units - drawn)
+            batch_counts, batch_scanned = sampler.sample_batch(rng, step)
+            counts += batch_counts
+            scanned.extend(batch_scanned.tolist())
+            drawn += step
+        ids = sampler.tuple_ids
+        for i, tid in enumerate(ids):
+            lo_b, hi_b = wilson_interval(int(counts[i]), n_units)
+            lo_r, hi_r = wilson_interval(ref_counts.get(tid, 0), n_units)
+            assert lo_b <= hi_r and lo_r <= hi_b, (
+                f"{tid}: batched [{lo_b:.3f}, {hi_b:.3f}] disjoint from "
+                f"per-unit [{lo_r:.3f}, {hi_r:.3f}]"
+            )
+        # Scan lengths have the same distribution; with 4000 units the
+        # means must be close.
+        assert np.mean(scanned) == pytest.approx(np.mean(ref_scanned), abs=0.2)
+        assert max(scanned) <= len(ranked)
+        assert min(scanned) >= 1
+
+    @given(uncertain_tables(max_tuples=8), st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_batch_estimates_match_truth_on_random_tables(self, table, k):
+        rule_of = rule_index_of_table(table)
+        ranked = table.ranked_tuples()
+        sampler = WorldSampler(ranked, rule_of, k=k)
+        n_units = 2000
+        counts, scanned = sampler.sample_batch(
+            np.random.default_rng(5), n_units
+        )
+        truth = naive_topk_probabilities(table, TopKQuery(k=k))
+        ids = sampler.tuple_ids
+        for i, tid in enumerate(ids):
+            # 2000 units: additive error ~ 3 * sqrt(0.25/2000) ~ 0.034
+            assert int(counts[i]) / n_units == pytest.approx(
+                truth.get(tid, 0.0), abs=0.08
+            )
+        assert scanned.shape == (n_units,)
+        assert np.all((scanned >= 1) & (scanned <= max(len(ranked), 1)))
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 50, 200, 1000])
+    def test_estimates_consistent_across_batch_sizes(self, batch_size):
+        config = SamplingConfig(
+            sample_size=4000, progressive=False, seed=9, batch_size=batch_size
+        )
+        result = sampled_topk_probabilities(
+            panda_table(), TopKQuery(k=2), config
+        )
+        for tid, expected in PANDA_TOP2_PROBABILITIES.items():
+            assert result.estimate_of(tid) == pytest.approx(expected, abs=0.05)
+        # Deterministic for a fixed (seed, batch_size) pair.
+        again = sampled_topk_probabilities(
+            panda_table(), TopKQuery(k=2), config
+        )
+        assert again.estimates == result.estimates
+        assert again.total_scanned == result.total_scanned
+
+    def test_average_sample_length_matches_per_unit_reference(self):
+        table = panda_table()
+        sampler = WorldSampler(
+            table.ranked_tuples(), rule_index_of_table(table), k=2
+        )
+        _, ref_scanned = self._reference_counts(sampler, seed=13, n_units=4000)
+        result = sampled_topk_probabilities(
+            table,
+            TopKQuery(k=2),
+            SamplingConfig(sample_size=4000, progressive=False, seed=17),
+        )
+        assert result.average_sample_length == pytest.approx(
+            np.mean(ref_scanned), abs=0.2
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 30, 100, 999, 4096])
+    def test_progressive_stops_only_at_checkpoint_boundaries(self, batch_size):
+        result = sampled_topk_probabilities(
+            panda_table(),
+            TopKQuery(k=2),
+            SamplingConfig(
+                progressive=True,
+                min_samples=200,
+                check_interval=100,
+                tolerance=0.05,
+                seed=1,
+                batch_size=batch_size,
+            ),
+        )
+        assert result.converged_early
+        assert result.units_drawn % 100 == 0
+        assert result.units_drawn >= 200
+
+    def test_progressive_estimates_sound_at_any_batch_size(self):
+        # The draw schedule differs per batch size, so convergence may
+        # fire at different checkpoints — but always *at* a checkpoint,
+        # and always with estimates near the truth.
+        for batch_size in (1, 37, 100, 5000):
+            result = sampled_topk_probabilities(
+                panda_table(),
+                TopKQuery(k=2),
+                SamplingConfig(
+                    progressive=True,
+                    min_samples=500,
+                    check_interval=100,
+                    tolerance=0.05,
+                    seed=1,
+                    batch_size=batch_size,
+                ),
+            )
+            assert result.units_drawn % 100 == 0
+            for tid, expected in PANDA_TOP2_PROBABILITIES.items():
+                assert result.estimate_of(tid) == pytest.approx(
+                    expected, abs=0.1
+                )
+
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(SamplingError):
+            SamplingConfig(batch_size=0).resolved_batch_size()
+        with pytest.raises(SamplingError):
+            sampled_topk_probabilities(
+                panda_table(),
+                TopKQuery(k=2),
+                SamplingConfig(sample_size=10, batch_size=-5),
+            )
+
+    def test_default_batch_size_tracks_checkpoint_interval(self):
+        assert (
+            SamplingConfig(progressive=True, check_interval=250)
+            .resolved_batch_size()
+            == 250
+        )
+        assert SamplingConfig(progressive=False).resolved_batch_size() == 1024
+
+    def test_sample_batch_rejects_nonpositive(self):
+        table = build_table([0.5], rule_groups=[])
+        sampler = WorldSampler(table.ranked_tuples(), {}, k=1)
+        with pytest.raises(SamplingError):
+            sampler.sample_batch(np.random.default_rng(0), 0)
+
+    def test_empty_ranking(self):
+        sampler = WorldSampler([], {}, k=1)
+        counts, scanned = sampler.sample_batch(np.random.default_rng(0), 8)
+        assert counts.size == 0
+        assert scanned.tolist() == [0] * 8
 
 
 class TestEstimates:

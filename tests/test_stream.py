@@ -167,3 +167,77 @@ class TestMonitor:
         assert monitor.current_answer == {"a"}
         delta = monitor.observe(detection("weak", 1, 0.05))
         assert not delta.changed
+
+
+class TestMonitorTimerOnError:
+    """Regression: a rejected arrival must not leak the advance timer."""
+
+    def test_timer_recorded_when_append_raises(self):
+        from repro import obs
+
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=5)
+        monitor = PTKMonitor(window)
+        with obs.enabled_scope(fresh=True):
+            timer = obs.catalogued("repro_stream_advance_seconds")
+            monitor.observe(detection("a", 5, 0.9))
+            with pytest.raises(ValidationError):
+                monitor.observe(detection("a", 6, 0.9))  # duplicate live id
+            # The failed advance still closed (and recorded) its timing.
+            assert timer.count() == 2
+            # The monitor keeps working after the error.
+            delta = monitor.observe(detection("b", 9, 0.95))
+            assert timer.count() == 3
+            assert "b" in delta.entered
+        assert monitor.current_answer == {"b"}
+
+    def test_rejected_arrival_leaves_no_history(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=5)
+        monitor = PTKMonitor(window)
+        monitor.observe(detection("a", 5, 0.9))
+        with pytest.raises(ValidationError):
+            monitor.observe(detection("a", 6, 0.9))
+        assert len(monitor.history) == 1
+
+
+class TestEvictTagAccounting:
+    """Regression: a tag must survive eviction while live members carry it."""
+
+    def test_tiny_probability_member_keeps_tag_alive(self):
+        # "a" (mass 0.6) and "tiny" (5e-10, below PROBABILITY_ATOL) share
+        # a tag.  When "a" expires, the remaining mass is ~0 but "tiny"
+        # is still live: the tag must not be forgotten.
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=2)
+        window.append(detection("a", 1, 0.6), rule_tag="g")
+        window.append(detection("tiny", 2, 5e-10), rule_tag="g")
+        window.append(detection("pad", 3, 0.5))  # evicts "a"
+        assert "g" in window._rule_mass
+        assert window._rule_mass["g"] == pytest.approx(5e-10, abs=1e-12)
+        # The surviving accounting still enforces the <= 1 constraint.
+        window.append(detection("b", 4, 0.999), rule_tag="g")  # evicts "tiny"
+        with pytest.raises(ValidationError):
+            window.append(detection("c", 5, 0.5), rule_tag="g")
+
+    def test_no_keyerror_when_tagged_members_outlive_depleted_mass(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=2)
+        window.append(detection("a", 1, 0.9), rule_tag="g")
+        window.append(detection("tiny", 2, 1e-10), rule_tag="g")
+        window.append(detection("pad", 3, 0.5))   # evicts "a" (mass -> ~0)
+        window.append(detection("pad2", 4, 0.5))  # evicts "tiny" (same tag)
+        assert len(window) == 2
+
+    def test_tag_forgotten_once_last_member_leaves(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=1)
+        window.append(detection("a", 1, 0.9), rule_tag="g")
+        window.append(detection("b", 2, 0.1))  # evicts "a", tag gone
+        # Full 0.95 mass available again under the same tag.
+        window.append(detection("c", 3, 0.95), rule_tag="g")
+        assert len(window) == 1
+
+    def test_mass_never_negative_after_float_cancellation(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=3)
+        window.append(detection("a", 1, 0.3), rule_tag="g")
+        window.append(detection("b", 2, 0.1), rule_tag="g")
+        window.append(detection("c", 3, 0.2), rule_tag="g")
+        window.append(detection("d", 4, 0.25), rule_tag="g")  # evicts "a"
+        window.append(detection("e", 5, 0.4), rule_tag="g")   # evicts "b"
+        assert window._rule_mass["g"] >= 0.0
