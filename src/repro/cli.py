@@ -166,6 +166,7 @@ def _run_query(args: argparse.Namespace, table, query) -> int:
                     progressive=False,
                     seed=args.seed,
                     batch_size=args.sample_batch_size,
+                    n_workers=args.workers,
                 ),
             )
         else:
@@ -218,6 +219,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                     progressive=False,
                     seed=args.seed,
                     batch_size=args.sample_batch_size,
+                    n_workers=args.workers,
                 ),
             )
         else:
@@ -305,6 +307,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="units per vectorised sampler batch (default: auto); "
         "estimates are deterministic for a fixed seed and batch size",
     )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sampled queries (1 = single-process, "
+        "0 = one per CPU); the unit budget is sharded deterministically "
+        "for a fixed seed, batch size, and worker count",
+    )
     query.add_argument("--seed", type=int, default=7)
     query.add_argument(
         "--where",
@@ -345,6 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="units per vectorised sampler batch (default: auto)",
+    )
+    stats.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sampled queries (1 = single-process, "
+        "0 = one per CPU)",
     )
     stats.add_argument("--seed", type=int, default=7)
     stats.add_argument(

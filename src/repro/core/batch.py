@@ -10,41 +10,22 @@ can share a single RC+LR scan.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.profile import topk_probability_profile
 from repro.core.results import AlgorithmStats, PTKAnswer
 from repro.exceptions import QueryError
 from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
 from repro.query.prepare import PrepareCache, resolve_prepared
 from repro.query.ranking import RankingFunction, by_score
 from repro.query.topk import TopKQuery
 
 
-def batch_ptk_queries(
-    table: UncertainTable,
-    requests: Sequence[Tuple[int, float]],
-    ranking: RankingFunction | None = None,
-    cache: Optional[PrepareCache] = None,
-) -> List[PTKAnswer]:
-    """Answer several ``(k, threshold)`` PT-k queries in one scan.
-
-    :param requests: ``(k, p)`` pairs; validated up front.
-    :param ranking: shared ranking function.
-    :param cache: an optional :class:`PrepareCache`; selection, ranking,
-        and rule indexing run at most once either way — the cache lets
-        *successive* batch calls on an unchanged table skip them too.
-    :returns: one :class:`PTKAnswer` per request, in request order.
-        Each answer carries the full probability map for its k (sliced
-        from the shared profile), so per-request behaviour matches
-        :func:`repro.core.exact.exact_ptk_query` with ``pruning=False``.
-        Stats report the *shared* scan honestly: every answer records
-        the common scan depth, but only the first answer bills the
-        ``tuples_evaluated`` of the single underlying scan (the others
-        report 0 — their marginal cost).
-    """
-    if not requests:
-        return []
+def validate_requests(requests: Sequence[Tuple[int, float]]) -> None:
+    """Validate a batch of ``(k, threshold)`` pairs up front."""
     for k, threshold in requests:
         if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
             raise QueryError(f"k must be a positive integer, got {k!r}")
@@ -52,13 +33,20 @@ def batch_ptk_queries(
             raise QueryError(
                 f"probability threshold must be in (0, 1], got {threshold!r}"
             )
-    ranking = ranking or by_score()
-    max_k = max(k for k, _ in requests)
-    query = TopKQuery(k=max_k, ranking=ranking)
-    prepared = resolve_prepared(table, query, cache=cache)
-    profiles = topk_probability_profile(table, query, prepared=prepared)
-    ranked = prepared.ranked
 
+
+def answers_from_profiles(
+    profiles: Mapping[Any, np.ndarray],
+    ranked: Sequence[UncertainTuple],
+    requests: Sequence[Tuple[int, float]],
+) -> List[PTKAnswer]:
+    """Slice one shared probability profile into per-request answers.
+
+    Stats report the shared scan honestly: every answer records the
+    common scan depth, but only the first answer bills the
+    ``tuples_evaluated`` of the single underlying scan (the others
+    report 0 — their marginal cost).
+    """
     answers: List[PTKAnswer] = []
     for index, (k, threshold) in enumerate(requests):
         probabilities: Dict[Any, float] = {
@@ -75,6 +63,58 @@ def batch_ptk_queries(
         )
         answers.append(answer)
     return answers
+
+
+def batch_ptk_queries(
+    table: UncertainTable,
+    requests: Sequence[Tuple[int, float]],
+    ranking: RankingFunction | None = None,
+    cache: Optional[PrepareCache] = None,
+    n_workers: int = 1,
+    use_processes: bool = True,
+) -> List[PTKAnswer]:
+    """Answer several ``(k, threshold)`` PT-k queries in one scan.
+
+    :param requests: ``(k, p)`` pairs; validated up front.
+    :param ranking: shared ranking function.
+    :param cache: an optional :class:`PrepareCache`; selection, ranking,
+        and rule indexing run at most once either way — the cache lets
+        *successive* batch calls on an unchanged table skip them too.
+    :param n_workers: ``1`` (the default) answers all requests serially
+        over one shared scan; ``> 1`` (or ``0`` for one per CPU)
+        partitions the requests across a process pool, each worker
+        scanning the shared prepared ranking for its own partition — see
+        :func:`repro.parallel.fanout.parallel_batch_ptk_queries`.
+    :param use_processes: parallel mode only — set False to run the
+        partitions inline (identical answers, no pool).
+    :returns: one :class:`PTKAnswer` per request, in request order.
+        Each answer carries the full probability map for its k (sliced
+        from the shared profile), so per-request behaviour matches
+        :func:`repro.core.exact.exact_ptk_query` with ``pruning=False``.
+        In parallel mode each worker partition bills its own scan the
+        same way (first answer of the partition carries
+        ``tuples_evaluated``).
+    """
+    if not requests:
+        return []
+    validate_requests(requests)
+    if n_workers != 1 and len(requests) > 1:
+        from repro.parallel.fanout import parallel_batch_ptk_queries
+
+        return parallel_batch_ptk_queries(
+            table,
+            requests,
+            ranking=ranking,
+            cache=cache,
+            n_workers=n_workers,
+            use_processes=use_processes,
+        )
+    ranking = ranking or by_score()
+    max_k = max(k for k, _ in requests)
+    query = TopKQuery(k=max_k, ranking=ranking)
+    prepared = resolve_prepared(table, query, cache=cache)
+    profiles = topk_probability_profile(table, query, prepared=prepared)
+    return answers_from_profiles(profiles, prepared.ranked, requests)
 
 
 def threshold_sweep(

@@ -180,6 +180,39 @@ CATALOG: Dict[str, MetricSpec] = {
             "Units actually drawn by the last sampling run.",
             "Section 5 (achieved vs bound)",
         ),
+        # ------------------------------------------------------- parallel
+        _spec(
+            "repro_parallel_shards_total", "counter", (),
+            "Sampling shards executed by the parallel path.",
+            "Beyond the paper (parallel execution)",
+        ),
+        _spec(
+            "repro_parallel_workers", "gauge", (),
+            "Worker count resolved for the last parallel call.",
+            "Beyond the paper (parallel execution)",
+        ),
+        _spec(
+            "repro_parallel_shard_units", "histogram", (),
+            "Sample units drawn per shard.",
+            "Beyond the paper (parallel execution)",
+        ),
+        _spec(
+            "repro_parallel_shard_seconds", "histogram", (),
+            "Wall time per sampling shard (as measured inside the worker).",
+            "Beyond the paper (parallel execution)",
+        ),
+        _spec(
+            "repro_parallel_merge_seconds", "timer", (),
+            "Wall time merging shard counts and replaying the (d, phi) "
+            "rule on merged snapshots.",
+            "Beyond the paper (parallel execution)",
+        ),
+        _spec(
+            "repro_parallel_fanout_queries_total", "counter", ("mode",),
+            "Queries answered through the multi-query fan-out "
+            "(mode=many|batch).",
+            "Beyond the paper (parallel execution)",
+        ),
         # ------------------------------------------------------ streaming
         _spec(
             "repro_stream_arrivals_total", "counter", (),

@@ -1,0 +1,246 @@
+"""Multi-query fan-out: independent PT-k requests across a process pool.
+
+Serving workloads rarely ask one query at a time: a dashboard refresh
+issues dozens of independent ``(table, k, threshold)`` requests at once.
+Each is answered by the exact engine — CPU-bound, no shared mutable
+state — so they partition cleanly across workers.
+
+The expensive shared part, query preparation (selection + ranking + rule
+indexing), is **not** repeated per worker: the parent prepares each
+table once (through its :class:`~repro.query.prepare.PrepareCache`,
+warming it for later queries) and ships the prepared ranking to the
+workers.  Predicate and ranking objects may close over lambdas, so the
+shipped copy is stripped to the picklable parts the engines actually
+consume (ranked tuples, rule index, rule probabilities).
+
+Two entry points:
+
+* :func:`parallel_ptk_queries` — arbitrary ``(table_key, k, threshold)``
+  requests, each answered by :func:`repro.core.exact.exact_ptk_query`
+  against its table's shared preparation.  Backs
+  :meth:`repro.query.engine.UncertainDB.ptk_many`.
+* :func:`parallel_batch_ptk_queries` — the parallel mode of
+  :func:`repro.core.batch.batch_ptk_queries`: one table, requests
+  partitioned round-robin, each worker running one shared profile scan
+  for its partition.
+
+Answers are returned in request order and are identical to the serial
+paths (the exact engine is deterministic), whichever executor runs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.batch import answers_from_profiles, validate_requests
+from repro.core.exact import ExactVariant, exact_ptk_query
+from repro.core.profile import topk_probability_profile
+from repro.core.results import PTKAnswer
+from repro.exceptions import QueryError
+from repro.model.table import UncertainTable
+from repro.obs import OBS, catalogued, span as obs_span
+from repro.parallel.pool import resolve_workers, shard_map
+from repro.query.prepare import PrepareCache, PreparedRanking, resolve_prepared
+from repro.query.ranking import RankingFunction, by_score
+from repro.query.topk import TopKQuery
+
+
+def strip_for_shipping(prepared: PreparedRanking) -> PreparedRanking:
+    """A copy of ``prepared`` safe to pickle into worker processes.
+
+    Predicate and ranking objects may hold closures (``by_score`` does);
+    the engines consuming a ready preparation never touch them, so the
+    shipped copy carries ``None`` in their place.
+    """
+    if prepared.predicate is None and prepared.ranking is None:
+        return prepared
+    return replace(prepared, predicate=None, ranking=None)
+
+
+@dataclass(frozen=True)
+class _ExactChunk:
+    """One worker's slice of a fan-out: requests plus their preparations."""
+
+    items: Tuple[Tuple[int, str, int, float], ...]  # (position, key, k, p)
+    prepared_of: Mapping[str, PreparedRanking]
+    variant_value: str
+    pruning: bool
+
+
+def _run_exact_chunk(chunk: _ExactChunk) -> List[Tuple[int, PTKAnswer]]:
+    """Answer one chunk's requests (module-level: must pickle)."""
+    out: List[Tuple[int, PTKAnswer]] = []
+    variant = ExactVariant(chunk.variant_value)
+    for position, key, k, threshold in chunk.items:
+        prepared = chunk.prepared_of[key]
+        answer = exact_ptk_query(
+            prepared.table,
+            TopKQuery(k=k),
+            threshold,
+            variant=variant,
+            pruning=chunk.pruning,
+            prepared=prepared,
+        )
+        out.append((position, answer))
+    return out
+
+
+def parallel_ptk_queries(
+    prepared_of: Mapping[str, PreparedRanking],
+    requests: Sequence[Tuple[str, int, float]],
+    n_workers: Optional[int] = None,
+    variant: ExactVariant = ExactVariant.RC_LR,
+    pruning: bool = True,
+    use_processes: bool = True,
+) -> List[PTKAnswer]:
+    """Answer independent exact PT-k requests across a worker pool.
+
+    :param prepared_of: table key -> prepared ranking; every key named in
+        ``requests`` must be present.  Prepare once in the parent (see
+        :meth:`UncertainDB.ptk_many`) — workers never re-prepare.
+    :param requests: ``(table_key, k, threshold)`` triples.
+    :param n_workers: pool size; ``None``/``0`` means one per CPU, ``1``
+        answers serially in-process.
+    :returns: answers in request order, identical to calling
+        :func:`exact_ptk_query` per request.
+    """
+    if not requests:
+        return []
+    validate_requests([(k, threshold) for _, k, threshold in requests])
+    missing = {key for key, _, _ in requests} - set(prepared_of)
+    if missing:
+        raise QueryError(
+            f"no prepared ranking supplied for table(s) {sorted(missing)!r}"
+        )
+    workers = resolve_workers(n_workers)
+    chunks = _partition_exact(requests, prepared_of, workers, variant, pruning)
+    with obs_span(
+        "query.fanout", mode="many", requests=len(requests), workers=workers
+    ):
+        chunk_results = shard_map(
+            _run_exact_chunk, chunks, workers, use_processes=use_processes
+        )
+    answers: List[Optional[PTKAnswer]] = [None] * len(requests)
+    for chunk_result in chunk_results:
+        for position, answer in chunk_result:
+            answers[position] = answer
+    if OBS.enabled:
+        catalogued("repro_parallel_fanout_queries_total").inc(
+            len(requests), mode="many"
+        )
+        catalogued("repro_parallel_workers").set(workers)
+    return answers  # type: ignore[return-value]
+
+
+def _partition_exact(
+    requests: Sequence[Tuple[str, int, float]],
+    prepared_of: Mapping[str, PreparedRanking],
+    workers: int,
+    variant: ExactVariant,
+    pruning: bool,
+) -> List[_ExactChunk]:
+    """Round-robin request partition; each chunk ships only what it needs."""
+    n_chunks = max(1, min(workers, len(requests)))
+    chunks: List[_ExactChunk] = []
+    for c in range(n_chunks):
+        items = tuple(
+            (position, key, k, threshold)
+            for position, (key, k, threshold) in enumerate(requests)
+            if position % n_chunks == c
+        )
+        if not items:
+            continue
+        needed = {key for _, key, _, _ in items}
+        chunks.append(
+            _ExactChunk(
+                items=items,
+                prepared_of={
+                    key: strip_for_shipping(prepared_of[key]) for key in needed
+                },
+                variant_value=variant.value,
+                pruning=pruning,
+            )
+        )
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# Parallel mode of batch_ptk_queries: one table, shared profile per chunk
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _BatchChunk:
+    """One worker's request partition over a single shared preparation."""
+
+    items: Tuple[Tuple[int, int, float], ...]  # (position, k, threshold)
+    prepared: PreparedRanking
+
+
+def _run_batch_chunk(chunk: _BatchChunk) -> List[Tuple[int, PTKAnswer]]:
+    """Answer one partition via a profile scan (module-level: must pickle)."""
+    chunk_requests = [(k, threshold) for _, k, threshold in chunk.items]
+    max_k = max(k for k, _ in chunk_requests)
+    query = TopKQuery(k=max_k)
+    profiles = topk_probability_profile(
+        chunk.prepared.table, query, prepared=chunk.prepared
+    )
+    answers = answers_from_profiles(
+        profiles, chunk.prepared.ranked, chunk_requests
+    )
+    return [
+        (position, answer)
+        for (position, _, _), answer in zip(chunk.items, answers)
+    ]
+
+
+def parallel_batch_ptk_queries(
+    table: UncertainTable,
+    requests: Sequence[Tuple[int, float]],
+    ranking: RankingFunction | None = None,
+    cache: Optional[PrepareCache] = None,
+    n_workers: Optional[int] = None,
+    use_processes: bool = True,
+) -> List[PTKAnswer]:
+    """The parallel mode of :func:`repro.core.batch.batch_ptk_queries`.
+
+    The table is prepared once in the parent (through ``cache`` when
+    given); requests are partitioned round-robin and every worker runs
+    one shared profile scan capped at its partition's largest k.
+    Answers match the serial batch path exactly.
+    """
+    if not requests:
+        return []
+    validate_requests(requests)
+    workers = resolve_workers(n_workers)
+    ranking = ranking or by_score()
+    max_k = max(k for k, _ in requests)
+    query = TopKQuery(k=max_k, ranking=ranking)
+    prepared = strip_for_shipping(
+        resolve_prepared(table, query, cache=cache)
+    )
+    n_chunks = max(1, min(workers, len(requests)))
+    chunks = []
+    for c in range(n_chunks):
+        items = tuple(
+            (position, k, threshold)
+            for position, (k, threshold) in enumerate(requests)
+            if position % n_chunks == c
+        )
+        if items:
+            chunks.append(_BatchChunk(items=items, prepared=prepared))
+    with obs_span(
+        "query.fanout", mode="batch", requests=len(requests), workers=workers
+    ):
+        chunk_results = shard_map(
+            _run_batch_chunk, chunks, workers, use_processes=use_processes
+        )
+    answers: List[Optional[PTKAnswer]] = [None] * len(requests)
+    for chunk_result in chunk_results:
+        for position, answer in chunk_result:
+            answers[position] = answer
+    if OBS.enabled:
+        catalogued("repro_parallel_fanout_queries_total").inc(
+            len(requests), mode="batch"
+        )
+        catalogued("repro_parallel_workers").set(workers)
+    return answers  # type: ignore[return-value]

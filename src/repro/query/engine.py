@@ -102,9 +102,10 @@ class UncertainDB:
         if key in self._tables:
             raise QueryError(f"a table named {key!r} is already registered")
         self._tables[key] = table
-        # A fresh registration must never serve preparations of a table
-        # previously known under this name (drop + re-register).
-        self._prepare_cache.invalidate(table)
+        # No cache invalidation here: the cache is keyed by table object
+        # identity and version, so a previously dropped table's entries
+        # are already gone (``drop`` invalidates them) and a table object
+        # registered under a second name must keep its warm preparations.
         return key
 
     def table(self, name: str) -> UncertainTable:
@@ -174,12 +175,18 @@ class UncertainDB:
         name: str,
         requests: "List[Tuple[int, float]]",
         ranking=None,
+        n_workers: int = 1,
+        use_processes: bool = True,
     ) -> List[PTKAnswer]:
         """Several ``(k, threshold)`` PT-k queries sharing one scan.
 
         Delegates to :func:`repro.core.batch.batch_ptk_queries` with this
         engine's prepare cache, so back-to-back batches on an unchanged
         table skip selection/ranking/rule indexing entirely.
+
+        :param n_workers: ``1`` answers all requests over one serial
+            scan; ``> 1`` (or ``0`` for one per CPU) partitions them
+            across a process pool sharing one prepared ranking.
         """
         from repro.core.batch import batch_ptk_queries
 
@@ -189,6 +196,53 @@ class UncertainDB:
                 requests,
                 ranking=ranking,
                 cache=self._prepare_cache,
+                n_workers=n_workers,
+                use_processes=use_processes,
+            )
+
+    def ptk_many(
+        self,
+        requests: "List[Tuple[str, int, float]]",
+        n_workers: Optional[int] = None,
+        variant: ExactVariant = ExactVariant.RC_LR,
+        pruning: bool = True,
+        use_processes: bool = True,
+    ) -> List[PTKAnswer]:
+        """Independent exact PT-k queries fanned out across workers.
+
+        Each request is a ``(table_name, k, threshold)`` triple; requests
+        may span several registered tables.  Every distinct table is
+        prepared **once** in the parent — through this engine's prepare
+        cache, so the warm entries also serve later queries — and the
+        prepared rankings are shared by all workers.  Answers come back
+        in request order and are identical to calling :meth:`ptk` per
+        request.
+
+        :param n_workers: pool size; ``None``/``0`` means one worker per
+            available CPU, ``1`` answers serially in-process.
+        :param use_processes: set False to run the partitions inline
+            (identical answers, no pool).
+        """
+        from repro.parallel.fanout import parallel_ptk_queries
+
+        # Preparation is k-independent (keyed by predicate and ranking),
+        # so one cache lookup per distinct table covers every request.
+        ready: Dict[str, Any] = {}
+        for name, k, _ in requests:
+            if name not in ready:
+                ready[name] = self._prepare_cache.get(
+                    self.table(name), TopKQuery(k=k)
+                )
+        with query_scope(
+            "ptk-many", requests=len(requests), tables=len(ready)
+        ):
+            return parallel_ptk_queries(
+                ready,
+                requests,
+                n_workers=n_workers,
+                variant=variant,
+                pruning=pruning,
+                use_processes=use_processes,
             )
 
     def utopk(

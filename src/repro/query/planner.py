@@ -33,7 +33,7 @@ from typing import List, Optional
 from repro.model.statistics import TableStatistics, collect_statistics
 from repro.model.table import UncertainTable
 from repro.exceptions import QueryError
-from repro.stats.intervals import normal_quantile
+from repro.stats.intervals import standard_normal_quantile
 
 
 @dataclass(frozen=True)
@@ -53,9 +53,13 @@ class ScanDepthEstimate:
 
 def _mass_target(k: int, threshold: float) -> float:
     """Prefix mass at which ``Pr(N <= k)`` drops below the threshold."""
-    # z-quantile of the stop threshold; Pr(N <= k) ~ Phi((k - M)/sqrt(V))
-    # with V <= M, so M ~ k + z * sqrt(k) is the crossing point.
-    z = normal_quantile(1.0 - 2.0 * min(threshold, 0.49999))
+    # Pr(N <= k) ~ Phi((k - M)/sqrt(V)) with V <= M, so the bound fires
+    # near M ~ k + z * sqrt(k) where z = Phi^{-1}(1 - p).  The quantile
+    # must stay *signed*: for p > 0.5 it is negative and the tail bound
+    # fires before the prefix mass reaches k — high thresholds prune
+    # earlier, not later.
+    p = min(max(threshold, 1e-12), 1.0 - 1e-12)
+    z = standard_normal_quantile(1.0 - p)
     return k + z * math.sqrt(max(k, 1))
 
 
@@ -83,7 +87,9 @@ def estimate_scan_depth(
         return ScanDepthEstimate(depth=0, fraction=0.0, mass_target=0.0)
     target = _mass_target(k, threshold)
     mean = max(statistics.mean_probability, 1e-9)
-    depth = min(n, int(math.ceil(target / mean)))
+    # At extreme thresholds the target can drop to (or below) zero — the
+    # scan still retrieves at least one tuple before any bound can fire.
+    depth = min(n, max(1, int(math.ceil(target / mean))))
     return ScanDepthEstimate(
         depth=depth, fraction=depth / n, mass_target=target
     )

@@ -31,6 +31,7 @@ cached preparations.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -135,6 +136,13 @@ class PrepareCache:
     The cache is shared freely across query kinds: an exact PT-k query,
     a sampling run, and a profile scan with the same predicate and
     ranking all hit the same entry.
+
+    All public methods are thread-safe: a threaded server can share one
+    :class:`~repro.query.engine.UncertainDB` (and therefore one cache)
+    across request handlers.  A single re-entrant lock serialises
+    lookups, so at most one preparation is built at a time per cache —
+    concurrent readers of a warm entry queue briefly behind a miss
+    rather than building the same preparation twice.
     """
 
     def __init__(
@@ -149,6 +157,7 @@ class PrepareCache:
         self._by_table: "weakref.WeakKeyDictionary[UncertainTable, OrderedDict]" = (
             weakref.WeakKeyDictionary()
         )
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
@@ -158,36 +167,37 @@ class PrepareCache:
     # ------------------------------------------------------------------
     def get(self, table: UncertainTable, query: TopKQuery) -> PreparedRanking:
         """The prepared ranking for ``query`` on ``table`` (built on miss)."""
-        version = table.version
-        key = (query.predicate.cache_key(), query.ranking.cache_key())
-        entries = self._by_table.get(table)
-        if entries is not None:
-            # Purge preparations of older table versions eagerly.
-            stale = [
-                k for k, prep in entries.items()
-                if prep.source_version != version
-            ]
-            for k in stale:
-                del entries[k]
-            hit = entries.get(key)
-            if hit is not None:
-                entries.move_to_end(key)
-                self._hits += 1
-                if OBS.enabled:
-                    catalogued("repro_prepare_cache_hits_total").inc()
-                return hit
-        self._misses += 1
-        if OBS.enabled:
-            catalogued("repro_prepare_cache_misses_total").inc()
-        prepared = prepare_ranking(table, query)
-        if entries is None:
-            entries = OrderedDict()
-            self._by_table[table] = entries
-        entries[key] = prepared
-        entries.move_to_end(key)
-        while len(entries) > self.max_entries_per_table:
-            entries.popitem(last=False)
-        return prepared
+        with self._lock:
+            version = table.version
+            key = (query.predicate.cache_key(), query.ranking.cache_key())
+            entries = self._by_table.get(table)
+            if entries is not None:
+                # Purge preparations of older table versions eagerly.
+                stale = [
+                    k for k, prep in entries.items()
+                    if prep.source_version != version
+                ]
+                for k in stale:
+                    del entries[k]
+                hit = entries.get(key)
+                if hit is not None:
+                    entries.move_to_end(key)
+                    self._hits += 1
+                    if OBS.enabled:
+                        catalogued("repro_prepare_cache_hits_total").inc()
+                    return hit
+            self._misses += 1
+            if OBS.enabled:
+                catalogued("repro_prepare_cache_misses_total").inc()
+            prepared = prepare_ranking(table, query)
+            if entries is None:
+                entries = OrderedDict()
+                self._by_table[table] = entries
+            entries[key] = prepared
+            entries.move_to_end(key)
+            while len(entries) > self.max_entries_per_table:
+                entries.popitem(last=False)
+            return prepared
 
     # ------------------------------------------------------------------
     # Invalidation and introspection
@@ -201,32 +211,62 @@ class PrepareCache:
 
         :returns: number of entries dropped.
         """
-        dropped = 0
-        if table is None:
-            for entries in self._by_table.values():
-                dropped += len(entries)
-            self._by_table.clear()
-        else:
-            entries = self._by_table.pop(table, None)
-            if entries:
-                dropped = len(entries)
-        if dropped:
-            self._invalidations += dropped
-            if OBS.enabled:
-                catalogued("repro_prepare_cache_invalidations_total").inc(dropped)
-        return dropped
+        with self._lock:
+            dropped = 0
+            if table is None:
+                for entries in self._by_table.values():
+                    dropped += len(entries)
+                self._by_table.clear()
+            else:
+                entries = self._by_table.pop(table, None)
+                if entries:
+                    dropped = len(entries)
+            if dropped:
+                self._invalidations += dropped
+                if OBS.enabled:
+                    catalogued("repro_prepare_cache_invalidations_total").inc(
+                        dropped
+                    )
+            return dropped
+
+    def _purge_stale(self) -> int:
+        """Drop entries whose source table has since mutated.
+
+        ``get`` purges lazily per table; counting must not wait for the
+        next lookup, or ``stats().entries`` over-reports between a table
+        mutation and the next query (and any counters built on it lie).
+
+        :returns: the number of *live* entries remaining.
+        """
+        live = 0
+        for table, entries in list(self._by_table.items()):
+            version = table.version
+            stale = [
+                key for key, prep in entries.items()
+                if prep.source_version != version
+            ]
+            for key in stale:
+                del entries[key]
+            live += len(entries)
+        return live
 
     def stats(self) -> PrepareCacheStats:
-        """Hit/miss/invalidation counters plus the live entry count."""
-        return PrepareCacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            invalidations=self._invalidations,
-            entries=sum(len(entries) for entries in self._by_table.values()),
-        )
+        """Hit/miss/invalidation counters plus the live entry count.
+
+        Stale-version entries are purged before counting, so ``entries``
+        reflects what the next lookups can actually serve.
+        """
+        with self._lock:
+            return PrepareCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                invalidations=self._invalidations,
+                entries=self._purge_stale(),
+            )
 
     def __len__(self) -> int:
-        return sum(len(entries) for entries in self._by_table.values())
+        with self._lock:
+            return self._purge_stale()
 
 
 def resolve_prepared(

@@ -85,6 +85,22 @@ def _inverse_normal_cdf(p: float) -> float:
     ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
 
 
+def standard_normal_quantile(p: float) -> float:
+    """The signed standard normal quantile ``Phi^{-1}(p)`` for ``p`` in (0, 1).
+
+    Unlike :func:`normal_quantile` (which takes a two-sided *confidence*
+    level and is always positive), this is the plain inverse CDF: negative
+    below ``p = 0.5``, zero at ``0.5``, positive above.  The query planner
+    uses it to keep the tail-stop mass target signed across the whole
+    threshold range.
+    """
+    if not (0.0 < p < 1.0):
+        raise SamplingError(f"quantile argument must be in (0, 1), got {p!r}")
+    if p == 0.5:
+        return 0.0
+    return _inverse_normal_cdf(p)
+
+
 def wilson_interval(
     successes: float, samples: int, confidence: float = 0.95
 ) -> Tuple[float, float]:

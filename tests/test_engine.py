@@ -41,6 +41,32 @@ class TestCatalogue:
         with pytest.raises(UnknownTupleError):
             db.drop("panda_sightings")
 
+    def test_register_alias_keeps_warm_preparations(self, db):
+        # Registering the *same* table object under a second name used to
+        # invalidate its cached preparations (the invalidation in
+        # register() hit the new table object, which is the old one
+        # here).  Warm entries must survive.
+        db.ptk("panda_sightings", k=2, threshold=0.35)
+        assert db.prepare_cache.stats().entries == 1
+        db.register(db.table("panda_sightings"), name="alias")
+        assert db.prepare_cache.stats().entries == 1
+        hits_before = db.prepare_cache.stats().hits
+        db.ptk("alias", k=3, threshold=0.2)
+        assert db.prepare_cache.stats().hits == hits_before + 1
+
+    def test_drop_and_reregister_serves_fresh_preparations(self, db):
+        db.ptk("panda_sightings", k=2, threshold=0.35)
+        db.drop("panda_sightings")
+        # drop() invalidates the old table object's entries...
+        assert db.prepare_cache.stats().entries == 0
+        # ...and a fresh registration under the same name never serves
+        # the old table's preparations.
+        fresh = panda_table()
+        db.register(fresh)
+        misses_before = db.prepare_cache.stats().misses
+        db.ptk("panda_sightings", k=2, threshold=0.35)
+        assert db.prepare_cache.stats().misses == misses_before + 1
+
 
 class TestQueries:
     def test_ptk(self, db):

@@ -1,0 +1,290 @@
+"""Tests for the parallel execution layer (repro.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import batch_ptk_queries
+from repro.core.sampling import SamplingConfig, sampled_topk_probabilities
+from repro.datagen.sensors import panda_table
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.exceptions import QueryError, SamplingError
+from repro.parallel import (
+    parallel_sampled_topk_probabilities,
+    resolve_workers,
+    shard_budgets,
+    shard_map,
+    shard_seeds,
+    strip_for_shipping,
+)
+from repro.query.engine import UncertainDB
+from repro.query.prepare import prepare_ranking
+from repro.query.topk import TopKQuery
+from repro.stats.intervals import wilson_interval
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_synthetic_table(
+        SyntheticConfig(n_tuples=1500, n_rules=80, seed=3)
+    )
+
+
+QUERY = TopKQuery(k=20)
+
+
+def sample(table, n_workers, use_processes=False, **overrides):
+    defaults = dict(sample_size=12_000, progressive=False, seed=9)
+    defaults.update(overrides)
+    config = SamplingConfig(n_workers=n_workers, **defaults)
+    return parallel_sampled_topk_probabilities(
+        table, QUERY, config=config, use_processes=use_processes
+    )
+
+
+class TestShardPlumbing:
+    def test_shard_budgets_split_exactly(self):
+        assert shard_budgets(10, 4) == [3, 3, 2, 2]
+        assert shard_budgets(8, 4) == [2, 2, 2, 2]
+        assert sum(shard_budgets(50_001, 7)) == 50_001
+
+    def test_zero_unit_shards_dropped(self):
+        assert shard_budgets(2, 4) == [1, 1]
+
+    def test_shard_budgets_validation(self):
+        with pytest.raises(SamplingError):
+            shard_budgets(0, 4)
+        with pytest.raises(SamplingError):
+            shard_budgets(100, 0)
+
+    def test_shard_seeds_reproducible(self):
+        a = shard_seeds(42, 4)
+        b = shard_seeds(42, 4)
+        assert len(a) == 4
+        for sa, sb in zip(a, b):
+            assert (
+                np.random.default_rng(sa).random(8).tolist()
+                == np.random.default_rng(sb).random(8).tolist()
+            )
+
+    def test_shard_seeds_independent_streams(self):
+        seeds = shard_seeds(42, 3)
+        draws = [np.random.default_rng(s).random(4).tolist() for s in seeds]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(QueryError):
+            resolve_workers(-1)
+        with pytest.raises(QueryError):
+            resolve_workers(2.5)
+
+    def test_shard_map_preserves_task_order(self):
+        assert shard_map(_square, [3, 1, 2], 2, use_processes=False) == [9, 1, 4]
+
+    def test_shard_map_with_real_pool(self):
+        # One genuine pool round trip; falls back inline where the
+        # sandbox forbids subprocesses, with identical results either way.
+        assert shard_map(_square, [4, 5], 2, use_processes=True) == [16, 25]
+
+
+def _square(x):
+    return x * x
+
+
+class TestShardedSampling:
+    def test_deterministic_for_fixed_triple(self, table):
+        a = sample(table, n_workers=4)
+        b = sample(table, n_workers=4)
+        assert a.estimates == b.estimates
+        assert a.units_drawn == b.units_drawn == 12_000
+        assert a.total_scanned == b.total_scanned
+
+    def test_n_workers_1_byte_identical_to_single_process(self, table):
+        config = SamplingConfig(
+            sample_size=12_000, progressive=False, seed=9, n_workers=1
+        )
+        direct = sampled_topk_probabilities(table, QUERY, config=config)
+        via_parallel = sample(table, n_workers=1)
+        assert direct.estimates == via_parallel.estimates
+        assert direct.total_scanned == via_parallel.total_scanned
+
+    def test_worker_count_changes_the_stream(self, table):
+        # Different shard counts draw different (equally valid) units;
+        # the determinism contract is per (seed, batch_size, n_workers).
+        assert sample(table, 2).estimates != sample(table, 4).estimates
+
+    def test_agreement_with_single_process_within_wilson(self, table):
+        serial = sample(table, n_workers=1)
+        parallel = sample(table, n_workers=4)
+        n = serial.units_drawn
+        checked = 0
+        for tid, p_serial in serial.estimates.items():
+            low, high = wilson_interval(p_serial * n, n, confidence=0.999)
+            # The parallel estimate is an independent draw of the same
+            # quantity; it must land inside (a slightly padded) 99.9%
+            # interval of the serial one for every tuple.
+            pad = 0.01
+            assert low - pad <= parallel.estimate_of(tid) <= high + pad, tid
+            checked += 1
+        assert checked > 0
+
+    def test_sampling_config_delegates(self, table):
+        # sampled_topk_probabilities itself routes n_workers>1 runs to
+        # the sharded path (this is what the CLI --workers flag hits).
+        config = SamplingConfig(
+            sample_size=6_000, progressive=False, seed=9, n_workers=3
+        )
+        via_config = sampled_topk_probabilities(table, QUERY, config=config)
+        direct = sample(table, n_workers=3, sample_size=6_000)
+        assert via_config.estimates == direct.estimates
+
+    def test_explicit_rng_rejected_with_workers(self, table):
+        config = SamplingConfig(sample_size=1_000, n_workers=2)
+        with pytest.raises(SamplingError):
+            sampled_topk_probabilities(
+                table, QUERY, config=config, rng=np.random.default_rng(1)
+            )
+
+    def test_progressive_merged_stopping_deterministic(self, table):
+        a = sample(table, 4, progressive=True, sample_size=40_000)
+        b = sample(table, 4, progressive=True, sample_size=40_000)
+        assert a.estimates == b.estimates
+        assert a.units_drawn == b.units_drawn
+        assert a.converged_early == b.converged_early
+        if a.converged_early:
+            assert a.units_drawn < 40_000
+        assert a.units_drawn >= SamplingConfig().min_samples
+
+    def test_pooled_equals_inline(self, table):
+        inline = sample(table, 2, use_processes=False, sample_size=4_000)
+        pooled = sample(table, 2, use_processes=True, sample_size=4_000)
+        assert inline.estimates == pooled.estimates
+        assert inline.total_scanned == pooled.total_scanned
+
+    def test_prepared_shipping_strips_closures(self, table):
+        prepared = prepare_ranking(table, QUERY)
+        shipped = strip_for_shipping(prepared)
+        import pickle
+
+        pickle.dumps(shipped)  # the ranking lambda would choke here
+        assert shipped.ranked == prepared.ranked
+        assert shipped.predicate is None and shipped.ranking is None
+
+
+class TestFanOut:
+    @pytest.fixture()
+    def db(self, table):
+        database = UncertainDB()
+        database.register(panda_table())
+        database.register(table, name="synth")
+        return database
+
+    REQUESTS = [
+        ("panda_sightings", 2, 0.35),
+        ("synth", 10, 0.3),
+        ("panda_sightings", 3, 0.2),
+        ("synth", 5, 0.5),
+        ("synth", 20, 0.1),
+    ]
+
+    def test_ptk_many_matches_sequential(self, db):
+        many = db.ptk_many(self.REQUESTS, n_workers=2, use_processes=False)
+        for answer, (name, k, threshold) in zip(many, self.REQUESTS):
+            reference = db.ptk(name, k=k, threshold=threshold)
+            assert answer.answers == reference.answers
+            assert answer.probabilities == reference.probabilities
+            assert answer.k == k and answer.threshold == threshold
+
+    def test_ptk_many_with_real_pool(self, db):
+        many = db.ptk_many(self.REQUESTS, n_workers=2, use_processes=True)
+        inline = db.ptk_many(self.REQUESTS, n_workers=2, use_processes=False)
+        for a, b in zip(many, inline):
+            assert a.answers == b.answers and a.probabilities == b.probabilities
+
+    def test_ptk_many_prepares_each_table_once(self, db):
+        misses_before = db.prepare_cache.stats().misses
+        db.ptk_many(self.REQUESTS, n_workers=2, use_processes=False)
+        assert db.prepare_cache.stats().misses == misses_before + 2
+
+    def test_ptk_many_unknown_table(self, db):
+        from repro.exceptions import UnknownTupleError
+
+        with pytest.raises(UnknownTupleError):
+            db.ptk_many([("nope", 2, 0.5)], use_processes=False)
+
+    def test_ptk_many_empty(self, db):
+        assert db.ptk_many([], use_processes=False) == []
+
+    def test_parallel_batch_matches_serial(self, table):
+        requests = [(10, 0.3), (5, 0.5), (20, 0.2), (1, 0.9), (15, 0.4)]
+        serial = batch_ptk_queries(table, requests)
+        for workers in (2, 3):
+            parallel = batch_ptk_queries(
+                table, requests, n_workers=workers, use_processes=False
+            )
+            for a, b in zip(parallel, serial):
+                assert a.answers == b.answers
+                assert a.probabilities == b.probabilities
+
+    def test_engine_ptk_batch_parallel(self, db):
+        requests = [(10, 0.3), (5, 0.5), (20, 0.2)]
+        serial = db.ptk_batch("synth", requests)
+        parallel = db.ptk_batch(
+            "synth", requests, n_workers=2, use_processes=False
+        )
+        for a, b in zip(parallel, serial):
+            assert a.answers == b.answers
+
+    def test_single_request_stays_serial(self, table):
+        # A 1-request batch must not pay fan-out machinery.
+        serial = batch_ptk_queries(table, [(5, 0.5)])
+        parallel = batch_ptk_queries(table, [(5, 0.5)], n_workers=4)
+        assert parallel[0].answers == serial[0].answers
+        assert parallel[0].stats.tuples_evaluated == len(
+            serial[0].probabilities
+        ) or parallel[0].stats.tuples_evaluated == serial[0].stats.tuples_evaluated
+
+
+class TestParallelObservability:
+    def test_shard_metrics_emitted(self, table):
+        import repro.obs as obs
+        from repro.obs.catalog import validate_snapshot
+        from repro.obs.export import snapshot
+
+        obs.enable(fresh=True)
+        try:
+            sample(table, n_workers=3, sample_size=3_000)
+            snap = snapshot()
+            metrics = snap["metrics"]
+            assert metrics["repro_parallel_shards_total"]["samples"][0][
+                "value"
+            ] == 3.0
+            assert metrics["repro_parallel_workers"]["samples"][0]["value"] == 3.0
+            assert "repro_parallel_shard_units" in metrics
+            assert "repro_parallel_merge_seconds" in metrics
+            assert validate_snapshot(snap) == []
+        finally:
+            obs.disable()
+
+    def test_fanout_metrics_emitted(self, table):
+        import repro.obs as obs
+        from repro.obs.export import snapshot
+
+        obs.enable(fresh=True)
+        try:
+            batch_ptk_queries(
+                table,
+                [(5, 0.5), (10, 0.3)],
+                n_workers=2,
+                use_processes=False,
+            )
+            metrics = snapshot()["metrics"]
+            samples = metrics["repro_parallel_fanout_queries_total"]["samples"]
+            by_mode = {
+                tuple(sorted(s["labels"].items())): s["value"] for s in samples
+            }
+            assert by_mode[(("mode", "batch"),)] == 2.0
+        finally:
+            obs.disable()

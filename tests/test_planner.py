@@ -95,6 +95,52 @@ class TestDepthEstimates:
             estimate_scan_depth_exactish(table, 5, 1.5)
 
 
+class TestSignedQuantileRegression:
+    """The mass target must stay *signed* across the threshold range.
+
+    The pre-fix planner clamped the threshold at ``0.49999``, so every
+    ``p > 0.5`` collapsed to ``z ~ 0`` and a mass target of ``~k`` —
+    exactly where the tail bound fires earliest (``M ~ k - z_p sqrt(k)``).
+    """
+
+    def workload(self, n=4000):
+        return generate_synthetic_table(
+            SyntheticConfig(
+                n_tuples=n, n_rules=0, independent_prob_mean=0.5, seed=11
+            )
+        )
+
+    def test_high_threshold_target_falls_below_k(self):
+        k = 100
+        table = self.workload()
+        estimate = estimate_scan_depth(table, k, 0.95)
+        # z_{0.95} ~ -1.645, so the target sits well below k; the pre-fix
+        # clamp produced a target of ~k here.
+        assert estimate.mass_target <= k - k**0.5
+
+    def test_depth_strictly_decreases_with_threshold(self):
+        table = self.workload()
+        k = 100
+        depths = [
+            estimate_scan_depth(table, k, p).depth
+            for p in (0.1, 0.5, 0.8, 0.95)
+        ]
+        # Pre-fix, every p >= 0.5 produced the same depth (z clamped to
+        # ~0); the signed quantile restores strict monotonicity.
+        assert depths == sorted(depths, reverse=True)
+        assert len(set(depths)) == len(depths)
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.8, 0.95])
+    def test_predicted_tracks_measured_depth(self, p):
+        table = self.workload()
+        k = 100
+        measured = exact_ptk_query(table, TopKQuery(k=k), p).stats.scan_depth
+        predicted = estimate_scan_depth(table, k, p).depth
+        assert measured * 0.65 <= predicted <= measured * 1.5, (
+            p, predicted, measured
+        )
+
+
 class TestMethodChoice:
     def test_small_k_prefers_exact(self):
         table = TestDepthEstimates().workload()

@@ -127,6 +127,66 @@ class TestPrepareCache:
         with pytest.raises(ValueError):
             PrepareCache(max_entries_per_table=0)
 
+    def test_stats_drop_immediately_after_mutation(self):
+        # Stale-version entries used to linger in stats()/len() until the
+        # next get() purged them lazily; counting must purge (or filter)
+        # them itself.
+        cache = PrepareCache()
+        table = build_table([0.5, 0.3], rule_groups=[])
+        cache.get(table, TopKQuery(k=2))
+        assert cache.stats().entries == 1
+        table.add("t9", score=99.0, probability=0.7)
+        assert cache.stats().entries == 0
+        assert len(cache) == 0
+        # The live count recovers after the next (rebuilding) lookup.
+        cache.get(table, TopKQuery(k=2))
+        assert cache.stats().entries == 1
+
+    def test_stats_only_counts_live_versions_across_tables(self):
+        cache = PrepareCache()
+        table_a = build_table([0.5], rule_groups=[], name="a")
+        table_b = build_table([0.5], rule_groups=[], name="b")
+        cache.get(table_a, TopKQuery(k=1))
+        cache.get(table_b, TopKQuery(k=1))
+        table_a.add("t9", score=9.0, probability=0.5)
+        assert cache.stats().entries == 1
+        assert len(cache) == 1
+
+    def test_thread_safe_under_concurrent_lookups_and_mutations(self):
+        import threading
+
+        cache = PrepareCache()
+        table = build_table([0.5, 0.3, 0.8], rule_groups=[])
+        query = TopKQuery(k=2)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(200):
+                    prepared = cache.get(table, query)
+                    assert prepared.source_version <= table.version
+                    cache.stats()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def mutate():
+            try:
+                for i in range(20):
+                    table.add(f"m{i}", score=float(i), probability=0.5)
+                    cache.invalidate(table)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        threads.append(threading.Thread(target=mutate))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # After the dust settles a fresh lookup serves the final version.
+        assert cache.get(table, query).source_version == table.version
+
     def test_resolve_prefers_explicit_prepared(self):
         cache = PrepareCache()
         table = build_table([0.5], rule_groups=[])
