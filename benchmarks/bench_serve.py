@@ -1,0 +1,165 @@
+"""Serving layer: closed-loop throughput/latency, coalescing on vs off.
+
+Drives the *entire* service stack — routing, admission control, the
+request coalescer, and the batch executor — through the in-process
+:class:`~repro.serve.client.LoopbackTransport` (no sockets), with 1, 8,
+and 32 closed-loop clients issuing mixed-k PT-k queries against one
+table.  Each concurrency level runs twice: coalescing window on (2 ms)
+and off (0 ms, every request dispatches solo), so the table isolates
+what micro-batching buys.
+
+What to look for:
+
+* ``mean_batch`` — without a window it pins at 1.0; with one it grows
+  with concurrency (the whole burst shares one prepared ranking).
+* ``prepare_misses`` — stays at 1 per run either way (the
+  ``PrepareCache`` absorbs repeat prepares even without coalescing);
+  the window's win is batching the *scans*, not just the prepares.
+* p50 vs p99 under load — admission keeps the queue bounded, so p99
+  grows with concurrency but stays finite.
+
+Host caveats (as in ``bench_parallel.py``): absolute numbers depend on
+the machine and the GIL — the executor threads run CPU-bound Python, so
+throughput does not scale linearly with ``max_inflight``; the committed
+results were produced on a shared CI-class host and are indicative of
+*shape*, not of a tuned deployment.
+
+Scaling: ``REPRO_BENCH_SCALE`` scales the table size; the request count
+per concurrency level is pinned so percentiles stay comparable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.harness import ExperimentTable
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.parallel import available_cpus
+from repro.query.engine import UncertainDB
+from repro.serve import LoopbackTransport, ServeApp, ServeClient, ServeConfig
+
+K_BASE = 20
+THRESHOLD = 0.3
+SEED = 23
+CLIENT_COUNTS = (1, 8, 32)
+TOTAL_REQUESTS = 192  # divisible by every client count
+
+
+def _make_db():
+    n_tuples = max(1_000, int(10_000 * bench_scale()))
+    table = generate_synthetic_table(
+        SyntheticConfig(
+            n_tuples=n_tuples, n_rules=n_tuples // 10, seed=SEED
+        )
+    )
+    db = UncertainDB()
+    name = db.register(table)
+    return db, name, n_tuples
+
+
+def _percentile(sorted_values, fraction):
+    index = int(round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _closed_loop(db, name, window_ms, n_clients):
+    """Run one closed loop; returns (latencies, wall, batch/cache stats)."""
+    per_client = TOTAL_REQUESTS // n_clients
+    app = ServeApp(
+        db,
+        ServeConfig(
+            window_ms=window_ms,
+            max_batch=64,
+            max_inflight=4,
+            max_queue=256,  # the closed loop must never see a 429
+            enable_obs=False,
+        ),
+    )
+    misses_before = db.prepare_cache.stats().misses
+    latencies = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_clients + 1)
+
+    with LoopbackTransport(app) as transport:
+        client = ServeClient(transport)
+
+        def worker(worker_index):
+            local = []
+            barrier.wait()
+            for i in range(per_client):
+                k = K_BASE + ((worker_index + i) % 4)  # mixed-k batches
+                start = time.perf_counter()
+                client.query(name, k=k, threshold=THRESHOLD)
+                local.append(time.perf_counter() - start)
+            with lock:
+                latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        coalescer = app.coalescer.stats()
+
+    misses = db.prepare_cache.stats().misses - misses_before
+    return latencies, wall, coalescer, misses
+
+
+@pytest.mark.parametrize("window_ms", [2.0, 0.0], ids=["coalesce", "solo"])
+def test_serve_closed_loop(window_ms):
+    db, name, n_tuples = _make_db()
+    db.ptk(name, k=K_BASE, threshold=THRESHOLD)  # warm the prepare cache
+
+    result = ExperimentTable(
+        title=(
+            "Serving closed loop: "
+            + ("coalescing window 2 ms" if window_ms else "coalescing off")
+        ),
+        columns=[
+            "clients", "requests", "wall_s", "qps",
+            "p50_ms", "p99_ms", "mean_batch", "prepare_misses",
+        ],
+        notes=(
+            f"n={n_tuples}, k={K_BASE}..{K_BASE + 3}, p={THRESHOLD}, "
+            f"seed={SEED}; loopback transport (no sockets), "
+            f"max_inflight=4 on {available_cpus()} usable core(s); "
+            "CPU-bound Python under the GIL — shapes, not absolutes"
+        ),
+    )
+    for n_clients in CLIENT_COUNTS:
+        latencies, wall, coalescer, misses = _closed_loop(
+            db, name, window_ms, n_clients
+        )
+        assert len(latencies) == TOTAL_REQUESTS
+        ordered = sorted(latencies)
+        result.add_row(
+            n_clients,
+            TOTAL_REQUESTS,
+            round(wall, 3),
+            round(TOTAL_REQUESTS / max(wall, 1e-9), 1),
+            round(_percentile(ordered, 0.50) * 1000, 2),
+            round(_percentile(ordered, 0.99) * 1000, 2),
+            round(coalescer["mean_batch_size"], 2),
+            misses,
+        )
+        # The prepare cache was warmed above: no run re-prepares.
+        assert misses == 0, f"{misses} unexpected prepares"
+        if window_ms == 0.0:
+            assert coalescer["mean_batch_size"] == 1.0
+
+    emit(
+        result,
+        "serve_closed_loop_"
+        + ("coalesce" if window_ms else "solo")
+        + ".txt",
+    )

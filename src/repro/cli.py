@@ -22,6 +22,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro stats panda.json -k 2 -p 0.35
     python -m repro stats panda.json -k 2 -p 0.35 --format prom
 
+    # serve a directory of tables over HTTP (see docs/serving.md)
+    python -m repro serve tables/ --port 8080 --window-ms 2
+
 Tables are JSON documents (see :mod:`repro.io.jsonio`) or CSV pairs
 (pass the stem; see :mod:`repro.io.csvio`) — the format is inferred
 from the extension.
@@ -238,6 +241,62 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def load_table_directory(directory: Path):
+    """Load every table under ``directory`` for serving.
+
+    Accepts ``*.json`` documents and ``*.tuples.csv``/``*.rules.csv``
+    pairs (each pair counted once).  Tables are registered under their
+    own names; when two files carry the same table name the file stem
+    disambiguates the later one.
+
+    :returns: a ready :class:`~repro.query.engine.UncertainDB`.
+    :raises ReproError: when the directory holds no loadable tables.
+    """
+    from repro.query.engine import UncertainDB
+
+    db = UncertainDB()
+    paths = sorted(
+        list(directory.glob("*.json"))
+        + list(directory.glob("*.tuples.csv"))
+    )
+    for path in paths:
+        table = load_table(str(path))
+        name = table.name
+        if name in db.tables():
+            name = path.name.split(".")[0]
+        db.register(table, name=name)
+    if not db.tables():
+        raise ReproError(
+            f"no tables found in {directory} "
+            f"(expected *.json or *.tuples.csv/*.rules.csv)"
+        )
+    return db
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeApp, ServeConfig, run
+
+    directory = Path(args.tables)
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 2
+    db = load_table_directory(directory)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.deadline_ms,
+        seed=args.seed,
+    )
+    names = ", ".join(sorted(db.tables()))
+    print(f"loaded tables: {names}", flush=True)
+    run(ServeApp(db, config))
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     table = load_table(args.table)
     explanation = explain_tuple(table, TopKQuery(k=args.k), args.tid)
@@ -379,6 +438,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON metrics snapshot here",
     )
     stats.set_defaults(fn=_cmd_stats)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a directory of tables over HTTP (PT-k query service)",
+    )
+    serve.add_argument(
+        "tables",
+        help="directory of *.json documents and/or *.tuples.csv pairs",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="micro-batch coalescing window per table (0 disables)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="dispatch a micro-batch early at this size",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="micro-batches executing concurrently",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="waiting requests beyond the inflight ones; more are "
+        "rejected with 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request deadline; requests may override. "
+        "When the planner predicts an exact-scan miss, the request is "
+        "degraded to the sampler with a budget sized from the "
+        "remaining deadline",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=7, help="seed for degraded sampling runs"
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     explain = commands.add_parser(
         "explain", help="explain one tuple's top-k probability"

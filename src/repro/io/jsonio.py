@@ -14,8 +14,18 @@ Schema::
       ]
     }
 
-Attribute values must be JSON-serialisable; tuple ids round-trip exactly
-for JSON-native id types (strings, ints).
+Attribute values must be JSON-serialisable.  Tuple ids round-trip
+exactly for JSON-native id types (strings, ints) **and** for Python
+tuples: JSON has no tuple type, so a tuple tid is written as an array
+and converted back to a (possibly nested) tuple on read — an array can
+never be a live tid anyway (lists are unhashable), so the conversion is
+unambiguous.  Other non-native id types (e.g. ``frozenset``) are not
+supported by this format.
+
+Documents are validated on read: a duplicate tuple id or a rule member
+referencing an unknown tuple id raises a
+:class:`~repro.exceptions.ValidationError` naming the offending id, so
+a corrupt document fails loudly instead of building a skewed table.
 """
 
 from __future__ import annotations
@@ -48,23 +58,51 @@ def table_to_dict(table: UncertainTable) -> Dict[str, Any]:
     }
 
 
+def _revive_tid(tid: Any) -> Any:
+    """Map a JSON-decoded tid back to its Python form.
+
+    Tuple tids serialise as arrays; arrays therefore decode back to
+    tuples (recursively).  Everything else passes through.
+    """
+    if isinstance(tid, list):
+        return tuple(_revive_tid(item) for item in tid)
+    return tid
+
+
 def table_from_dict(document: Dict[str, Any]) -> UncertainTable:
     """Rebuild a table from :func:`table_to_dict` output.
 
-    :raises ValidationError: when required keys are missing.
+    :raises ValidationError: when required keys are missing, a tuple id
+        appears twice, or a rule references an id that is not in the
+        document (the error names the offending id).
     """
     try:
         name = document.get("name", "uncertain_table")
         table = UncertainTable(name=name)
+        seen: set = set()
         for entry in document["tuples"]:
+            tid = _revive_tid(entry["tid"])
+            if tid in seen:
+                raise ValidationError(
+                    f"table document {name!r} contains duplicate "
+                    f"tuple id {tid!r}"
+                )
+            seen.add(tid)
             table.add(
-                entry["tid"],
+                tid,
                 score=entry["score"],
                 probability=entry["probability"],
                 **entry.get("attributes", {}),
             )
         for entry in document.get("rules", []):
-            table.add_exclusive(entry["rule_id"], *entry["members"])
+            members = [_revive_tid(member) for member in entry["members"]]
+            for member in members:
+                if member not in seen:
+                    raise ValidationError(
+                        f"rule {entry['rule_id']!r} references unknown "
+                        f"tuple id {member!r}"
+                    )
+            table.add_exclusive(_revive_tid(entry["rule_id"]), *members)
     except KeyError as missing:
         raise ValidationError(f"table document missing key {missing}") from None
     table.validate()

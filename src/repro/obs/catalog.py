@@ -213,6 +213,40 @@ CATALOG: Dict[str, MetricSpec] = {
             "(mode=many|batch).",
             "Beyond the paper (parallel execution)",
         ),
+        # -------------------------------------------------------- serving
+        _spec(
+            "repro_serve_requests_total", "counter", ("endpoint",),
+            "HTTP requests received by the serving layer, by endpoint "
+            "(query, healthz, metrics, tables).",
+            "Beyond the paper (query serving)",
+        ),
+        _spec(
+            "repro_serve_rejections_total", "counter", ("reason",),
+            "Requests refused by admission control "
+            "(reason=queue-full|deadline).",
+            "Beyond the paper (query serving)",
+        ),
+        _spec(
+            "repro_serve_batch_size", "histogram", (),
+            "Requests coalesced into each dispatched micro-batch.",
+            "Beyond the paper (query serving)",
+        ),
+        _spec(
+            "repro_serve_degraded_total", "counter", (),
+            "Queries degraded from the exact algorithm to the sampler "
+            "because the planner predicted a deadline miss.",
+            "Theorem 6 vs Theorems 3-5 (exact/sampling trade-off)",
+        ),
+        _spec(
+            "repro_serve_queue_depth", "gauge", (),
+            "Requests admitted but not yet completed.",
+            "Beyond the paper (query serving)",
+        ),
+        _spec(
+            "repro_serve_request_seconds", "timer", ("endpoint",),
+            "Wall time per served request, by endpoint.",
+            "Beyond the paper (query serving)",
+        ),
         # ------------------------------------------------------ streaming
         _spec(
             "repro_stream_arrivals_total", "counter", (),

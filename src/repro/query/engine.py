@@ -293,24 +293,49 @@ class UncertainDB:
         with query_scope("expected-ranks", table=name):
             return expected_ranks(self.table(name), query or TopKQuery(k=1))
 
-    def explain_plan(self, name: str, k: int, threshold: float) -> dict:
+    def explain_plan(
+        self, name: str, k: int, threshold: float, latency_model=None
+    ) -> dict:
         """Planning-time cost report for a PT-k query.
 
+        :param latency_model: an optional
+            :class:`repro.query.planner.LatencyModel`; when given (the
+            serving layer passes its calibrated one) the report also
+            carries the predicted wall-clock latency of the exact scan
+            and the predicted cost of one sample unit — the numbers the
+            deadline-aware degradation policy compares against a
+            request's remaining budget.
         :returns: a dict with the predicted scan depth / fraction (see
             :mod:`repro.query.planner`) and the heuristic exact-vs-
             sampling recommendation.
         """
-        from repro.query.planner import choose_method, estimate_scan_depth
+        from repro.query.planner import (
+            choose_method,
+            estimate_latency,
+            estimate_scan_depth,
+        )
 
         table = self.table(name)
         estimate = estimate_scan_depth(table, k, threshold)
-        return {
+        report = {
             "table": name,
             "n_tuples": len(table),
             "estimated_scan_depth": estimate.depth,
             "estimated_fraction": estimate.fraction,
             "recommended_method": choose_method(table, k, threshold),
         }
+        if latency_model is not None:
+            latency = estimate_latency(
+                table, k, threshold, model=latency_model
+            )
+            report["predicted_exact_seconds"] = latency.exact_seconds
+            report["predicted_seconds_per_sample_unit"] = (
+                latency.sampled_seconds_per_unit
+            )
+            report["expected_sample_unit_length"] = (
+                latency.expected_unit_length
+            )
+        return report
 
     def compare_semantics(
         self,

@@ -128,6 +128,140 @@ def estimate_scan_depth_exactish(
     return ScanDepthEstimate(depth=n, fraction=1.0, mass_target=target)
 
 
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Planning-time wall-clock prediction for one PT-k query.
+
+    :param depth: predicted exact-scan depth (see
+        :class:`ScanDepthEstimate`).
+    :param exact_seconds: predicted exact-algorithm latency.
+    :param sampled_seconds_per_unit: predicted cost of one sample unit
+        (used to size a budget from a deadline).
+    :param expected_unit_length: predicted tuples scanned per lazy
+        sample unit (``~ k / mean membership probability``).
+    """
+
+    depth: int
+    exact_seconds: float
+    sampled_seconds_per_unit: float
+    expected_unit_length: float
+
+
+class LatencyModel:
+    """Maps the planner's cost units to wall-clock seconds.
+
+    The paper's cost measure for the exact algorithm is the number of
+    O(k) subset-probability DP extensions — quadratic in the scan depth
+    in the worst case — and for the sampler it is ``budget * sample
+    length``.  This model carries the two machine-dependent coefficients
+    that turn those unit counts into seconds, plus a fixed per-query
+    floor (dispatch, selection bookkeeping).
+
+    The defaults are deliberately conservative (a slowish core); callers
+    serving real traffic should let the model *calibrate itself* by
+    feeding measured latencies back via :meth:`observe_exact` /
+    :meth:`observe_sampled` — both update the coefficient with an
+    exponentially weighted moving average, so the model tracks the
+    hardware it actually runs on within a few dozen queries.
+
+    Thread safety: updates are single numeric-slot writes guarded by the
+    GIL; a torn read is impossible and a lost update merely slows
+    convergence, so no lock is taken on the hot path.
+    """
+
+    #: EWMA weight of each new observation.
+    alpha = 0.2
+
+    def __init__(
+        self,
+        seconds_per_cell: float = 2e-7,
+        seconds_per_sampled_tuple: float = 1e-7,
+        floor_seconds: float = 2e-4,
+    ) -> None:
+        self.seconds_per_cell = seconds_per_cell
+        self.seconds_per_sampled_tuple = seconds_per_sampled_tuple
+        self.floor_seconds = floor_seconds
+
+    # -------------------------------------------------------- prediction
+    def predict_exact_seconds(self, depth: int) -> float:
+        """Predicted exact latency from a scan-depth estimate."""
+        cells = float(max(depth, 1)) ** 2
+        return self.floor_seconds + self.seconds_per_cell * cells
+
+    def predict_sampled_seconds(
+        self, budget: int, unit_length: float
+    ) -> float:
+        """Predicted sampler latency for a unit budget."""
+        return self.floor_seconds + (
+            self.seconds_per_sampled_tuple * max(unit_length, 1.0) * budget
+        )
+
+    def unit_budget_for(self, seconds: float, unit_length: float) -> int:
+        """Largest unit budget predicted to finish within ``seconds``.
+
+        Returns 0 when even the floor cost does not fit — the caller
+        must reject rather than degrade.
+        """
+        available = seconds - self.floor_seconds
+        if available <= 0:
+            return 0
+        per_unit = self.seconds_per_sampled_tuple * max(unit_length, 1.0)
+        return int(available / max(per_unit, 1e-12))
+
+    # ------------------------------------------------------- calibration
+    def observe_exact(self, depth: int, seconds: float) -> None:
+        """Fold one measured exact query into the cost coefficient."""
+        cells = float(max(depth, 1)) ** 2
+        measured = max(seconds - self.floor_seconds, 0.0) / cells
+        if measured > 0.0:
+            self.seconds_per_cell += self.alpha * (
+                measured - self.seconds_per_cell
+            )
+
+    def observe_sampled(
+        self, units: int, unit_length: float, seconds: float
+    ) -> None:
+        """Fold one measured sampling run into the cost coefficient."""
+        scanned = max(units, 1) * max(unit_length, 1.0)
+        measured = max(seconds - self.floor_seconds, 0.0) / scanned
+        if measured > 0.0:
+            self.seconds_per_sampled_tuple += self.alpha * (
+                measured - self.seconds_per_sampled_tuple
+            )
+
+
+def estimate_latency(
+    table: UncertainTable,
+    k: int,
+    threshold: float,
+    model: Optional[LatencyModel] = None,
+    statistics: Optional[TableStatistics] = None,
+) -> LatencyEstimate:
+    """Depth -> latency prediction used by the serving layer.
+
+    Combines :func:`estimate_scan_depth` with a :class:`LatencyModel`:
+    the exact path costs ``~ depth^2`` DP-cell touches, a sample unit
+    costs ``~ k / mu`` scanned tuples (the lazy generation length of
+    Section 5).  ``repro.serve`` compares ``exact_seconds`` against a
+    request's remaining deadline to decide whether to degrade to the
+    sampler, and sizes the sampler's budget from
+    ``sampled_seconds_per_unit``.
+    """
+    model = model or LatencyModel()
+    statistics = statistics or collect_statistics(table)
+    estimate = estimate_scan_depth(table, k, threshold, statistics=statistics)
+    mean = max(statistics.mean_probability, 1e-9)
+    unit_length = min(float(max(statistics.n_tuples, 1)), k / mean)
+    return LatencyEstimate(
+        depth=estimate.depth,
+        exact_seconds=model.predict_exact_seconds(estimate.depth),
+        sampled_seconds_per_unit=(
+            model.seconds_per_sampled_tuple * max(unit_length, 1.0)
+        ),
+        expected_unit_length=unit_length,
+    )
+
+
 def choose_method(
     table: UncertainTable,
     k: int,

@@ -1,0 +1,55 @@
+"""repro.serve — the network-facing query serving layer.
+
+An asyncio HTTP/1.1 service (stdlib only) hosting an
+:class:`~repro.query.engine.UncertainDB`:
+
+* :mod:`~repro.serve.server` — :class:`ServeApp` (routing, batch
+  execution, deadline-aware exact-vs-sampled degradation) and the TCP
+  front-end; ``repro serve`` on the CLI.
+* :mod:`~repro.serve.coalescer` — per-table micro-batching so one warm
+  :class:`~repro.query.prepare.PreparedRanking` serves a whole burst of
+  concurrent requests.
+* :mod:`~repro.serve.admission` — bounded queue, ``max_inflight``, 429
+  rejection with ``Retry-After``.
+* :mod:`~repro.serve.protocol` — JSON request/response schema and the
+  service error types.
+* :mod:`~repro.serve.client` — blocking :class:`ServeClient` over TCP or
+  the hermetic in-process :class:`LoopbackTransport`.
+
+See ``docs/serving.md`` for endpoints and the degradation policy.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.client import (
+    HTTPTransport,
+    LoopbackTransport,
+    ServeClient,
+    ServeClientError,
+)
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.protocol import (
+    DeadlineExceededError,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    RejectedError,
+)
+from repro.serve.server import ServeApp, ServeConfig, run, serve
+
+__all__ = [
+    "AdmissionController",
+    "DeadlineExceededError",
+    "HTTPTransport",
+    "LoopbackTransport",
+    "ProtocolError",
+    "QueryRequest",
+    "QueryResponse",
+    "RejectedError",
+    "RequestCoalescer",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "run",
+    "serve",
+]

@@ -1,0 +1,126 @@
+"""Admission control: bounded concurrency with honest backpressure.
+
+A serving process protecting a CPU-bound engine has exactly two levers:
+how many queries execute at once (``max_inflight`` — beyond the core
+count, extra concurrency only adds context switching) and how many may
+wait (``max_queue`` — beyond a few service times of work, waiting
+requests are doomed to miss their deadlines anyway, so accepting them
+just converts future 504s into wasted work).  Everything over those
+bounds is rejected *immediately* with a 429 and a ``Retry-After`` hint
+derived from the observed service rate — fail fast, keep the queue
+short, let the client back off.
+
+:class:`AdmissionController` implements the counters.  It is intended
+to be driven from a single asyncio event loop (the server), so methods
+do plain arithmetic; the executing-side concurrency limit itself is an
+``asyncio.Semaphore`` owned by the server.
+"""
+
+from __future__ import annotations
+
+from repro.obs import OBS, catalogued
+from repro.serve.protocol import RejectedError
+
+#: Fallback mean service time (seconds) before any query has finished.
+_PRIOR_SERVICE_SECONDS = 0.05
+
+
+class AdmissionController:
+    """Counts admitted work and rejects beyond the configured bounds.
+
+    :param max_inflight: queries allowed to execute concurrently.
+    :param max_queue: queries allowed to wait (coalescing window plus
+        executor backlog) on top of the inflight ones.
+
+    A request's lifecycle: :meth:`admit` on arrival (may raise
+    :class:`RejectedError`), :meth:`release` exactly once when its
+    response (or error) is ready.  :meth:`observe_service` feeds
+    measured batch service times back into the ``Retry-After`` estimate.
+    """
+
+    def __init__(self, max_inflight: int = 4, max_queue: int = 64) -> None:
+        if max_inflight <= 0:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._pending = 0
+        self._mean_service_seconds = _PRIOR_SERVICE_SECONDS
+        self._admitted_total = 0
+        self._rejected_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests admitted and not yet released (queued + executing)."""
+        return self._pending
+
+    @property
+    def capacity(self) -> int:
+        """Total requests the controller will hold at once."""
+        return self.max_inflight + self.max_queue
+
+    def admit(self) -> None:
+        """Account one arriving request.
+
+        :raises RejectedError: when the service is at capacity; carries
+            a ``retry_after`` estimate of when a slot should free up.
+        """
+        if self._pending >= self.capacity:
+            self._rejected_total += 1
+            retry_after = self.retry_after_seconds()
+            if OBS.enabled:
+                catalogued("repro_serve_rejections_total").inc(
+                    reason="queue-full"
+                )
+            raise RejectedError(
+                f"service at capacity ({self._pending} pending, "
+                f"limit {self.capacity}); retry after "
+                f"{retry_after:.2f}s",
+                retry_after=retry_after,
+            )
+        self._pending += 1
+        self._admitted_total += 1
+        if OBS.enabled:
+            catalogued("repro_serve_queue_depth").set(self._pending)
+
+    def release(self) -> None:
+        """Account one finished (answered or failed) request."""
+        self._pending = max(0, self._pending - 1)
+        if OBS.enabled:
+            catalogued("repro_serve_queue_depth").set(self._pending)
+
+    # ------------------------------------------------------------------
+    def observe_service(self, seconds: float, requests: int = 1) -> None:
+        """Fold a measured batch service time into the rate estimate."""
+        if requests <= 0 or seconds < 0:
+            return
+        per_request = seconds / requests
+        self._mean_service_seconds += 0.2 * (
+            per_request - self._mean_service_seconds
+        )
+
+    def retry_after_seconds(self) -> float:
+        """Predicted wait until a rejected client is worth retrying.
+
+        The backlog drains at ``max_inflight`` requests per mean service
+        time; a full queue therefore clears in ``pending / max_inflight``
+        service times.  Clamped to [0.05s, 30s] so the hint is always
+        actionable.
+        """
+        drain = (
+            self._pending / self.max_inflight
+        ) * self._mean_service_seconds
+        return min(max(drain, 0.05), 30.0)
+
+    def stats(self) -> dict:
+        """Point-in-time counters (exposed via ``/healthz``)."""
+        return {
+            "pending": self._pending,
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "admitted_total": self._admitted_total,
+            "rejected_total": self._rejected_total,
+            "mean_service_ms": round(self._mean_service_seconds * 1000, 3),
+        }

@@ -1,0 +1,654 @@
+"""The PT-k query service: asyncio HTTP front-end over an UncertainDB.
+
+Architecture (one process, one event loop, a small thread pool)::
+
+    client -> HTTP/1.1 -> ServeApp.handle
+                            |  parse + validate      (protocol)
+                            |  admission control     (admission)
+                            v
+                      RequestCoalescer  -- per-table micro-batches
+                            |
+                            v  (thread pool, max_inflight wide)
+                      _run_batch: one PrepareCache.get for the batch,
+                      exact requests as pruned scans over the shared
+                      preparation, degraded requests through the
+                      sampler with a deadline-sized budget
+
+The interesting decision is **deadline-aware degradation**: before
+running the exact algorithm for a request carrying a deadline, the
+planner's scan-depth estimate is converted to predicted seconds
+(:func:`repro.query.planner.estimate_latency`, self-calibrating).  When
+the prediction does not fit in the remaining budget, the request is
+answered by the paper's sampling estimator instead, with a unit budget
+sized from the time actually left
+(:meth:`repro.core.sampling.SamplingConfig.for_deadline`) — a smaller,
+honest answer with a Wilson confidence interval beats a timeout.  The
+response carries ``mode: "exact" | "sampled"`` and ``degraded: true``
+so clients can tell.
+
+Endpoints: ``POST /query``, ``GET /healthz``, ``GET /tables``,
+``GET /metrics`` (Prometheus text from :mod:`repro.obs`).
+
+:class:`ServeApp` is transport-independent — tests and the loopback
+client drive :meth:`ServeApp.dispatch` directly, no sockets involved;
+:func:`serve` binds it to a real asyncio TCP server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.exact import exact_ptk_query
+from repro.core.results import PTKAnswer
+from repro.core.sampling import SamplingConfig, sampled_ptk_query
+from repro.exceptions import ReproError, UnknownTableError
+from repro.model.statistics import TableStatistics, collect_statistics
+from repro.obs import OBS, catalogued
+from repro.obs import export as obs_export
+from repro.query.engine import UncertainDB
+from repro.query.planner import LatencyModel, estimate_latency
+from repro.query.prepare import PreparedRanking
+from repro.query.topk import TopKQuery
+from repro.serve.admission import AdmissionController
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.protocol import (
+    DeadlineExceededError,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    RejectedError,
+    error_body,
+)
+from repro.stats.intervals import wilson_interval
+
+_JSON = [("Content-Type", "application/json")]
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 504: "Gateway Timeout",
+}
+
+
+@dataclass
+class ServeConfig:
+    """Operational knobs of the serving layer.
+
+    :param host: bind address of the TCP server.
+    :param port: bind port; ``0`` picks an ephemeral one.
+    :param window_ms: coalescing window — how long the first request for
+        a table waits for concurrent company; ``0`` disables coalescing.
+    :param max_batch: dispatch a batch early once it reaches this size.
+    :param max_inflight: micro-batches executing concurrently (thread
+        pool width).
+    :param max_queue: requests allowed to wait beyond the inflight ones;
+        arrivals past the bound are rejected with 429 + ``Retry-After``.
+    :param default_deadline_ms: deadline applied to requests that do not
+        carry one; ``None`` means such requests run unbounded.
+    :param deadline_safety: fraction of the remaining deadline the
+        planner's exact-latency prediction must fit within; the rest
+        absorbs estimation error and response serialisation.
+    :param min_sample_budget: floor on degraded sampling budgets.
+    :param seed: seed for degraded sampling runs (deterministic tests).
+    :param enable_obs: turn the observability layer on at startup so
+        ``/metrics`` has content.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    window_ms: float = 2.0
+    max_batch: int = 64
+    max_inflight: int = 4
+    max_queue: int = 64
+    default_deadline_ms: Optional[float] = None
+    deadline_safety: float = 0.5
+    min_sample_budget: int = 100
+    seed: Optional[int] = 7
+    enable_obs: bool = True
+
+
+@dataclass
+class _Work:
+    """One admitted query riding through the coalescer."""
+
+    request: QueryRequest
+    deadline: Optional[float]  # absolute time.monotonic() timestamp
+    arrived: float
+
+
+class ServeApp:
+    """The transport-independent service: routing, batching, degradation.
+
+    :param db: the engine to serve; tables are registered by the caller
+        (the CLI loads a directory, tests register fixtures).
+    :param config: operational knobs; defaults suit tests.
+    :param latency_model: injectable cost model (tests pin coefficients
+        to force or forbid degradation deterministically).
+    """
+
+    def __init__(
+        self,
+        db: UncertainDB,
+        config: Optional[ServeConfig] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ) -> None:
+        self.db = db
+        self.config = config or ServeConfig()
+        self.latency_model = latency_model or LatencyModel()
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+        )
+        self.coalescer = RequestCoalescer(
+            self._dispatch_batch,
+            window_seconds=self.config.window_ms / 1000.0,
+            max_batch=self.config.max_batch,
+        )
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._inflight: Optional[asyncio.Semaphore] = None
+        self._stats_cache: Dict[int, Tuple[int, TableStatistics]] = {}
+        self._started = time.monotonic()
+        if self.config.enable_obs:
+            obs.enable()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def startup(self) -> None:
+        """Allocate the executor and concurrency gate (idempotent)."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.max_inflight,
+                thread_name_prefix="repro-serve",
+            )
+        if self._inflight is None:
+            self._inflight = asyncio.Semaphore(self.config.max_inflight)
+
+    def shutdown(self) -> None:
+        """Release the executor; in-flight batches finish first."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def dispatch(
+        self, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, List[Tuple[str, str]], bytes]:
+        """Route one request; returns ``(status, headers, body)``.
+
+        The single entry point shared by the TCP server and the
+        loopback transport — everything a client can observe goes
+        through here.
+        """
+        path = path.split("?", 1)[0]
+        route = (method.upper(), path)
+        if route == ("POST", "/query"):
+            return await self._endpoint_query(body)
+        if route == ("GET", "/healthz"):
+            return self._endpoint_healthz()
+        if route == ("GET", "/tables"):
+            return self._endpoint_tables()
+        if route == ("GET", "/metrics"):
+            return self._endpoint_metrics()
+        if path in ("/query", "/healthz", "/tables", "/metrics"):
+            return _json_response(
+                405, error_body("method-not-allowed", f"{method} {path}")
+            )
+        return _json_response(
+            404, error_body("not-found", f"no route for {method} {path}")
+        )
+
+    # ------------------------------------------------------------------
+    # Operational endpoints
+    # ------------------------------------------------------------------
+    def _endpoint_healthz(self):
+        self._count_request("healthz")
+        body = {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "tables": len(self.db.tables()),
+            "admission": self.admission.stats(),
+            "coalescer": self.coalescer.stats(),
+        }
+        return _json_response(200, body)
+
+    def _endpoint_tables(self):
+        self._count_request("tables")
+        tables = []
+        for name in self.db.tables():
+            table = self.db.table(name)
+            tables.append(
+                {
+                    "name": name,
+                    "tuples": len(table),
+                    "multi_rules": len(table.multi_rules()),
+                    "version": table.version,
+                    "expected_world_size": round(table.expected_size(), 3),
+                }
+            )
+        return _json_response(200, {"tables": tables})
+
+    def _endpoint_metrics(self):
+        self._count_request("metrics")
+        text = obs_export.to_prometheus()
+        return (
+            200,
+            [("Content-Type", "text/plain; version=0.0.4")],
+            text.encode("utf-8"),
+        )
+
+    # ------------------------------------------------------------------
+    # /query
+    # ------------------------------------------------------------------
+    async def _endpoint_query(self, body: bytes):
+        self._count_request("query")
+        timer = (
+            catalogued("repro_serve_request_seconds").time(endpoint="query")
+            if OBS.enabled
+            else None
+        )
+        try:
+            if timer is not None:
+                with timer:
+                    return await self._answer_query(body)
+            return await self._answer_query(body)
+        except ProtocolError as error:
+            return _json_response(400, error_body("bad-request", str(error)))
+        except UnknownTableError as error:
+            return _json_response(404, error_body("unknown-table", str(error)))
+        except RejectedError as error:
+            return _json_response(
+                429,
+                error_body(
+                    "rejected", str(error), retry_after=round(error.retry_after, 3)
+                ),
+                extra_headers=[("Retry-After", f"{error.retry_after:.3f}")],
+            )
+        except DeadlineExceededError as error:
+            if OBS.enabled:
+                catalogued("repro_serve_rejections_total").inc(reason="deadline")
+            return _json_response(
+                504, error_body("deadline-exceeded", str(error))
+            )
+        except ReproError as error:
+            return _json_response(400, error_body("query-error", str(error)))
+
+    async def _answer_query(self, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"request body is not valid JSON: {error}")
+        request = QueryRequest.from_dict(payload)
+        self.db.table(request.table)  # 404 before admission
+        self.startup()
+        self.admission.admit()
+        now = time.monotonic()
+        deadline_ms = (
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.config.default_deadline_ms
+        )
+        work = _Work(
+            request=request,
+            deadline=(now + deadline_ms / 1000.0) if deadline_ms else None,
+            arrived=now,
+        )
+        try:
+            response = await self.coalescer.submit(request.table, work)
+        finally:
+            self.admission.release()
+        return _json_response(200, response.to_dict())
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    async def _dispatch_batch(self, name: str, items: List[_Work]):
+        """Coalescer callback: run one micro-batch on the thread pool."""
+        self.startup()
+        if OBS.enabled:
+            catalogued("repro_serve_batch_size").observe(len(items))
+        loop = asyncio.get_running_loop()
+        async with self._inflight:
+            start = time.monotonic()
+            results = await loop.run_in_executor(
+                self._executor, self._run_batch, name, items
+            )
+            self.admission.observe_service(
+                time.monotonic() - start, requests=len(items)
+            )
+        return results
+
+    def _run_batch(self, name: str, items: List[_Work]) -> List[Any]:
+        """Answer one micro-batch (thread pool; blocking engine calls).
+
+        One :meth:`PrepareCache.get` covers the whole batch — the cache
+        key ignores k, so mixed-k requests still share the entry — and
+        both the exact path and the degraded sampling path take the
+        shared preparation via explicit ``prepared=``.  Returns one
+        ``QueryResponse`` or ``Exception`` per item.
+        """
+        try:
+            table = self.db.table(name)
+        except UnknownTableError as error:
+            # Dropped between admission and dispatch: fail the batch's
+            # items individually so each client sees a clean 404.
+            return [error for _ in items]
+        prepared = self.db.prepare_cache.get(
+            table, TopKQuery(k=max(w.request.k for w in items))
+        )
+        statistics = self._statistics_for(table)
+
+        results: List[Any] = [None] * len(items)
+        exact_positions: List[int] = []
+        sampled_plans: List[Tuple[int, SamplingConfig, bool]] = []
+        now = time.monotonic()
+        for position, work in enumerate(items):
+            remaining = None if work.deadline is None else work.deadline - now
+            if remaining is not None and remaining <= 0:
+                results[position] = DeadlineExceededError(
+                    f"deadline expired before dispatch "
+                    f"(table {name!r}, k={work.request.k})"
+                )
+                continue
+            mode, config, degraded = self._plan(
+                table, work.request, remaining, statistics
+            )
+            if mode == "exact":
+                exact_positions.append(position)
+            else:
+                sampled_plans.append((position, config, degraded))
+                if OBS.enabled and degraded:
+                    catalogued("repro_serve_degraded_total").inc()
+
+        if exact_positions:
+            # One pruned RC+LR scan per request over the *shared*
+            # preparation.  The unpruned shared-profile path
+            # (``batch_ptk_queries``) would answer every k from one
+            # scan, but it computes the full n-deep profile — quadratic
+            # on large tables — while pruned scans stop at the depth
+            # the latency model actually prices.
+            started = time.monotonic()
+            depth = 0
+            for position in exact_positions:
+                work = items[position]
+                answer = exact_ptk_query(
+                    table,
+                    TopKQuery(k=work.request.k),
+                    work.request.threshold,
+                    prepared=prepared,
+                )
+                depth = max(depth, answer.stats.scan_depth)
+                results[position] = self._response(
+                    work, answer, "exact", False, len(items)
+                )
+            elapsed = time.monotonic() - started
+            self.latency_model.observe_exact(
+                depth, elapsed / len(exact_positions)
+            )
+
+        for position, config, degraded in sampled_plans:
+            work = items[position]
+            started = time.monotonic()
+            answer = sampled_ptk_query(
+                table,
+                TopKQuery(k=work.request.k),
+                work.request.threshold,
+                config=config,
+                prepared=prepared,
+            )
+            elapsed = time.monotonic() - started
+            self.latency_model.observe_sampled(
+                answer.stats.sample_units,
+                answer.stats.avg_sample_length,
+                elapsed,
+            )
+            results[position] = self._response(
+                work, answer, "sampled", degraded, len(items)
+            )
+        return results
+
+    def _plan(
+        self,
+        table,
+        request: QueryRequest,
+        remaining: Optional[float],
+        statistics: TableStatistics,
+    ) -> Tuple[str, Optional[SamplingConfig], bool]:
+        """Pick the algorithm for one request: ``(mode, config, degraded)``.
+
+        ``degraded`` is True only when the client did not ask for
+        sampling but the planner predicted the exact scan would miss the
+        deadline.
+        """
+        if request.mode == "exact":
+            return "exact", None, False
+        estimate = estimate_latency(
+            table,
+            request.k,
+            request.threshold,
+            model=self.latency_model,
+            statistics=statistics,
+        )
+        if request.mode == "sampled":
+            return "sampled", self._sampling_config(request, remaining, estimate), False
+        # auto: exact unless the prediction busts the deadline budget
+        if remaining is None:
+            return "exact", None, False
+        budget = remaining * self.config.deadline_safety
+        if estimate.exact_seconds <= budget:
+            return "exact", None, False
+        return "sampled", self._sampling_config(request, remaining, estimate), True
+
+    def _sampling_config(
+        self, request: QueryRequest, remaining: Optional[float], estimate
+    ) -> SamplingConfig:
+        if request.sample_budget is not None:
+            return SamplingConfig(
+                sample_size=request.sample_budget,
+                progressive=False,
+                seed=self.config.seed,
+            )
+        if remaining is None:
+            return SamplingConfig(seed=self.config.seed)
+        return SamplingConfig.for_deadline(
+            remaining * self.config.deadline_safety,
+            unit_length=estimate.expected_unit_length,
+            seconds_per_unit=max(estimate.sampled_seconds_per_unit, 1e-9),
+            min_units=self.config.min_sample_budget,
+            seed=self.config.seed,
+        )
+
+    def _response(
+        self,
+        work: _Work,
+        answer: PTKAnswer,
+        mode: str,
+        degraded: bool,
+        batch_size: int,
+    ) -> QueryResponse:
+        request = work.request
+        response = QueryResponse(
+            table=request.table,
+            k=request.k,
+            threshold=request.threshold,
+            mode=mode,
+            degraded=degraded,
+            answers=list(answer.answers),
+            probabilities={
+                str(tid): round(answer.probabilities[tid], 6)
+                for tid in answer.answers
+            },
+            batch_size=batch_size,
+            elapsed_ms=(time.monotonic() - work.arrived) * 1000.0,
+        )
+        if mode == "sampled":
+            units = max(answer.stats.sample_units, 1)
+            response.units_drawn = answer.stats.sample_units
+            response.intervals = {
+                str(tid): wilson_interval(
+                    answer.probabilities[tid] * units,
+                    units,
+                    confidence=request.confidence,
+                )
+                for tid in answer.answers
+            }
+        return response
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _statistics_for(self, table) -> TableStatistics:
+        """Catalog statistics per (table, version), cached for planning."""
+        key = id(table)
+        cached = self._stats_cache.get(key)
+        if cached is not None and cached[0] == table.version:
+            return cached[1]
+        statistics = collect_statistics(table)
+        self._stats_cache[key] = (table.version, statistics)
+        return statistics
+
+    @staticmethod
+    def _count_request(endpoint: str) -> None:
+        if OBS.enabled:
+            catalogued("repro_serve_requests_total").inc(endpoint=endpoint)
+
+
+def _json_response(
+    status: int,
+    body: Dict[str, Any],
+    extra_headers: Optional[List[Tuple[str, str]]] = None,
+) -> Tuple[int, List[Tuple[str, str]], bytes]:
+    headers = list(_JSON)
+    if extra_headers:
+        headers.extend(extra_headers)
+    return status, headers, (json.dumps(body) + "\n").encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# The hand-rolled HTTP/1.1 layer (stdlib asyncio streams, no new deps)
+# ----------------------------------------------------------------------
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one request; ``None`` on clean EOF before a request line."""
+    try:
+        request_line = await reader.readuntil(b"\r\n")
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line: {request_line!r}")
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        line = await reader.readuntil(b"\r\n")
+        total += len(line)
+        if total > _MAX_HEADER_BYTES:
+            raise ValueError("headers too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > _MAX_BODY_BYTES:
+        raise ValueError(f"unacceptable content-length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+def _encode_response(
+    status: int, headers: List[Tuple[str, str]], body: bytes, keep_alive: bool
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append("Connection: " + ("keep-alive" if keep_alive else "close"))
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def _handle_connection(
+    app: ServeApp, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            try:
+                parsed = await _read_request(reader)
+            except (ValueError, asyncio.IncompleteReadError):
+                writer.write(
+                    _encode_response(
+                        400,
+                        list(_JSON),
+                        (json.dumps(error_body("bad-request", "malformed HTTP")) + "\n").encode(),
+                        keep_alive=False,
+                    )
+                )
+                break
+            if parsed is None:
+                break
+            method, path, headers, body = parsed
+            status, response_headers, payload = await app.dispatch(
+                method, path, body
+            )
+            keep_alive = headers.get("connection", "keep-alive") != "close"
+            writer.write(
+                _encode_response(status, response_headers, payload, keep_alive)
+            )
+            await writer.drain()
+            if not keep_alive:
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def serve(app: ServeApp) -> asyncio.AbstractServer:
+    """Bind ``app`` to a TCP server (caller owns the returned server)."""
+    app.startup()
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(app, r, w),
+        host=app.config.host,
+        port=app.config.port,
+    )
+
+
+async def _serve_forever(app: ServeApp) -> None:
+    server = await serve(app)
+    addresses = ", ".join(
+        f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+        for sock in server.sockets or []
+    )
+    print(
+        f"repro serve: {len(app.db.tables())} table(s) on {addresses} "
+        f"(window {app.config.window_ms}ms, "
+        f"max_inflight {app.config.max_inflight}, "
+        f"queue {app.config.max_queue})",
+        flush=True,
+    )
+    async with server:
+        await server.serve_forever()
+
+
+def run(app: ServeApp) -> None:
+    """Blocking entry point used by ``repro serve``; Ctrl-C to stop."""
+    try:
+        asyncio.run(_serve_forever(app))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        app.shutdown()

@@ -87,7 +87,11 @@ class PTKMonitor:
             churn.inc(len(delta.entered), direction="entered")
             churn.inc(len(delta.left), direction="left")
         self._current = set(new_answer)
-        self._history.append(delta)
+        # History records *changes*, not arrivals: a burst that never
+        # perturbs the answer set must not accumulate empty deltas (the
+        # whole point of monitoring is that quiet periods are free).
+        if delta.changed:
+            self._history.append(delta)
         return delta
 
     @property
@@ -97,7 +101,13 @@ class PTKMonitor:
 
     @property
     def history(self) -> List[AnswerDelta]:
-        """Every delta emitted so far, in arrival order."""
+        """Every *answer-changing* delta so far, in arrival order.
+
+        Arrivals that leave the answer set untouched are still returned
+        by :meth:`observe` (with ``changed == False``) but are not
+        recorded, so history length tracks answer churn, not stream
+        length.
+        """
         return list(self._history)
 
     def churn(self) -> int:

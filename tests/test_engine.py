@@ -148,3 +148,44 @@ class TestComparison:
         comparison = db.compare_semantics("panda_sightings", k=2, threshold=0.35)
         for tid in comparison.mentioned_tuples():
             assert tid in comparison.topk_probabilities
+
+
+class TestDropHygiene:
+    """Dropping a table must forget its warm preparations entirely."""
+
+    def test_drop_invalidates_warm_prepare_entries(self, db):
+        db.ptk("panda_sightings", k=2, threshold=0.35)
+        assert db.prepare_cache.stats().entries >= 1
+        db.drop("panda_sightings")
+        stats = db.prepare_cache.stats()
+        assert stats.entries == 0
+        assert stats.invalidations >= 1
+
+    def test_reregistered_same_name_never_serves_old_prepare(self):
+        from tests.conftest import build_table
+
+        database = UncertainDB()
+        database.register(
+            build_table([0.9, 0.8, 0.7, 0.6], rule_groups=[], name="x")
+        )
+        first = database.ptk("x", k=3, threshold=0.5)
+        assert first.answer_set == {"t0", "t1", "t2"}
+        misses_before = database.prepare_cache.stats().misses
+        database.drop("x")
+
+        # Same name, entirely different contents: one high-probability
+        # tuple ranked by a different score scale.
+        database.register(
+            build_table([1.0], rule_groups=[], scores=[42.0], name="x")
+        )
+        answer = database.ptk("x", k=3, threshold=0.5)
+        assert answer.answer_set == {"t0"}
+        assert answer.probabilities["t0"] == pytest.approx(1.0)
+        # The answer came from a fresh preparation, not the stale one.
+        assert database.prepare_cache.stats().misses == misses_before + 1
+
+    def test_drop_unknown_table_raises(self, db):
+        from repro.exceptions import UnknownTableError
+
+        with pytest.raises(UnknownTableError):
+            db.drop("never_registered")

@@ -124,3 +124,86 @@ class TestCsv:
         restored = read_table_csv(stem)
         for tup in table:
             assert restored.get(tup.tid).probability == tup.probability
+
+
+class TestJsonValidation:
+    """Corrupt documents fail loudly, naming the offending id."""
+
+    def _doc(self, **overrides):
+        doc = {
+            "name": "t",
+            "tuples": [
+                {"tid": "a", "score": 2, "probability": 0.5},
+                {"tid": "b", "score": 1, "probability": 0.4},
+            ],
+            "rules": [],
+        }
+        doc.update(overrides)
+        return doc
+
+    def test_duplicate_tuple_id_rejected_naming_id(self):
+        doc = self._doc(
+            tuples=[
+                {"tid": "a", "score": 2, "probability": 0.5},
+                {"tid": "dup", "score": 1, "probability": 0.4},
+                {"tid": "dup", "score": 0, "probability": 0.3},
+            ]
+        )
+        with pytest.raises(ValidationError, match="'dup'"):
+            table_from_dict(doc)
+
+    def test_rule_member_referencing_unknown_tid_rejected(self):
+        doc = self._doc(
+            rules=[{"rule_id": "r1", "members": ["a", "ghost"]}]
+        )
+        with pytest.raises(ValidationError, match="'ghost'") as excinfo:
+            table_from_dict(doc)
+        assert "r1" in str(excinfo.value)
+
+    def test_valid_document_still_loads(self):
+        doc = self._doc(rules=[{"rule_id": "r1", "members": ["a", "b"]}])
+        table = table_from_dict(doc)
+        assert len(table) == 2
+        assert len(table.multi_rules()) == 1
+
+
+class TestJsonTupleIds:
+    """Non-JSON-native tids: tuples round-trip via arrays."""
+
+    def test_tuple_tids_roundtrip(self, tmp_path):
+        table = UncertainTable(name="composite")
+        table.add(("sensor", 1), score=3.0, probability=0.5)
+        table.add(("sensor", 2), score=2.0, probability=0.4)
+        table.add(("radar", 1), score=1.0, probability=0.5)
+        table.add_exclusive("r0", ("sensor", 1), ("sensor", 2))
+        path = tmp_path / "composite.json"
+        write_table_json(table, path)
+        restored = read_table_json(path)
+        assert {t.tid for t in restored} == {
+            ("sensor", 1), ("sensor", 2), ("radar", 1),
+        }
+        rule = restored.multi_rules()[0]
+        assert sorted(rule.tuple_ids) == [("sensor", 1), ("sensor", 2)]
+        tables_equal(table, restored)
+
+    def test_nested_tuple_tids_roundtrip(self, tmp_path):
+        table = UncertainTable(name="nested")
+        table.add((("a", 1), "x"), score=2.0, probability=0.7)
+        table.add("plain", score=1.0, probability=0.5)
+        path = tmp_path / "nested.json"
+        write_table_json(table, path)
+        restored = read_table_json(path)
+        assert {t.tid for t in restored} == {(("a", 1), "x"), "plain"}
+
+    def test_duplicate_after_tuple_revival_rejected(self):
+        # Two distinct JSON arrays decoding to the same tuple collide.
+        doc = {
+            "name": "t",
+            "tuples": [
+                {"tid": ["s", 1], "score": 2, "probability": 0.5},
+                {"tid": ["s", 1], "score": 1, "probability": 0.4},
+            ],
+            "rules": [],
+        }
+        with pytest.raises(ValidationError, match="duplicate"):
+            table_from_dict(doc)

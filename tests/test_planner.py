@@ -154,3 +154,68 @@ class TestMethodChoice:
         table = TestDepthEstimates().workload()
         generous = choose_method(table, k=400, threshold=0.3, sample_budget=10**9)
         assert generous == "exact"  # sampling cost inflated by the budget
+
+
+class TestLatencyModel:
+    def workload(self, n=2000):
+        return generate_synthetic_table(
+            SyntheticConfig(n_tuples=n, n_rules=n // 10, seed=5)
+        )
+
+    def test_exact_prediction_grows_with_depth(self):
+        from repro.query.planner import LatencyModel
+
+        model = LatencyModel()
+        assert model.predict_exact_seconds(100) < model.predict_exact_seconds(
+            1000
+        )
+        # Quadratic in depth: 10x depth -> 100x cell cost.
+        small = model.predict_exact_seconds(100) - model.floor_seconds
+        large = model.predict_exact_seconds(1000) - model.floor_seconds
+        assert large == pytest.approx(100 * small, rel=1e-6)
+
+    def test_observe_exact_calibrates_toward_measurement(self):
+        from repro.query.planner import LatencyModel
+
+        model = LatencyModel(seconds_per_cell=1e-9)
+        before = model.predict_exact_seconds(1000)
+        for _ in range(50):
+            model.observe_exact(1000, 0.5)  # much slower than predicted
+        after = model.predict_exact_seconds(1000)
+        assert after > before
+        assert after == pytest.approx(0.5, rel=0.5)
+
+    def test_estimate_latency_fields(self):
+        from repro.query.planner import LatencyModel, estimate_latency
+
+        table = self.workload()
+        estimate = estimate_latency(
+            table, k=50, threshold=0.3, model=LatencyModel()
+        )
+        assert estimate.depth >= 50
+        assert estimate.exact_seconds > 0
+        assert estimate.sampled_seconds_per_unit > 0
+        assert 0 < estimate.expected_unit_length <= len(table)
+
+    def test_unit_budget_for_inverts_prediction(self):
+        from repro.query.planner import LatencyModel
+
+        model = LatencyModel()
+        units = model.unit_budget_for(1.0, unit_length=100)
+        predicted = model.predict_sampled_seconds(units, unit_length=100)
+        assert predicted == pytest.approx(1.0, rel=0.05)
+
+    def test_explain_plan_reports_latency_with_model(self):
+        from repro.query.engine import UncertainDB
+        from repro.query.planner import LatencyModel
+
+        db = UncertainDB()
+        db.register(self.workload(), name="w")
+        bare = db.explain_plan("w", k=50, threshold=0.3)
+        assert "predicted_exact_seconds" not in bare
+        rich = db.explain_plan(
+            "w", k=50, threshold=0.3, latency_model=LatencyModel()
+        )
+        assert rich["predicted_exact_seconds"] > 0
+        assert rich["predicted_seconds_per_sample_unit"] > 0
+        assert rich["expected_sample_unit_length"] > 0

@@ -376,3 +376,58 @@ class TestSampledQuery:
         )
         assert answer.stats.sample_units == 1000
         assert answer.stats.avg_sample_length > 0
+
+
+class TestForDeadline:
+    def test_budget_scales_with_time(self):
+        tight = SamplingConfig.for_deadline(
+            0.2, unit_length=100, seconds_per_unit=1e-3
+        )
+        loose = SamplingConfig.for_deadline(
+            1.0, unit_length=100, seconds_per_unit=1e-3
+        )
+        # Both affordable budgets sit under the Theorem-6 cap (1107 at
+        # the default epsilon/delta), so time translates to units 1:1.
+        assert tight.sample_size == 200
+        assert loose.sample_size == 1000
+        assert loose.progressive
+
+    def test_floor_when_deadline_nearly_exhausted(self):
+        config = SamplingConfig.for_deadline(
+            1e-6, unit_length=100, seconds_per_unit=1e-3, min_units=100
+        )
+        assert config.sample_size == 100
+
+    def test_capped_at_chernoff_budget_by_default(self):
+        from repro.stats.bounds import chernoff_hoeffding_sample_size
+
+        config = SamplingConfig.for_deadline(
+            1e9, unit_length=100, seconds_per_unit=1e-9
+        )
+        cap = chernoff_hoeffding_sample_size(
+            SamplingConfig.epsilon, SamplingConfig.delta
+        )
+        assert config.sample_size == cap
+
+    def test_explicit_cap_respected(self):
+        config = SamplingConfig.for_deadline(
+            100.0, unit_length=100, seconds_per_unit=1e-3, max_units=2000
+        )
+        assert config.sample_size == 2000
+
+    def test_invalid_unit_cost_rejected(self):
+        from repro.exceptions import SamplingError
+
+        with pytest.raises(SamplingError):
+            SamplingConfig.for_deadline(
+                1.0, unit_length=100, seconds_per_unit=0.0
+            )
+
+    def test_config_runs_end_to_end(self):
+        config = SamplingConfig.for_deadline(
+            0.5, unit_length=3, seconds_per_unit=1e-4, seed=7
+        )
+        answer = sampled_ptk_query(
+            panda_table(), TopKQuery(k=2), 0.35, config
+        )
+        assert answer.answer_set  # a usable, non-empty estimate

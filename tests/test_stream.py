@@ -241,3 +241,70 @@ class TestEvictTagAccounting:
         window.append(detection("d", 4, 0.25), rule_tag="g")  # evicts "a"
         window.append(detection("e", 5, 0.4), rule_tag="g")   # evicts "b"
         assert window._rule_mass["g"] >= 0.0
+
+
+class TestMonitorQuietBursts:
+    """History records answer changes, not arrivals: a burst of weak
+    tuples that never perturbs the answer must not accumulate entries."""
+
+    def test_unchanging_burst_leaves_history_empty(self):
+        window = SlidingWindowPTK(k=1, threshold=0.9, window_size=100)
+        monitor = PTKMonitor(window)
+        monitor.observe(detection("strong", 100, 0.95))
+        assert len(monitor.history) == 1
+        for i in range(30):
+            delta = monitor.observe(detection(f"weak{i}", 1, 0.05))
+            assert not delta.changed
+        assert len(monitor.history) == 1  # no empty deltas accumulated
+        assert monitor.churn() == 1  # only the original entry
+
+    def test_observe_still_reports_every_arrival(self):
+        window = SlidingWindowPTK(k=1, threshold=0.9, window_size=100)
+        monitor = PTKMonitor(window)
+        monitor.observe(detection("strong", 100, 0.95))
+        delta = monitor.observe(detection("weak", 1, 0.05))
+        # The return value is per-arrival even when nothing changed...
+        assert delta.arrival == "weak"
+        assert delta.answer_size == 1
+        # ...but quiet arrivals are not recorded.
+        assert [d.arrival for d in monitor.history] == ["strong"]
+
+    def test_history_interleaves_only_changes(self):
+        window = SlidingWindowPTK(k=1, threshold=0.5, window_size=100)
+        monitor = PTKMonitor(window)
+        monitor.observe(detection("a", 10, 0.9))       # enters
+        monitor.observe(detection("weak0", 1, 0.05))   # quiet
+        monitor.observe(detection("b", 20, 0.95))      # displaces a
+        monitor.observe(detection("weak1", 1, 0.05))   # quiet
+        assert [d.arrival for d in monitor.history] == ["a", "b"]
+        assert all(d.changed for d in monitor.history)
+        assert monitor.churn() == 3
+
+    def test_churn_unaffected_by_quiet_arrivals(self):
+        window = SlidingWindowPTK(k=2, threshold=0.5, window_size=50)
+        monitor = PTKMonitor(window)
+        monitor.observe(detection("a", 10, 0.9))
+        churn_before = monitor.churn()
+        for i in range(10):
+            monitor.observe(detection(f"w{i}", 0.1, 0.01))
+        assert monitor.churn() == churn_before
+
+
+class TestAnswerDeltaChanged:
+    def test_changed_false_when_both_sides_empty(self):
+        delta = AnswerDelta(arrival="x")
+        assert not delta.changed
+
+    def test_changed_true_on_entry_only(self):
+        delta = AnswerDelta(arrival="x", entered=frozenset({"a"}))
+        assert delta.changed
+
+    def test_changed_true_on_exit_only(self):
+        delta = AnswerDelta(arrival="x", left=frozenset({"a"}))
+        assert delta.changed
+
+    def test_changed_true_on_swap(self):
+        delta = AnswerDelta(
+            arrival="x", entered=frozenset({"a"}), left=frozenset({"b"})
+        )
+        assert delta.changed
