@@ -25,6 +25,12 @@ Usage (also available as ``python -m repro``)::
     # serve a directory of tables over HTTP (see docs/serving.md)
     python -m repro serve tables/ --port 8080 --window-ms 2
 
+    # durable serving and storage operations (see docs/persistence.md)
+    python -m repro serve tables/ --data-dir state/
+    python -m repro durable snapshot state/
+    python -m repro durable recover state/
+    python -m repro durable verify state/
+
 Tables are JSON documents (see :mod:`repro.io.jsonio`) or CSV pairs
 (pass the stem; see :mod:`repro.io.csvio`) — the format is inferred
 from the extension.
@@ -276,11 +282,44 @@ def load_table_directory(directory: Path):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import ServeApp, ServeConfig, run
 
-    directory = Path(args.tables)
-    if not directory.is_dir():
-        print(f"error: {directory} is not a directory", file=sys.stderr)
+    if args.data_dir is None and args.tables is None:
+        print(
+            "error: pass a table directory and/or --data-dir", file=sys.stderr
+        )
         return 2
-    db = load_table_directory(directory)
+    if args.data_dir is not None:
+        from repro.durable import DurableDB, load_tables_into
+
+        db = DurableDB(args.data_dir, fsync=args.fsync)
+        report = db.last_recovery
+        if report.tables:
+            print(
+                f"recovered {len(report.tables)} table(s) from "
+                f"{args.data_dir} ({report.snapshots_loaded} snapshot(s), "
+                f"{report.replayed} WAL record(s) replayed)",
+                flush=True,
+            )
+        if args.tables is not None:
+            directory = Path(args.tables)
+            if not directory.is_dir():
+                print(f"error: {directory} is not a directory", file=sys.stderr)
+                return 2
+            loaded = load_tables_into(db, directory)
+            if loaded:
+                print(f"registered and journalled: {', '.join(loaded)}")
+        if not db.tables():
+            print(
+                f"error: no tables recovered from {args.data_dir} and none "
+                f"loaded; pass a table directory to seed it",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        directory = Path(args.tables)
+        if not directory.is_dir():
+            print(f"error: {directory} is not a directory", file=sys.stderr)
+            return 2
+        db = load_table_directory(directory)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -293,7 +332,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     names = ", ".join(sorted(db.tables()))
     print(f"loaded tables: {names}", flush=True)
-    run(ServeApp(db, config))
+    try:
+        run(ServeApp(db, config))
+    finally:
+        if args.data_dir is not None:
+            db.close()
+    return 0
+
+
+def _cmd_durable(args: argparse.Namespace) -> int:
+    from repro.durable import DurableDB, recover_state, verify_data_dir
+
+    data_dir = Path(args.data_dir)
+    if args.action == "verify":
+        report = verify_data_dir(data_dir)
+        print(
+            f"snapshots: {report.snapshots} "
+            f"({len(report.snapshot_errors)} corrupt)"
+        )
+        print(
+            f"wal: {report.wal_segments} segment(s), "
+            f"{report.wal_records} record(s), "
+            f"{report.torn_bytes} torn byte(s)"
+        )
+        for note in report.notes:
+            print(f"note: {note}")
+        for error in report.snapshot_errors + report.wal_errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 0 if report.ok else 1
+    if args.action == "recover":
+        tables, report = recover_state(data_dir)
+        print(
+            f"recovered {len(tables)} table(s) in "
+            f"{report.duration_seconds:.3f}s: "
+            f"{report.snapshots_loaded} snapshot(s), "
+            f"{report.replayed} record(s) replayed, "
+            f"{report.skipped} skipped, {report.torn_bytes} torn byte(s)"
+        )
+        for name in sorted(tables):
+            table = tables[name]
+            print(
+                f"  {name}: {len(table)} tuples, "
+                f"{len(table.multi_rules())} rules, "
+                f"version {table.version}"
+            )
+        for problem in report.problems:
+            print(f"note: {problem}", file=sys.stderr)
+        return 0
+    # snapshot: open (runs recovery), checkpoint everything, compact.
+    db = DurableDB(data_dir, fsync="always", warm_start=False)
+    try:
+        if not db.tables():
+            print(f"error: no tables in {data_dir}", file=sys.stderr)
+            return 1
+        paths = db.snapshot(compact=not args.no_compact)
+        for path in paths:
+            print(f"wrote {path} ({path.stat().st_size} bytes)")
+        print(f"snapshotted {len(paths)} table(s); WAL rotated")
+    finally:
+        db.close()
     return 0
 
 
@@ -445,7 +542,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "tables",
-        help="directory of *.json documents and/or *.tuples.csv pairs",
+        nargs="?",
+        default=None,
+        help="directory of *.json documents and/or *.tuples.csv pairs "
+        "(optional when --data-dir holds recovered tables)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="durable state directory (repro.durable): tables recover "
+        "from it on startup, and registrations are journalled so they "
+        "survive restarts; combine with a table directory to seed it",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=["always", "interval", "off"],
+        default="interval",
+        help="WAL fsync policy when --data-dir is set (default: interval)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -494,6 +608,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=7, help="seed for degraded sampling runs"
     )
     serve.set_defaults(fn=_cmd_serve)
+
+    durable = commands.add_parser(
+        "durable",
+        help="durable storage operations: snapshot, recover, verify "
+        "(see docs/persistence.md)",
+    )
+    durable.add_argument(
+        "action",
+        choices=["snapshot", "recover", "verify"],
+        help="snapshot: checkpoint all tables and compact the WAL; "
+        "recover: rebuild tables and report; verify: check every "
+        "checksum read-only",
+    )
+    durable.add_argument(
+        "data_dir", help="durable state directory (as used by serve --data-dir)"
+    )
+    durable.add_argument(
+        "--no-compact",
+        action="store_true",
+        help="snapshot only: keep sealed WAL segments and old snapshot "
+        "generations instead of deleting them",
+    )
+    durable.set_defaults(fn=_cmd_durable)
 
     explain = commands.add_parser(
         "explain", help="explain one tuple's top-k probability"

@@ -1,0 +1,64 @@
+"""repro.durable — persistence and crash recovery for the serving stack.
+
+The durability layer the rest of the engine plugs into:
+
+* :mod:`repro.durable.wal` — an append-only, CRC32-checksummed journal
+  of table mutations with configurable fsync policy and torn-tail
+  detection;
+* :mod:`repro.durable.snapshot` — compact columnar table images
+  (float64 numpy columns + JSON side tables), written atomically;
+* :mod:`repro.durable.recover` — snapshot + WAL replay reconstruction
+  restoring each table's exact monotone ``version``;
+* :mod:`repro.durable.db` — :class:`DurableDB`, the journalled
+  :class:`~repro.query.engine.UncertainDB` that ``repro serve
+  --data-dir`` and the ``repro durable`` CLI subcommands drive.
+
+::
+
+    from repro.durable import DurableDB
+
+    with DurableDB("state/") as db:
+        db.register(table)
+        db.add("sightings", "t43", score=12.0, probability=0.7)
+        db.snapshot()                   # checkpoint + WAL compaction
+    # ... crash or restart ...
+    db = DurableDB("state/")            # recovers tables and versions
+
+See ``docs/persistence.md`` for the record format, fsync policies,
+recovery invariants, and the operational runbook.
+"""
+
+from repro.durable.db import DurableDB, load_tables_into
+from repro.durable.recover import (
+    RecoveryReport,
+    VerifyReport,
+    recover_state,
+    verify_data_dir,
+)
+from repro.durable.snapshot import (
+    compact_snapshots,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.durable.wal import (
+    SegmentScan,
+    WriteAheadLog,
+    replay_wal,
+    scan_segment,
+)
+
+__all__ = [
+    "DurableDB",
+    "RecoveryReport",
+    "SegmentScan",
+    "VerifyReport",
+    "WriteAheadLog",
+    "compact_snapshots",
+    "load_tables_into",
+    "read_snapshot",
+    "recover_state",
+    "replay_wal",
+    "scan_segment",
+    "verify_data_dir",
+    "write_snapshot",
+]

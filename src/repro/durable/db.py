@@ -1,0 +1,341 @@
+"""``DurableDB``: an :class:`~repro.query.engine.UncertainDB` that survives
+restarts.
+
+Every mutation routed through this class is applied to the in-memory
+table first (so validation still rejects bad data with the usual
+exceptions) and then journalled to the write-ahead log — the WAL record
+is the durability point.  Opening a :class:`DurableDB` on an existing
+data directory runs crash recovery (:mod:`repro.durable.recover`):
+tables come back with their exact contents, rule tags, and monotone
+``version``, and the prepare cache is warmed by re-preparing the query
+keys production traffic was using before the restart.
+
+Mutations **must** go through this class's methods (``add``,
+``add_exclusive``, ``remove_tuple``, ``update_probability``) rather
+than directly through the table object — a direct table mutation is
+invisible to the journal and will not survive a restart.
+
+Layout of a data directory::
+
+    data_dir/
+      wal/        wal-000001.log ...     (repro.durable.wal)
+      snapshots/  <name>-v<version>.snap (repro.durable.snapshot)
+
+:meth:`snapshot` checkpoints every registered table (atomic
+write-then-rename), rotates the WAL, and deletes the segments and
+snapshot generations the new images made redundant, bounding both
+recovery time and disk use.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from repro.durable.recover import RecoveryReport, recover_state
+from repro.durable.snapshot import compact_snapshots, write_snapshot
+from repro.durable.wal import WriteAheadLog, encode_tid
+from repro.exceptions import QueryError, ReproError
+from repro.io.jsonio import table_to_dict
+from repro.model.rules import GenerationRule
+from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
+from repro.obs import OBS, catalogued, span as obs_span
+from repro.query.engine import UncertainDB
+from repro.query.predicates import AlwaysTrue
+from repro.query.topk import TopKQuery
+
+
+class DurableDB(UncertainDB):
+    """A persistent registry of uncertain tables.
+
+    :param data_dir: directory holding the WAL and snapshots; created
+        (and left empty apart from the first WAL segment) when missing.
+    :param fsync: WAL fsync policy — ``always`` / ``interval`` / ``off``
+        (see :mod:`repro.durable.wal`).
+    :param fsync_interval: maximum seconds between fsyncs under the
+        ``interval`` policy.
+    :param warm_start: re-prepare the journalled recently-served query
+        keys after recovery so the first post-restart queries hit a warm
+        prepare cache.
+    """
+
+    def __init__(
+        self,
+        data_dir: Union[str, Path],
+        fsync: str = "interval",
+        fsync_interval: float = 0.05,
+        warm_start: bool = True,
+    ) -> None:
+        super().__init__()
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        tables, report = recover_state(self.data_dir)
+        self.last_recovery: RecoveryReport = report
+        for name, table in tables.items():
+            super().register(table, name=name)
+        self.wal = WriteAheadLog(
+            self.data_dir / "wal", fsync=fsync, fsync_interval=fsync_interval
+        )
+        # (table name, where) pairs journalled into the active segment;
+        # dedupe keeps the serve-key journal O(distinct keys) per segment.
+        self._journalled_serves: Set[Tuple[str, Optional[str]]] = set()
+        self._recent_serves: Dict[Tuple[str, Optional[str]], int] = {}
+        for name, k, where in report.serve_keys:
+            self._recent_serves[(name, where)] = k
+        if warm_start:
+            self._warm_prepare_cache(report)
+
+    # ------------------------------------------------------------------
+    # Journalled catalogue operations
+    # ------------------------------------------------------------------
+    def register(self, table: UncertainTable, name: Optional[str] = None) -> str:
+        """Register and journal a table (full document + exact version)."""
+        key = super().register(table, name=name)
+        self.wal.append(
+            {
+                "op": "register",
+                "table": key,
+                "version": table.version,
+                "doc": table_to_dict(table),
+            }
+        )
+        return key
+
+    def drop(self, name: str) -> None:
+        """Drop a table from the registry and the journal's future."""
+        super().drop(name)
+        self.wal.append({"op": "drop", "table": name})
+        self._recent_serves = {
+            key: k for key, k in self._recent_serves.items() if key[0] != name
+        }
+
+    # ------------------------------------------------------------------
+    # Journalled mutations
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        tid: Any,
+        score: float,
+        probability: float,
+        **attributes: Any,
+    ) -> UncertainTuple:
+        """Add one tuple to a registered table, journalled."""
+        table = self.table(name)
+        tup = table.add(tid, score, probability, **attributes)
+        self.wal.append(
+            {
+                "op": "add",
+                "table": name,
+                "version": table.version,
+                "tid": encode_tid(tid),
+                "score": float(score),
+                "probability": float(tup.probability),
+                "attributes": dict(attributes),
+            }
+        )
+        return tup
+
+    def add_rule(self, name: str, rule: GenerationRule) -> None:
+        """Attach a multi-tuple generation rule, journalled."""
+        table = self.table(name)
+        table.add_rule(rule)
+        self.wal.append(
+            {
+                "op": "rule",
+                "table": name,
+                "version": table.version,
+                "rule_id": rule.rule_id,
+                "members": [encode_tid(tid) for tid in rule.tuple_ids],
+            }
+        )
+
+    def add_exclusive(self, name: str, rule_id: Any, *tuple_ids: Any) -> GenerationRule:
+        """Convenience wrapper over :meth:`add_rule`."""
+        rule = GenerationRule(rule_id=rule_id, tuple_ids=tuple(tuple_ids))
+        self.add_rule(name, rule)
+        return rule
+
+    def remove_tuple(self, name: str, tid: Any) -> UncertainTuple:
+        """Remove one tuple (shrinking its rule), journalled."""
+        table = self.table(name)
+        removed = table.remove_tuple(tid)
+        self.wal.append(
+            {
+                "op": "remove",
+                "table": name,
+                "version": table.version,
+                "tid": encode_tid(tid),
+            }
+        )
+        return removed
+
+    def update_probability(self, name: str, tid: Any, probability: float) -> UncertainTuple:
+        """Replace one tuple's membership probability, journalled."""
+        table = self.table(name)
+        updated = table.update_probability(tid, probability)
+        self.wal.append(
+            {
+                "op": "update",
+                "table": name,
+                "version": table.version,
+                "tid": encode_tid(tid),
+                "probability": float(updated.probability),
+            }
+        )
+        return updated
+
+    # ------------------------------------------------------------------
+    # Serve-key journaling (prepare-cache warm start)
+    # ------------------------------------------------------------------
+    def note_served(self, name: str, k: int, where: Optional[str] = None) -> None:
+        """Journal that ``(name, predicate, default ranking)`` was served.
+
+        The prepare cache keys on (predicate, ranking) — ``k`` only
+        shapes the reconstruction query, so one record per distinct
+        ``(table, where)`` pair per WAL segment suffices.  ``where`` is
+        the predicate's expression string (``repro.query.parser``
+        syntax) or ``None`` for the trivial predicate.
+        """
+        self._recent_serves[(name, where)] = k
+        if (name, where) in self._journalled_serves:
+            return
+        self._journalled_serves.add((name, where))
+        self.wal.append({"op": "serve", "table": name, "k": int(k), "where": where})
+
+    def ptk(self, name: str, k: int, threshold: float, query=None, **kwargs):
+        self._auto_note(name, k, query)
+        return super().ptk(name, k, threshold, query=query, **kwargs)
+
+    def ptk_sampled(self, name: str, k: int, threshold: float, query=None, **kwargs):
+        self._auto_note(name, k, query)
+        return super().ptk_sampled(name, k, threshold, query=query, **kwargs)
+
+    def ptk_batch(self, name: str, requests, **kwargs):
+        if requests:
+            self._auto_note(name, max(k for k, _ in requests), None)
+        return super().ptk_batch(name, requests, **kwargs)
+
+    def _auto_note(self, name: str, k: int, query: Optional[TopKQuery]) -> None:
+        """Journal default-shaped queries; opaque predicates are skipped
+        (they have no serialisable identity to re-prepare from)."""
+        if query is not None and not (
+            isinstance(query.predicate, AlwaysTrue)
+            and query.ranking.cache_key() == ("score", True)
+        ):
+            return
+        self.note_served(name, k)
+
+    def _warm_prepare_cache(self, report: RecoveryReport) -> None:
+        """Re-prepare the journalled serve keys against recovered tables."""
+        from repro.query.parser import parse_predicate
+
+        for name, k, where in report.serve_keys:
+            if name not in self.tables():
+                continue
+            try:
+                if where is None:
+                    query = TopKQuery(k=max(int(k), 1))
+                else:
+                    query = TopKQuery(
+                        k=max(int(k), 1), predicate=parse_predicate(where)
+                    )
+                self.prepare_cache.get(self.table(name), query)
+            except ReproError as error:
+                report.problems.append(
+                    f"warm-start skipped ({name!r}, k={k}, "
+                    f"where={where!r}): {error}"
+                )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self, compact: bool = True) -> List[Path]:
+        """Checkpoint every registered table and rotate the WAL.
+
+        After the images land (atomic rename each), the WAL rotates to a
+        fresh segment; with ``compact=True`` the sealed segments and the
+        superseded snapshot generations are deleted — their records are
+        fully covered by the new images, and replay version-gating makes
+        the window between rename and delete crash-safe.
+
+        :returns: the snapshot paths written.
+        """
+        timer = (
+            catalogued("repro_durable_snapshot_seconds").time()
+            if OBS.enabled
+            else None
+        )
+        started = time.perf_counter()
+        with obs_span(
+            "durable.snapshot", data_dir=str(self.data_dir)
+        ) as span:
+            if timer is not None:
+                timer.__enter__()
+            try:
+                paths = [
+                    write_snapshot(
+                        self.table(name),
+                        self.data_dir / "snapshots",
+                        name=name,
+                    )
+                    for name in self.tables()
+                ]
+                sealed = self.wal.rotate()
+                self._journalled_serves.clear()
+                for (name, where), k in list(self._recent_serves.items()):
+                    if name in self.tables():
+                        self.note_served(name, k, where)
+                if compact:
+                    self.wal.drop_segments_before(self.wal.path)
+                    compact_snapshots(self.data_dir / "snapshots", keep=1)
+            finally:
+                if timer is not None:
+                    timer.__exit__(None, None, None)
+            span.set(
+                tables=len(paths),
+                sealed_segment=sealed.name,
+                seconds=round(time.perf_counter() - started, 6),
+            )
+        return paths
+
+    def close(self) -> None:
+        """Flush and close the WAL (the database stays queryable)."""
+        self.wal.close()
+
+    def __enter__(self) -> "DurableDB":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def load_tables_into(db: DurableDB, directory: Union[str, Path]) -> List[str]:
+    """Register every table file under ``directory`` that is not already
+    registered (by name), journalling each — the ``repro serve
+    --data-dir`` bootstrap path.
+
+    :returns: the names newly registered.
+    """
+    from repro.cli import load_table
+
+    directory = Path(directory)
+    registered: List[str] = []
+    paths = sorted(
+        list(directory.glob("*.json")) + list(directory.glob("*.tuples.csv"))
+    )
+    for path in paths:
+        table = load_table(str(path))
+        name = table.name
+        if name in db.tables():
+            name = path.name.split(".")[0]
+        if name in db.tables():
+            continue
+        try:
+            db.register(table, name=name)
+        except QueryError:
+            continue
+        registered.append(name)
+    return registered

@@ -1,0 +1,311 @@
+"""Columnar table snapshots: compact, checksummed, atomically replaced.
+
+A snapshot freezes one :class:`~repro.model.table.UncertainTable` at one
+``version``.  The numeric columns (scores, membership probabilities) are
+stored as raw little-endian float64 numpy arrays — the compact on-disk
+representation that makes large probabilistic tables cheap to reload —
+and everything irregular (tuple ids, sparse attributes, rule tags) lives
+in a JSON header::
+
+    file   := MAGIC ("RPSNAP01") <u32 crc32(body)> <u32 header_len> body
+    body   := header_json scores_f64[] probabilities_f64[]
+    header := {"name", "version", "count", "tids", "attributes",
+               "rules": [{"rule_id", "members"}, ...]}
+
+Tuple ids follow the :mod:`repro.io.jsonio` convention: tuple-typed ids
+are written as arrays and revived on read.  ``attributes`` is sparse —
+only tuples with a non-empty attribute mapping appear, keyed by their
+position in the column order.
+
+Writes are crash-safe by construction: the file is built under a
+``*.tmp`` name in the destination directory, fsynced, then atomically
+renamed over the target (``os.replace``).  Readers therefore only ever
+see complete snapshots; a crash mid-write leaves a stale ``*.tmp`` that
+:func:`write_snapshot` and compaction clean up.
+
+One table accumulates one file per snapshotted version
+(``<safe-name>.<name-crc>-v<version>.snap``); recovery picks the newest
+one that passes its CRC and falls back to older generations, and
+:func:`compact_snapshots` deletes superseded files once a newer one has
+landed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import SnapshotCorruptionError
+from repro.durable.wal import decode_tid, encode_tid
+from repro.model.table import UncertainTable
+from repro.obs import OBS, catalogued
+
+MAGIC = b"RPSNAP01"
+_PREFIX = struct.Struct("<II")  # crc32(body), header length
+
+
+def snapshot_filename(name: str, version: int) -> str:
+    """Deterministic snapshot filename for ``(table name, version)``.
+
+    The sanitised name keeps listings readable; the CRC32 of the exact
+    name disambiguates tables whose names sanitise identically.
+    """
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in name)[:80]
+    return f"{safe or 'table'}.{zlib.crc32(name.encode('utf-8')):08x}-v{version:012d}.snap"
+
+
+def serialize_table(table: UncertainTable, name: Optional[str] = None) -> bytes:
+    """The complete snapshot file image for ``table`` (header + columns).
+
+    :param name: registry name to record; defaults to ``table.name``.
+    """
+    tuples = table.tuples()
+    scores = np.array([t.score for t in tuples], dtype="<f8")
+    probabilities = np.array([t.probability for t in tuples], dtype="<f8")
+    attributes = {
+        str(position): dict(tup.attributes)
+        for position, tup in enumerate(tuples)
+        if tup.attributes
+    }
+    header = {
+        "name": name if name is not None else table.name,
+        "table_name": table.name,
+        "version": table.version,
+        "count": len(tuples),
+        "tids": [encode_tid(t.tid) for t in tuples],
+        "attributes": attributes,
+        "rules": [
+            {
+                "rule_id": rule.rule_id,
+                "members": [encode_tid(tid) for tid in rule.tuple_ids],
+            }
+            for rule in table.multi_rules()
+        ],
+    }
+    header_bytes = json.dumps(
+        header, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    body = header_bytes + scores.tobytes() + probabilities.tobytes()
+    return MAGIC + _PREFIX.pack(zlib.crc32(body), len(header_bytes)) + body
+
+
+def deserialize_table(data: bytes, source: str = "<bytes>") -> Tuple[UncertainTable, str]:
+    """Rebuild ``(table, registry name)`` from a snapshot image.
+
+    The table's :attr:`~repro.model.table.UncertainTable.version` is
+    restored to the exact journalled value — the recovery invariant the
+    prepare cache's version keying relies on.
+
+    :raises SnapshotCorruptionError: on a bad magic, CRC mismatch, or
+        undecodable header.
+    """
+    if len(data) < len(MAGIC) + _PREFIX.size or data[: len(MAGIC)] != MAGIC:
+        raise SnapshotCorruptionError(f"{source}: not a snapshot (bad magic)")
+    crc, header_len = _PREFIX.unpack_from(data, len(MAGIC))
+    body = data[len(MAGIC) + _PREFIX.size:]
+    if zlib.crc32(body) != crc:
+        raise SnapshotCorruptionError(f"{source}: snapshot failed CRC32")
+    try:
+        header = json.loads(body[:header_len].decode("utf-8"))
+        count = int(header["count"])
+        columns = body[header_len:]
+        scores = np.frombuffer(columns, dtype="<f8", count=count)
+        probabilities = np.frombuffer(
+            columns, dtype="<f8", count=count, offset=count * 8
+        )
+        table = UncertainTable(name=header.get("table_name") or header["name"])
+        attributes = header.get("attributes", {})
+        for position, tid in enumerate(header["tids"]):
+            table.add(
+                decode_tid(tid),
+                score=float(scores[position]),
+                probability=float(probabilities[position]),
+                **attributes.get(str(position), {}),
+            )
+        for rule in header.get("rules", []):
+            table.add_exclusive(
+                rule["rule_id"], *[decode_tid(m) for m in rule["members"]]
+            )
+        table.validate()
+        table._version = int(header["version"])
+    except SnapshotCorruptionError:
+        raise
+    except Exception as error:
+        raise SnapshotCorruptionError(
+            f"{source}: undecodable snapshot: {error}"
+        ) from error
+    return table, header["name"]
+
+
+def read_header(path: Union[str, Path]) -> Dict[str, Any]:
+    """Decode just the JSON header of a snapshot file (no CRC check).
+
+    Used to order candidate files by version cheaply; full validation
+    happens in :func:`read_snapshot` when a candidate is actually loaded.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        prefix = handle.read(len(MAGIC) + _PREFIX.size)
+        if len(prefix) < len(MAGIC) + _PREFIX.size or prefix[: len(MAGIC)] != MAGIC:
+            raise SnapshotCorruptionError(f"{path}: not a snapshot (bad magic)")
+        _, header_len = _PREFIX.unpack_from(prefix, len(MAGIC))
+        try:
+            return json.loads(handle.read(header_len).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise SnapshotCorruptionError(
+                f"{path}: undecodable snapshot header: {error}"
+            ) from error
+
+
+def write_snapshot(
+    table: UncertainTable,
+    directory: Union[str, Path],
+    name: Optional[str] = None,
+) -> Path:
+    """Write one snapshot atomically; returns the final path.
+
+    The image lands under a temporary name first and is renamed into
+    place only after an fsync, so readers never observe a partial file.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    registry_name = name if name is not None else table.name
+    target = directory / snapshot_filename(registry_name, table.version)
+    data = serialize_table(table, name=registry_name)
+    temporary = target.with_name(target.name + ".tmp")
+    with open(temporary, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, target)
+    _fsync_directory(directory)
+    if OBS.enabled:
+        catalogued("repro_durable_snapshot_bytes").observe(len(data))
+    return target
+
+
+def read_snapshot(path: Union[str, Path]) -> Tuple[UncertainTable, str]:
+    """Load and fully validate one snapshot file."""
+    return deserialize_table(Path(path).read_bytes(), source=str(path))
+
+
+@dataclass
+class SnapshotCatalog:
+    """What a snapshot directory currently holds.
+
+    :param latest: registry name -> (path, version) of the newest
+        loadable candidate per table (not yet CRC-verified).
+    :param errors: files whose header could not even be read.
+    """
+
+    latest: Dict[str, Tuple[Path, int]] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+
+def catalog_snapshots(directory: Union[str, Path]) -> SnapshotCatalog:
+    """Index a snapshot directory by table name, newest version first."""
+    catalog = SnapshotCatalog()
+    directory = Path(directory)
+    if not directory.is_dir():
+        return catalog
+    for path in sorted(directory.glob("*.snap")):
+        try:
+            header = read_header(path)
+            name, version = header["name"], int(header["version"])
+        except (SnapshotCorruptionError, KeyError, TypeError, ValueError) as error:
+            catalog.errors.append(f"{path.name}: {error}")
+            continue
+        current = catalog.latest.get(name)
+        if current is None or version > current[1]:
+            catalog.latest[name] = (path, version)
+    return catalog
+
+
+def load_latest_snapshots(
+    directory: Union[str, Path],
+) -> Tuple[Dict[str, UncertainTable], List[str]]:
+    """Load the newest valid snapshot of every table under ``directory``.
+
+    A candidate failing its CRC is skipped with a note and the next
+    older generation of the same table (if any) is tried, so one corrupt
+    file degrades recovery to an older durable point instead of failing
+    it.
+
+    :returns: ``(tables by registry name, problem notes)``.
+    """
+    directory = Path(directory)
+    tables: Dict[str, UncertainTable] = {}
+    problems: List[str] = []
+    if not directory.is_dir():
+        return tables, problems
+    candidates: Dict[str, List[Tuple[int, Path]]] = {}
+    for path in sorted(directory.glob("*.snap")):
+        try:
+            header = read_header(path)
+            candidates.setdefault(header["name"], []).append(
+                (int(header["version"]), path)
+            )
+        except (SnapshotCorruptionError, KeyError, TypeError, ValueError) as error:
+            problems.append(str(error))
+    for name, versions in candidates.items():
+        for _, path in sorted(versions, reverse=True):
+            try:
+                table, registry_name = read_snapshot(path)
+            except SnapshotCorruptionError as error:
+                problems.append(str(error))
+                continue
+            tables[registry_name] = table
+            break
+        else:
+            problems.append(f"no loadable snapshot for table {name!r}")
+    return tables, problems
+
+
+def compact_snapshots(directory: Union[str, Path], keep: int = 1) -> int:
+    """Delete superseded snapshot generations (and stale ``*.tmp`` files).
+
+    :param keep: newest generations to retain per table.
+    :returns: the number of files deleted.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    deleted = 0
+    for leftover in directory.glob("*.snap.tmp"):
+        leftover.unlink()
+        deleted += 1
+    generations: Dict[str, List[Tuple[int, Path]]] = {}
+    for path in directory.glob("*.snap"):
+        try:
+            header = read_header(path)
+            generations.setdefault(header["name"], []).append(
+                (int(header["version"]), path)
+            )
+        except (SnapshotCorruptionError, KeyError, TypeError, ValueError):
+            continue  # unreadable files are verify's business, not ours
+    for versions in generations.values():
+        for _, path in sorted(versions, reverse=True)[max(keep, 1):]:
+            path.unlink()
+            deleted += 1
+    return deleted
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory (persists the rename itself)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)

@@ -64,6 +64,31 @@ class ObservabilityError(ReproError):
     """
 
 
+class DurabilityError(ReproError):
+    """Base class for errors raised by the persistence subsystem
+    (:mod:`repro.durable`): write-ahead logging, snapshots, recovery."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A write-ahead-log segment is structurally corrupt.
+
+    Raised only for damage that cannot be explained by a torn tail — a
+    bad magic header, or a CRC-valid record whose payload does not
+    parse.  A partial final record (the normal signature of a crash
+    mid-append) is *not* an error: recovery truncates it silently.
+    """
+
+
+class SnapshotCorruptionError(DurabilityError):
+    """A snapshot file failed its checksum or could not be decoded."""
+
+
+class RecoveryError(DurabilityError):
+    """Recovery found an impossible state — e.g. a gap in the journaled
+    table-version sequence, meaning mutations were lost between the
+    latest snapshot and the surviving WAL records."""
+
+
 class EnumerationLimitError(ReproError):
     """Possible-world enumeration would exceed the configured safety limit.
 

@@ -46,7 +46,10 @@ class UncertainTable:
     def __init__(self, name: str = "uncertain_table") -> None:
         self.name = name
         self._tuples: Dict[Any, UncertainTuple] = {}
-        self._order: List[Any] = []
+        # Insertion-ordered set of tuple ids (dict keys).  A dict rather
+        # than a list so removal is O(1) — bulk WAL-replayed deletions
+        # (repro.durable) would go quadratic on a list's O(n) remove.
+        self._order: Dict[Any, None] = {}
         self._rules: Dict[Any, GenerationRule] = {}
         self._rule_of_tuple: Dict[Any, Any] = {}
         self._version = 0
@@ -75,7 +78,7 @@ class UncertainTable:
                 f"table {self.name!r} already contains tuple {tup.tid!r}"
             )
         self._tuples[tup.tid] = tup
-        self._order.append(tup.tid)
+        self._order[tup.tid] = None
         self._version += 1
 
     def add(
@@ -149,7 +152,7 @@ class UncertainTable:
         """
         removed = self.get(tid)
         del self._tuples[tid]
-        self._order.remove(tid)
+        del self._order[tid]
         rule_id = self._rule_of_tuple.pop(tid, None)
         if rule_id is not None:
             rule = self._rules[rule_id]

@@ -264,6 +264,41 @@ CATALOG: Dict[str, MetricSpec] = {
             "Heap-file pages fetched (the benchmark I/O cost model).",
             "Section 6 (I/O accounting)",
         ),
+        # ------------------------------------------------------ durability
+        _spec(
+            "repro_durable_wal_appends_total", "counter", ("kind",),
+            "Write-ahead-log records appended, by record kind "
+            "(register, add, rule, remove, update, drop, serve).",
+            "Beyond the paper (durable storage)",
+        ),
+        _spec(
+            "repro_durable_wal_bytes_total", "counter", (),
+            "Bytes appended to the write-ahead log (framing included).",
+            "Beyond the paper (durable storage)",
+        ),
+        _spec(
+            "repro_durable_wal_fsyncs_total", "counter", (),
+            "fsync calls issued by the write-ahead log "
+            "(policy: always / interval / off).",
+            "Beyond the paper (durable storage)",
+        ),
+        _spec(
+            "repro_durable_snapshot_seconds", "timer", (),
+            "Wall time of one full checkpoint (all tables snapshotted, "
+            "WAL rotated and compacted).",
+            "Beyond the paper (durable storage)",
+        ),
+        _spec(
+            "repro_durable_snapshot_bytes", "histogram", (),
+            "On-disk size of each snapshot image written.",
+            "Beyond the paper (durable storage)",
+        ),
+        _spec(
+            "repro_durable_recovery_replayed_total", "counter", (),
+            "WAL mutation records replayed on top of snapshots during "
+            "recovery.",
+            "Beyond the paper (durable storage)",
+        ),
         # --------------------------------------------------------- timers
         _spec(
             "repro_query_seconds", "timer", ("semantics",),

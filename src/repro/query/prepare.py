@@ -112,12 +112,20 @@ def prepare_ranking(table: UncertainTable, query: TopKQuery) -> PreparedRanking:
 
 @dataclass
 class PrepareCacheStats:
-    """Point-in-time counters of one cache (also exported via obs)."""
+    """Point-in-time counters of one cache (also exported via obs).
+
+    ``hits`` and ``misses`` count within the current *epoch*: a full
+    clear (``invalidate(None)`` — e.g. after crash recovery replaces
+    every table) zeroes them and bumps ``epoch``, so post-restart
+    hit rates never mix measurements from before and after the reset.
+    ``invalidations`` stays cumulative over the cache's lifetime.
+    """
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
     entries: int = 0
+    epoch: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -161,6 +169,7 @@ class PrepareCache:
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Lookup
@@ -209,6 +218,12 @@ class PrepareCache:
         to release memory deterministically (``UncertainDB.drop`` calls
         it) and is counted in ``repro_prepare_cache_invalidations_total``.
 
+        A full clear also starts a new counter *epoch*: hit/miss
+        counters reset to zero and ``stats().epoch`` increments, so a
+        cache wiped by recovery or a table-set swap reports post-restart
+        rates instead of mixing two lifetimes (cumulative invalidation
+        counts are unaffected).
+
         :returns: number of entries dropped.
         """
         with self._lock:
@@ -217,6 +232,9 @@ class PrepareCache:
                 for entries in self._by_table.values():
                     dropped += len(entries)
                 self._by_table.clear()
+                self._hits = 0
+                self._misses = 0
+                self._epoch += 1
             else:
                 entries = self._by_table.pop(table, None)
                 if entries:
@@ -262,6 +280,7 @@ class PrepareCache:
                 misses=self._misses,
                 invalidations=self._invalidations,
                 entries=self._purge_stale(),
+                epoch=self._epoch,
             )
 
     def __len__(self) -> int:

@@ -340,9 +340,13 @@ class ServeApp:
             # Dropped between admission and dispatch: fail the batch's
             # items individually so each client sees a clean 404.
             return [error for _ in items]
-        prepared = self.db.prepare_cache.get(
-            table, TopKQuery(k=max(w.request.k for w in items))
-        )
+        max_k = max(w.request.k for w in items)
+        prepared = self.db.prepare_cache.get(table, TopKQuery(k=max_k))
+        # A durable engine journals served keys so a restart re-prepares
+        # what production traffic was actually using (cache warm start).
+        note_served = getattr(self.db, "note_served", None)
+        if note_served is not None:
+            note_served(name, max_k)
         statistics = self._statistics_for(table)
 
         results: List[Any] = [None] * len(items)

@@ -116,6 +116,36 @@ class TestCsv:
         with pytest.raises(ValidationError):
             write_table_csv(table, tmp_path / "bad")
 
+    def test_multi_member_rules_and_scores_roundtrip_exactly(self, tmp_path):
+        # Golden round trip for the awkward cases: a three-member
+        # exclusion rule, a two-member rule, irrational scores, and
+        # probabilities with no short decimal form.  Everything the
+        # PT-k computation consumes must survive byte-exactly.
+        table = UncertainTable(name="golden")
+        scores = [97.25, 3.141592653589793, 88.0, 2 / 3, 41.5, 17.125]
+        probabilities = [0.3, 0.25, 1 / 3, 0.4, 0.2, 0.123456789012345]
+        for i, (score, probability) in enumerate(zip(scores, probabilities)):
+            table.add(f"g{i}", score, probability)
+        table.add_exclusive("triple", "g0", "g1", "g2")
+        table.add_exclusive("pair", "g3", "g4")
+        stem = tmp_path / "golden"
+        write_table_csv(table, stem)
+        restored = read_table_csv(stem)
+
+        assert [t.tid for t in restored] == [t.tid for t in table]
+        for tup in table:
+            mine = restored.get(tup.tid)
+            assert mine.score == tup.score
+            assert mine.probability == tup.probability
+        assert {
+            str(r.rule_id): sorted(map(str, r.tuple_ids))
+            for r in restored.multi_rules()
+        } == {
+            "triple": ["g0", "g1", "g2"],
+            "pair": ["g3", "g4"],
+        }
+        restored.validate()
+
     def test_probabilities_roundtrip_exactly(self, tmp_path):
         # repr() round-trips doubles exactly
         table = build_table([0.1234567890123456, 1 / 3], rule_groups=[])

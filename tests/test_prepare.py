@@ -123,6 +123,41 @@ class TestPrepareCache:
         assert cache.invalidate() == 1
         assert len(cache) == 0
 
+    def test_full_clear_starts_new_counter_epoch(self):
+        # A full clear (e.g. after crash recovery swaps the table set)
+        # used to leave hit/miss counters accumulating across the reset,
+        # so post-restart hit rates mixed two cache lifetimes.
+        cache = PrepareCache()
+        table = build_table([0.5, 0.3], rule_groups=[])
+        query = TopKQuery(k=1)
+        cache.get(table, query)
+        cache.get(table, query)
+        before = cache.stats()
+        assert (before.hits, before.misses, before.epoch) == (1, 1, 0)
+
+        dropped = cache.invalidate(None)
+        assert dropped == 1
+        after = cache.stats()
+        assert (after.hits, after.misses) == (0, 0)
+        assert after.epoch == 1
+        assert after.invalidations == 1  # cumulative, not epoch-scoped
+        assert after.hit_rate == 0.0
+
+        # Counters restart cleanly within the new epoch.
+        cache.get(table, query)
+        cache.get(table, query)
+        fresh = cache.stats()
+        assert (fresh.hits, fresh.misses, fresh.epoch) == (1, 1, 1)
+
+    def test_single_table_invalidate_keeps_epoch(self):
+        cache = PrepareCache()
+        table = build_table([0.5], rule_groups=[])
+        cache.get(table, TopKQuery(k=1))
+        cache.invalidate(table)
+        stats = cache.stats()
+        assert stats.epoch == 0
+        assert stats.misses == 1  # targeted drops don't reset counters
+
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
             PrepareCache(max_entries_per_table=0)
