@@ -29,6 +29,7 @@ recovery time and disk use.
 
 from __future__ import annotations
 
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
@@ -78,10 +79,19 @@ class DurableDB(UncertainDB):
         self.wal = WriteAheadLog(
             self.data_dir / "wal", fsync=fsync, fsync_interval=fsync_interval
         )
+        # Registration epoch per name (how many times the name has been
+        # registered, ever) — stamps register records and snapshots so a
+        # re-registered table supersedes its dropped predecessor.
+        self._epochs: Dict[str, int] = dict(report.epochs)
+        # Serve-key bookkeeping.  The lock exists because the serving
+        # layer defers and flushes keys from executor threads.
+        self._serve_lock = threading.Lock()
         # (table name, where) pairs journalled into the active segment;
         # dedupe keeps the serve-key journal O(distinct keys) per segment.
         self._journalled_serves: Set[Tuple[str, Optional[str]]] = set()
         self._recent_serves: Dict[Tuple[str, Optional[str]], int] = {}
+        # Keys noted with defer=True, awaiting a flush_serves() call.
+        self._pending_serves: Dict[Tuple[str, Optional[str]], int] = {}
         for name, k, where in report.serve_keys:
             self._recent_serves[(name, where)] = k
         if warm_start:
@@ -91,12 +101,21 @@ class DurableDB(UncertainDB):
     # Journalled catalogue operations
     # ------------------------------------------------------------------
     def register(self, table: UncertainTable, name: Optional[str] = None) -> str:
-        """Register and journal a table (full document + exact version)."""
+        """Register and journal a table (full document + exact version).
+
+        The name's registration epoch is bumped and journalled with the
+        record: recovery and snapshot ranking key on ``(epoch,
+        version)``, so a replacement registered after a drop supersedes
+        the dropped table even though its version restarts low.
+        """
         key = super().register(table, name=name)
+        epoch = self._epochs.get(key, 0) + 1
+        self._epochs[key] = epoch
         self.wal.append(
             {
                 "op": "register",
                 "table": key,
+                "epoch": epoch,
                 "version": table.version,
                 "doc": table_to_dict(table),
             }
@@ -104,12 +123,20 @@ class DurableDB(UncertainDB):
         return key
 
     def drop(self, name: str) -> None:
-        """Drop a table from the registry and the journal's future."""
+        """Drop a table from the registry and the journal's future.
+
+        The name's epoch entry is kept so a future re-registration
+        still outranks any of this table's surviving snapshots.
+        """
         super().drop(name)
         self.wal.append({"op": "drop", "table": name})
-        self._recent_serves = {
-            key: k for key, k in self._recent_serves.items() if key[0] != name
-        }
+        with self._serve_lock:
+            self._recent_serves = {
+                key: k for key, k in self._recent_serves.items() if key[0] != name
+            }
+            self._pending_serves = {
+                key: k for key, k in self._pending_serves.items() if key[0] != name
+            }
 
     # ------------------------------------------------------------------
     # Journalled mutations
@@ -190,7 +217,13 @@ class DurableDB(UncertainDB):
     # ------------------------------------------------------------------
     # Serve-key journaling (prepare-cache warm start)
     # ------------------------------------------------------------------
-    def note_served(self, name: str, k: int, where: Optional[str] = None) -> None:
+    def note_served(
+        self,
+        name: str,
+        k: int,
+        where: Optional[str] = None,
+        defer: bool = False,
+    ) -> None:
         """Journal that ``(name, predicate, default ranking)`` was served.
 
         The prepare cache keys on (predicate, ranking) — ``k`` only
@@ -198,12 +231,48 @@ class DurableDB(UncertainDB):
         ``(table, where)`` pair per WAL segment suffices.  ``where`` is
         the predicate's expression string (``repro.query.parser``
         syntax) or ``None`` for the trivial predicate.
+
+        With ``defer=True`` the key is only buffered — no WAL append
+        (and under ``--fsync always`` no fsync) happens on the caller's
+        thread; :meth:`flush_serves` journals the buffer later.  The
+        serving layer uses this so batch dispatch never stalls on the
+        journal; buffered keys also land on :meth:`snapshot` and
+        :meth:`close`.
         """
-        self._recent_serves[(name, where)] = k
-        if (name, where) in self._journalled_serves:
-            return
-        self._journalled_serves.add((name, where))
+        with self._serve_lock:
+            self._recent_serves[(name, where)] = k
+            if defer:
+                if (name, where) not in self._journalled_serves:
+                    self._pending_serves[(name, where)] = k
+                return
+        self._journal_serve(name, k, where)
+
+    def flush_serves(self) -> int:
+        """Journal every serve key buffered by ``note_served(defer=True)``.
+
+        Safe to call from any thread and after :meth:`close` (a closed
+        journal makes it a no-op).
+
+        :returns: the number of records appended.
+        """
+        with self._serve_lock:
+            if not self._pending_serves or self.wal.closed:
+                return 0
+            pending = list(self._pending_serves.items())
+            self._pending_serves.clear()
+        return sum(
+            self._journal_serve(name, k, where)
+            for (name, where), k in pending
+        )
+
+    def _journal_serve(self, name: str, k: int, where: Optional[str]) -> int:
+        """Append one serve record unless this segment already has it."""
+        with self._serve_lock:
+            if (name, where) in self._journalled_serves:
+                return 0
+            self._journalled_serves.add((name, where))
         self.wal.append({"op": "serve", "table": name, "k": int(k), "where": where})
+        return 1
 
     def ptk(self, name: str, k: int, threshold: float, query=None, **kwargs):
         self._auto_note(name, k, query)
@@ -256,10 +325,13 @@ class DurableDB(UncertainDB):
         """Checkpoint every registered table and rotate the WAL.
 
         After the images land (atomic rename each), the WAL rotates to a
-        fresh segment; with ``compact=True`` the sealed segments and the
-        superseded snapshot generations are deleted — their records are
-        fully covered by the new images, and replay version-gating makes
-        the window between rename and delete crash-safe.
+        fresh segment; with ``compact=True`` the superseded snapshot
+        generations — including *every* generation of names no longer
+        registered — are deleted first, then the sealed WAL segments.
+        That order is crash-safe: stale snapshots of a dropped table are
+        gone before the WAL record of its drop can be compacted away,
+        and replay ``(epoch, version)`` gating covers the remaining
+        windows.
 
         :returns: the snapshot paths written.
         """
@@ -280,17 +352,29 @@ class DurableDB(UncertainDB):
                         self.table(name),
                         self.data_dir / "snapshots",
                         name=name,
+                        epoch=self._epochs.get(name, 0),
                     )
                     for name in self.tables()
                 ]
                 sealed = self.wal.rotate()
-                self._journalled_serves.clear()
-                for (name, where), k in list(self._recent_serves.items()):
+                with self._serve_lock:
+                    self._journalled_serves.clear()
+                    self._pending_serves.clear()
+                    recent = list(self._recent_serves.items())
+                for (name, where), k in recent:
                     if name in self.tables():
-                        self.note_served(name, k, where)
+                        self._journal_serve(name, k, where)
                 if compact:
+                    # Snapshots before WAL segments: once the sealed
+                    # segment holding a 'drop' record is gone, no stale
+                    # snapshot of the dropped table may remain to be
+                    # resurrected by the next recovery.
+                    compact_snapshots(
+                        self.data_dir / "snapshots",
+                        keep=1,
+                        registered=set(self.tables()),
+                    )
                     self.wal.drop_segments_before(self.wal.path)
-                    compact_snapshots(self.data_dir / "snapshots", keep=1)
             finally:
                 if timer is not None:
                     timer.__exit__(None, None, None)
@@ -302,7 +386,9 @@ class DurableDB(UncertainDB):
         return paths
 
     def close(self) -> None:
-        """Flush and close the WAL (the database stays queryable)."""
+        """Flush buffered serve keys, then close the WAL (the database
+        stays queryable)."""
+        self.flush_serves()
         self.wal.close()
 
     def __enter__(self) -> "DurableDB":

@@ -24,6 +24,12 @@ The invariants recovery guarantees (tested property-style in
    more than one ahead) means mutations were lost and raises
    :class:`~repro.exceptions.RecoveryError` instead of rebuilding a
    silently wrong table.
+4. **Epoch precedence** — ``register`` records and snapshots carry the
+   name's *registration epoch* (how many times the name has been
+   registered), and "already covered" comparisons use
+   ``(epoch, version)``: a replacement table re-registered after a drop
+   starts at a low version but a higher epoch, so it always supersedes
+   its dropped predecessor's state.
 
 ``serve`` records journal recently served query keys; recovery returns
 them so :class:`~repro.durable.db.DurableDB` can warm its prepare cache
@@ -65,6 +71,10 @@ class RecoveryReport:
     :param problems: non-fatal notes (skipped corrupt snapshot
         generations, torn tails).
     :param serve_keys: recently served query keys, oldest first.
+    :param epochs: registration epoch per name — the highest epoch seen
+        for each registry name, including names that were dropped, so a
+        re-opened :class:`~repro.durable.db.DurableDB` keeps epochs
+        monotone across restarts.
     :param duration_seconds: wall time of the pass.
     """
 
@@ -76,6 +86,7 @@ class RecoveryReport:
     segments: int = 0
     problems: List[str] = field(default_factory=list)
     serve_keys: List[Tuple[str, int, Optional[str]]] = field(default_factory=list)
+    epochs: Dict[str, int] = field(default_factory=dict)
     duration_seconds: float = 0.0
 
 
@@ -92,7 +103,9 @@ def recover_state(
     report = RecoveryReport()
     started = time.perf_counter()
     with obs_span("durable.recover", data_dir=str(data_dir)):
-        tables, snapshot_problems = load_latest_snapshots(data_dir / "snapshots")
+        tables, snapshot_problems, epochs = load_latest_snapshots(
+            data_dir / "snapshots"
+        )
         report.problems.extend(snapshot_problems)
         report.snapshots_loaded = len(tables)
         records, scans, paths = wal_mod.replay_wal(data_dir / "wal")
@@ -117,11 +130,12 @@ def recover_state(
                 while len(serve_keys) > MAX_SERVE_KEYS:
                     serve_keys.pop(next(iter(serve_keys)))
                 continue
-            if apply_record(tables, record):
+            if apply_record(tables, record, epochs):
                 report.replayed += 1
             else:
                 report.skipped += 1
         report.serve_keys = list(serve_keys)
+        report.epochs = dict(epochs)
         report.tables = {name: table.version for name, table in tables.items()}
         report.duration_seconds = time.perf_counter() - started
         if OBS.enabled and report.replayed:
@@ -131,9 +145,16 @@ def recover_state(
     return tables, report
 
 
-def apply_record(tables: Dict[str, UncertainTable], record: Dict[str, Any]) -> bool:
+def apply_record(
+    tables: Dict[str, UncertainTable],
+    record: Dict[str, Any],
+    epochs: Optional[Dict[str, int]] = None,
+) -> bool:
     """Apply one mutation record to the recovering table set.
 
+    :param epochs: registration epoch of each table in ``tables``;
+        updated in place as ``register`` records apply.  Entries for
+        dropped names are kept so epoch monotonicity survives.
     :returns: True when the record mutated state, False when it was
         version-skipped (already covered by a snapshot) or a no-op.
     :raises RecoveryError: on malformed records or version gaps.
@@ -142,14 +163,21 @@ def apply_record(tables: Dict[str, UncertainTable], record: Dict[str, Any]) -> b
     name = record.get("table")
     if op == "register":
         version = int(record["version"])
+        epoch = int(record.get("epoch", 0))
         existing = tables.get(name)
-        if existing is not None and existing.version >= version:
-            return False
+        if existing is not None:
+            current_epoch = epochs.get(name, 0) if epochs is not None else 0
+            if (current_epoch, existing.version) >= (epoch, version):
+                return False
         table = table_from_dict(record["doc"])
         table._version = version
         tables[name] = table
+        if epochs is not None:
+            epochs[name] = max(epochs.get(name, 0), epoch)
         return True
     if op == "drop":
+        # The epoch entry survives the drop on purpose: a later
+        # re-registration must keep bumping past it.
         return tables.pop(name, None) is not None
     table = tables.get(name)
     if table is None:

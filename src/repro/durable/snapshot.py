@@ -9,7 +9,7 @@ in a JSON header::
 
     file   := MAGIC ("RPSNAP01") <u32 crc32(body)> <u32 header_len> body
     body   := header_json scores_f64[] probabilities_f64[]
-    header := {"name", "version", "count", "tids", "attributes",
+    header := {"name", "epoch", "version", "count", "tids", "attributes",
                "rules": [{"rule_id", "members"}, ...]}
 
 Tuple ids follow the :mod:`repro.io.jsonio` convention: tuple-typed ids
@@ -24,10 +24,17 @@ see complete snapshots; a crash mid-write leaves a stale ``*.tmp`` that
 :func:`write_snapshot` and compaction clean up.
 
 One table accumulates one file per snapshotted version
-(``<safe-name>.<name-crc>-v<version>.snap``); recovery picks the newest
-one that passes its CRC and falls back to older generations, and
-:func:`compact_snapshots` deletes superseded files once a newer one has
-landed.
+(``<safe-name>.<name-crc>-e<epoch>-v<version>.snap``); recovery picks
+the newest one that passes its CRC and falls back to older generations,
+and :func:`compact_snapshots` deletes superseded files once a newer one
+has landed.
+
+"Newest" is decided by ``(epoch, version)``, not raw version: the
+*registration epoch* counts how many times a registry name has been
+(re-)registered, so a replacement table re-registered after a drop —
+which restarts at a low ``version`` — still outranks the dropped
+predecessor's high-version snapshots.  Files written before epochs
+existed read as epoch 0.
 """
 
 from __future__ import annotations
@@ -51,20 +58,36 @@ MAGIC = b"RPSNAP01"
 _PREFIX = struct.Struct("<II")  # crc32(body), header length
 
 
-def snapshot_filename(name: str, version: int) -> str:
-    """Deterministic snapshot filename for ``(table name, version)``.
+def snapshot_filename(name: str, version: int, epoch: int = 0) -> str:
+    """Deterministic snapshot filename for ``(name, epoch, version)``.
 
     The sanitised name keeps listings readable; the CRC32 of the exact
-    name disambiguates tables whose names sanitise identically.
+    name disambiguates tables whose names sanitise identically, and the
+    epoch keeps a re-registered table's files distinct from its dropped
+    predecessor's.
     """
     safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in name)[:80]
-    return f"{safe or 'table'}.{zlib.crc32(name.encode('utf-8')):08x}-v{version:012d}.snap"
+    return (
+        f"{safe or 'table'}.{zlib.crc32(name.encode('utf-8')):08x}"
+        f"-e{epoch:06d}-v{version:012d}.snap"
+    )
 
 
-def serialize_table(table: UncertainTable, name: Optional[str] = None) -> bytes:
+def snapshot_rank(header: Dict[str, Any]) -> Tuple[int, int]:
+    """Recency key of a snapshot header: ``(epoch, version)``.
+
+    Pre-epoch files (no ``epoch`` field) rank as epoch 0.
+    """
+    return int(header.get("epoch", 0)), int(header["version"])
+
+
+def serialize_table(
+    table: UncertainTable, name: Optional[str] = None, epoch: int = 0
+) -> bytes:
     """The complete snapshot file image for ``table`` (header + columns).
 
     :param name: registry name to record; defaults to ``table.name``.
+    :param epoch: registration epoch of the registry name.
     """
     tuples = table.tuples()
     scores = np.array([t.score for t in tuples], dtype="<f8")
@@ -77,6 +100,7 @@ def serialize_table(table: UncertainTable, name: Optional[str] = None) -> bytes:
     header = {
         "name": name if name is not None else table.name,
         "table_name": table.name,
+        "epoch": int(epoch),
         "version": table.version,
         "count": len(tuples),
         "tids": [encode_tid(t.tid) for t in tuples],
@@ -168,6 +192,7 @@ def write_snapshot(
     table: UncertainTable,
     directory: Union[str, Path],
     name: Optional[str] = None,
+    epoch: int = 0,
 ) -> Path:
     """Write one snapshot atomically; returns the final path.
 
@@ -177,8 +202,8 @@ def write_snapshot(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     registry_name = name if name is not None else table.name
-    target = directory / snapshot_filename(registry_name, table.version)
-    data = serialize_table(table, name=registry_name)
+    target = directory / snapshot_filename(registry_name, table.version, epoch)
+    data = serialize_table(table, name=registry_name, epoch=epoch)
     temporary = target.with_name(target.name + ".tmp")
     with open(temporary, "wb") as handle:
         handle.write(data)
@@ -210,68 +235,85 @@ class SnapshotCatalog:
 
 
 def catalog_snapshots(directory: Union[str, Path]) -> SnapshotCatalog:
-    """Index a snapshot directory by table name, newest version first."""
+    """Index a snapshot directory by table name, newest first.
+
+    Newest means the highest ``(epoch, version)`` rank — see
+    :func:`snapshot_rank`.
+    """
     catalog = SnapshotCatalog()
     directory = Path(directory)
     if not directory.is_dir():
         return catalog
+    best: Dict[str, Tuple[int, int]] = {}
     for path in sorted(directory.glob("*.snap")):
         try:
             header = read_header(path)
-            name, version = header["name"], int(header["version"])
+            name, rank = header["name"], snapshot_rank(header)
         except (SnapshotCorruptionError, KeyError, TypeError, ValueError) as error:
             catalog.errors.append(f"{path.name}: {error}")
             continue
-        current = catalog.latest.get(name)
-        if current is None or version > current[1]:
-            catalog.latest[name] = (path, version)
+        if name not in best or rank > best[name]:
+            best[name] = rank
+            catalog.latest[name] = (path, rank[1])
     return catalog
 
 
 def load_latest_snapshots(
     directory: Union[str, Path],
-) -> Tuple[Dict[str, UncertainTable], List[str]]:
+) -> Tuple[Dict[str, UncertainTable], List[str], Dict[str, int]]:
     """Load the newest valid snapshot of every table under ``directory``.
 
-    A candidate failing its CRC is skipped with a note and the next
-    older generation of the same table (if any) is tried, so one corrupt
-    file degrades recovery to an older durable point instead of failing
-    it.
+    Candidates are ranked by ``(epoch, version)``; a candidate failing
+    its CRC is skipped with a note and the next older generation of the
+    same table (if any) is tried, so one corrupt file degrades recovery
+    to an older durable point instead of failing it.
 
-    :returns: ``(tables by registry name, problem notes)``.
+    :returns: ``(tables by registry name, problem notes, registration
+        epoch of each loaded table)``.
     """
     directory = Path(directory)
     tables: Dict[str, UncertainTable] = {}
     problems: List[str] = []
+    epochs: Dict[str, int] = {}
     if not directory.is_dir():
-        return tables, problems
-    candidates: Dict[str, List[Tuple[int, Path]]] = {}
+        return tables, problems, epochs
+    candidates: Dict[str, List[Tuple[Tuple[int, int], Path]]] = {}
     for path in sorted(directory.glob("*.snap")):
         try:
             header = read_header(path)
             candidates.setdefault(header["name"], []).append(
-                (int(header["version"]), path)
+                (snapshot_rank(header), path)
             )
         except (SnapshotCorruptionError, KeyError, TypeError, ValueError) as error:
             problems.append(str(error))
-    for name, versions in candidates.items():
-        for _, path in sorted(versions, reverse=True):
+    for name, ranked in candidates.items():
+        for (epoch, _), path in sorted(ranked, reverse=True):
             try:
                 table, registry_name = read_snapshot(path)
             except SnapshotCorruptionError as error:
                 problems.append(str(error))
                 continue
             tables[registry_name] = table
+            epochs[registry_name] = epoch
             break
         else:
             problems.append(f"no loadable snapshot for table {name!r}")
-    return tables, problems
+    return tables, problems, epochs
 
 
-def compact_snapshots(directory: Union[str, Path], keep: int = 1) -> int:
+def compact_snapshots(
+    directory: Union[str, Path],
+    keep: int = 1,
+    registered: Optional[set] = None,
+) -> int:
     """Delete superseded snapshot generations (and stale ``*.tmp`` files).
 
-    :param keep: newest generations to retain per table.
+    :param keep: newest generations (by ``(epoch, version)``) to retain
+        per table.
+    :param registered: when given, the registry names that still exist —
+        *every* generation of a name not in the set is deleted, so a
+        dropped table cannot resurrect once the WAL record of its drop
+        is compacted away.
     :returns: the number of files deleted.
     """
     directory = Path(directory)
@@ -281,17 +323,21 @@ def compact_snapshots(directory: Union[str, Path], keep: int = 1) -> int:
     for leftover in directory.glob("*.snap.tmp"):
         leftover.unlink()
         deleted += 1
-    generations: Dict[str, List[Tuple[int, Path]]] = {}
+    generations: Dict[str, List[Tuple[Tuple[int, int], Path]]] = {}
     for path in directory.glob("*.snap"):
         try:
             header = read_header(path)
             generations.setdefault(header["name"], []).append(
-                (int(header["version"]), path)
+                (snapshot_rank(header), path)
             )
         except (SnapshotCorruptionError, KeyError, TypeError, ValueError):
             continue  # unreadable files are verify's business, not ours
-    for versions in generations.values():
-        for _, path in sorted(versions, reverse=True)[max(keep, 1):]:
+    for name, ranked in generations.items():
+        if registered is not None and name not in registered:
+            superseded = sorted(ranked, reverse=True)
+        else:
+            superseded = sorted(ranked, reverse=True)[max(keep, 1):]
+        for _, path in superseded:
             path.unlink()
             deleted += 1
     return deleted

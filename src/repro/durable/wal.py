@@ -40,6 +40,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -195,6 +196,7 @@ class WriteAheadLog:
         self.fsyncs = 0
         self._file = None
         self._last_fsync = 0.0
+        self._lock = threading.RLock()
         self._sequence = self._last_sequence()
         self._open_segment()
 
@@ -202,18 +204,31 @@ class WriteAheadLog:
     # Segment bookkeeping
     # ------------------------------------------------------------------
     @staticmethod
-    def segment_paths(directory: Union[str, Path]) -> List[Path]:
-        """All segments under ``directory``, oldest first."""
-        return sorted(Path(directory).glob("wal-*.log"))
+    def sequence_of(path: Union[str, Path]) -> int:
+        """The integer sequence number in a segment name, or -1.
+
+        Ordering must use this, never the path string: lexicographic
+        comparison misorders ``wal-1000000.log`` before
+        ``wal-999999.log`` once sequences outgrow the zero padding.
+        """
+        try:
+            return int(Path(path).stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            return -1
+
+    @classmethod
+    def segment_paths(cls, directory: Union[str, Path]) -> List[Path]:
+        """All segments under ``directory``, oldest first (by sequence)."""
+        return sorted(
+            Path(directory).glob("wal-*.log"),
+            key=lambda path: (cls.sequence_of(path), path.name),
+        )
 
     def _last_sequence(self) -> int:
-        last = 0
-        for path in self.segment_paths(self.directory):
-            try:
-                last = max(last, int(path.stem.split("-", 1)[1]))
-            except (IndexError, ValueError):
-                continue
-        return last
+        sequences = [
+            self.sequence_of(p) for p in self.segment_paths(self.directory)
+        ]
+        return max([0] + sequences)
 
     def _open_segment(self) -> None:
         self._sequence += 1
@@ -233,6 +248,11 @@ class WriteAheadLog:
         """Byte length of the active segment written so far."""
         return self._file.tell()
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._file is None
+
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
@@ -242,20 +262,25 @@ class WriteAheadLog:
         The record is flushed to the OS before returning (all policies),
         so a SIGKILL of the process cannot lose an acknowledged append;
         the fsync policy decides what a *power* failure can lose.
+
+        Appends are serialised by an internal lock — the serving layer
+        flushes buffered serve keys from executor threads while the
+        owning thread may be journalling mutations.
         """
-        if self._file is None:
-            raise DurabilityError("write-ahead log is closed")
         buffer = encode_record(record)
-        self._file.write(buffer)
-        self._file.flush()
-        if self.fsync_policy == "always":
-            self._fsync()
-        elif self.fsync_policy == "interval":
-            now = time.monotonic()
-            if now - self._last_fsync >= self.fsync_interval:
+        with self._lock:
+            if self._file is None:
+                raise DurabilityError("write-ahead log is closed")
+            self._file.write(buffer)
+            self._file.flush()
+            if self.fsync_policy == "always":
                 self._fsync()
-        self.appended_records += 1
-        self.appended_bytes += len(buffer)
+            elif self.fsync_policy == "interval":
+                now = time.monotonic()
+                if now - self._last_fsync >= self.fsync_interval:
+                    self._fsync()
+            self.appended_records += 1
+            self.appended_bytes += len(buffer)
         if OBS.enabled:
             catalogued("repro_durable_wal_appends_total").inc(
                 kind=str(record.get("op", "unknown"))
@@ -272,9 +297,10 @@ class WriteAheadLog:
 
     def sync(self) -> None:
         """Force the active segment to stable storage."""
-        if self._file is not None:
-            self._file.flush()
-            self._fsync()
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._fsync()
 
     # ------------------------------------------------------------------
     # Rotation and compaction
@@ -284,23 +310,26 @@ class WriteAheadLog:
 
         :returns: the path of the sealed segment.
         """
-        sealed = self._path
-        self._file.flush()
-        self._fsync()
-        self._file.close()
-        self._open_segment()
-        return sealed
+        with self._lock:
+            sealed = self._path
+            self._file.flush()
+            self._fsync()
+            self._file.close()
+            self._open_segment()
+            return sealed
 
     def drop_segments_before(self, path: Path) -> int:
-        """Delete sealed segments older than ``path`` (compaction).
+        """Delete sealed segments with sequences older than ``path``'s
+        (compaction).
 
         Called after a snapshot has made their records redundant.
 
         :returns: the number of segments deleted.
         """
+        threshold = self.sequence_of(path)
         dropped = 0
         for segment in self.segment_paths(self.directory):
-            if segment >= path or segment == self._path:
+            if self.sequence_of(segment) >= threshold or segment == self._path:
                 continue
             segment.unlink()
             dropped += 1
@@ -308,11 +337,12 @@ class WriteAheadLog:
 
     def close(self) -> None:
         """Flush, fsync, and close the active segment."""
-        if self._file is not None:
-            self._file.flush()
-            self._fsync()
-            self._file.close()
-            self._file = None
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._fsync()
+                self._file.close()
+                self._file = None
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -323,7 +323,27 @@ class ServeApp:
             self.admission.observe_service(
                 time.monotonic() - start, requests=len(items)
             )
+        self._schedule_serve_flush(loop)
         return results
+
+    def _schedule_serve_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Journal serve keys buffered during dispatch, off the loop.
+
+        ``_run_batch`` only *buffers* the keys it notes (``defer=True``)
+        — the WAL append, and under ``--fsync always`` the fsync, happen
+        here on an executor thread, fire-and-forget, so neither the
+        event loop nor the batch's response ever waits on the journal.
+        A durable engine also flushes on snapshot and close, so a skipped
+        flush (executor already shut down) loses nothing permanent.
+        """
+        flush = getattr(self.db, "flush_serves", None)
+        if flush is None or self._executor is None:
+            return
+        try:
+            future = loop.run_in_executor(self._executor, flush)
+        except RuntimeError:  # executor shut down mid-request
+            return
+        future.add_done_callback(_consume_flush_outcome)
 
     def _run_batch(self, name: str, items: List[_Work]) -> List[Any]:
         """Answer one micro-batch (thread pool; blocking engine calls).
@@ -344,9 +364,11 @@ class ServeApp:
         prepared = self.db.prepare_cache.get(table, TopKQuery(k=max_k))
         # A durable engine journals served keys so a restart re-prepares
         # what production traffic was actually using (cache warm start).
+        # defer=True: buffer only — the WAL append (and any fsync) runs
+        # later via _schedule_serve_flush, never inside dispatch.
         note_served = getattr(self.db, "note_served", None)
         if note_served is not None:
-            note_served(name, max_k)
+            note_served(name, max_k, defer=True)
         statistics = self._statistics_for(table)
 
         results: List[Any] = [None] * len(items)
@@ -522,6 +544,15 @@ class ServeApp:
     def _count_request(endpoint: str) -> None:
         if OBS.enabled:
             catalogued("repro_serve_requests_total").inc(endpoint=endpoint)
+
+
+def _consume_flush_outcome(future: "asyncio.Future[int]") -> None:
+    """Retrieve a fire-and-forget flush's outcome so nothing is logged
+    as an unretrieved exception; serve keys are warm-start hints, and a
+    key missed here is re-journalled from the recent-serves set at the
+    next snapshot."""
+    if not future.cancelled():
+        future.exception()
 
 
 def _json_response(

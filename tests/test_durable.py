@@ -139,6 +139,24 @@ class TestWal:
         assert [r["version"] for r in records] == [2]
         wal.close()
 
+    def test_segment_order_past_six_digit_sequences(self, tmp_path):
+        """Segments must order by integer sequence, not path string:
+        'wal-1000000.log' sorts lexicographically before 'wal-999999.log'."""
+        older = tmp_path / "wal-999999.log"
+        newer = tmp_path / "wal-1000000.log"
+        older.write_bytes(MAGIC + encode_record({"op": "add", "version": 1}))
+        newer.write_bytes(MAGIC + encode_record({"op": "add", "version": 2}))
+        assert WriteAheadLog.segment_paths(tmp_path) == [older, newer]
+        records, _, paths = replay_wal(tmp_path)
+        assert [r["version"] for r in records] == [1, 2]
+        assert paths == [older, newer]
+
+        wal = WriteAheadLog(tmp_path, fsync="off")  # continues the sequence
+        assert wal.path.name == "wal-1000001.log"
+        assert wal.drop_segments_before(wal.path) == 2
+        assert not older.exists() and not newer.exists()
+        wal.close()
+
 
 class TestTornTail:
     def make_segment(self, tmp_path, n=5):
@@ -246,7 +264,7 @@ class TestSnapshot:
         data = bytearray(newest.read_bytes())
         data[-3] ^= 0xFF
         newest.write_bytes(bytes(data))
-        tables, problems = load_latest_snapshots(tmp_path)
+        tables, problems, _ = load_latest_snapshots(tmp_path)
         assert tables["demo"].version == version_v1
         assert problems
 
@@ -328,6 +346,43 @@ class TestRecovery:
         db.close()
         recovered = DurableDB(tmp_path, fsync="off")
         assert recovered.table("demo").tuple_ids() == ["n1"]
+        recovered.close()
+
+    def test_drop_then_snapshot_then_restart(self, tmp_path):
+        """Compacting away the 'drop' record must not resurrect the
+        table from its surviving snapshot files."""
+        db = DurableDB(tmp_path, fsync="off")
+        db.register(sample_table())
+        db.snapshot()  # dropped table now has an on-disk image
+        db.drop("demo")
+        db.snapshot()  # compacts the segment holding the drop record
+        db.close()
+        assert not list((tmp_path / "snapshots").glob("*.snap"))
+        recovered = DurableDB(tmp_path, fsync="off")
+        assert recovered.tables() == []
+        recovered.close()
+
+    @pytest.mark.parametrize("compact", [True, False])
+    def test_reregister_lower_version_survives_snapshot_restart(
+        self, tmp_path, compact
+    ):
+        """A replacement registered after a drop restarts at a low
+        version; its higher registration epoch must outrank the dropped
+        predecessor's high-version snapshot, with and without
+        compaction."""
+        db = DurableDB(tmp_path, fsync="off")
+        original = sample_table()
+        db.register(original)
+        db.snapshot()
+        db.drop("demo")
+        replacement = table_from_rows([("n1", 10, 0.5)], name="demo")
+        assert replacement.version < original.version
+        db.register(replacement)
+        db.snapshot(compact=compact)
+        db.close()
+        recovered = DurableDB(tmp_path, fsync="off")
+        assert recovered.table("demo").tuple_ids() == ["n1"]
+        assert recovered.table("demo").version == replacement.version
         recovered.close()
 
     def test_version_gap_raises(self, tmp_path):
@@ -442,6 +497,31 @@ class TestDurableDB:
         db.close()
         recovered = DurableDB(tmp_path, fsync="off")  # must not raise
         assert recovered.tables() == []
+        recovered.close()
+
+    def test_deferred_serve_keys_journal_on_flush(self, tmp_path):
+        db = DurableDB(tmp_path, fsync="off")
+        db.register(sample_table())
+        before = db.wal.appended_records
+        db.note_served("demo", 2, defer=True)
+        db.note_served("demo", 2, defer=True)  # deduped in the buffer
+        assert db.wal.appended_records == before  # nothing inline
+        assert db.flush_serves() == 1
+        assert db.wal.appended_records == before + 1
+        assert db.flush_serves() == 0  # once per segment, as inline
+        db.close()
+        recovered = DurableDB(tmp_path, fsync="off")
+        assert ("demo", 2, None) in recovered.last_recovery.serve_keys
+        recovered.close()
+
+    def test_close_flushes_deferred_serve_keys(self, tmp_path):
+        db = DurableDB(tmp_path, fsync="off")
+        db.register(sample_table())
+        db.note_served("demo", 3, defer=True)
+        db.close()  # flush happens here, then again harmlessly
+        assert db.flush_serves() == 0
+        recovered = DurableDB(tmp_path, fsync="off")
+        assert ("demo", 3, None) in recovered.last_recovery.serve_keys
         recovered.close()
 
     def test_opaque_query_not_journalled(self, tmp_path):
