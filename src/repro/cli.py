@@ -329,6 +329,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         default_deadline_ms=args.deadline_ms,
         seed=args.seed,
+        flight_dir=args.flight_dir,
+        slow_ms=args.slow_ms,
+        metrics_flush_s=args.metrics_flush_s,
     )
     names = ", ".join(sorted(db.tables()))
     print(f"loaded tables: {names}", flush=True)
@@ -398,6 +401,40 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     table = load_table(args.table)
     explanation = explain_tuple(table, TopKQuery(k=args.k), args.tid)
     print(format_explanation(explanation, limit=args.limit))
+    return 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    """Inspect a flight-recorder JSONL log offline."""
+    import json as _json
+
+    from repro.obs.flight import (
+        calibration_report,
+        read_jsonl,
+        summarize_profiles,
+    )
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / "slow.jsonl"
+    scan = read_jsonl(path)
+    if scan.problem == "missing":
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 1
+    if scan.problem is not None:
+        print(
+            f"note: stopped at byte {scan.good_bytes} of "
+            f"{scan.total_bytes} ({scan.problem}); "
+            f"{scan.torn_bytes} torn byte(s) ignored",
+            file=sys.stderr,
+        )
+    if args.action == "tail":
+        for record in scan.records[-args.n:]:
+            print(_json.dumps(record, sort_keys=True))
+    elif args.action == "summary":
+        print(_json.dumps(summarize_profiles(scan.records), indent=2))
+    else:  # calibration
+        print(_json.dumps(calibration_report(scan.records), indent=2))
     return 0
 
 
@@ -607,6 +644,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--seed", type=int, default=7, help="seed for degraded sampling runs"
     )
+    serve.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for flight-recorder artefacts (slow.jsonl, "
+        "metrics.json, spans.jsonl); omit to keep profiles in memory "
+        "only (inspect via /debug/queries)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help="queries at least this slow land in the slow-query log "
+        "(0 logs every query)",
+    )
+    serve.add_argument(
+        "--metrics-flush-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="period of the background metrics/span flusher into "
+        "--flight-dir (0 disables)",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     durable = commands.add_parser(
@@ -642,6 +703,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=5, help="suppressors to show"
     )
     explain.set_defaults(fn=_cmd_explain)
+
+    flight = commands.add_parser(
+        "flight",
+        help="inspect flight-recorder logs: tail, summary, calibration "
+        "(see docs/observability.md)",
+    )
+    flight.add_argument(
+        "action",
+        choices=["tail", "summary", "calibration"],
+        help="tail: print the newest records; summary: aggregate "
+        "latency/engine/slow counts; calibration: planner "
+        "estimate-vs-actual residuals per engine",
+    )
+    flight.add_argument(
+        "path",
+        help="a flight JSONL file (e.g. slow.jsonl) or a --flight-dir "
+        "directory containing one",
+    )
+    flight.add_argument(
+        "-n", type=int, default=20, help="records shown by tail"
+    )
+    flight.set_defaults(fn=_cmd_flight)
     return parser
 
 

@@ -201,6 +201,20 @@ class ExactPTKEngine:
         pruned.inc(stats.tuples_pruned_same_rule, theorem="same-rule")
         catalogued("repro_ptk_scan_stops_total").inc(1.0, reason=stats.stopped_by)
         catalogued("repro_ptk_dp_extensions_total").inc(stats.subset_extensions)
+        profile = OBS.flight.current()
+        if profile is not None:
+            independent, rule, merges = self._scan.unit_counts()
+            profile.engine = "exact"
+            profile.variant = self.variant.value
+            profile.scan_depth = stats.scan_depth
+            profile.tuples_evaluated = stats.tuples_evaluated
+            profile.pruned_membership = stats.tuples_pruned_membership
+            profile.pruned_same_rule = stats.tuples_pruned_same_rule
+            profile.dp_extensions = stats.subset_extensions
+            profile.stopped_by = stats.stopped_by
+            profile.compression_units_independent = independent
+            profile.compression_units_rule = rule
+            profile.compression_rule_merges = merges
 
     def _evaluate(self, tup: UncertainTuple) -> float:
         """Equation 4 over the compressed dominant set of ``tup``."""

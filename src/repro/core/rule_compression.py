@@ -33,7 +33,7 @@ Two implementations live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.model.rules import GenerationRule
 from repro.model.table import UncertainTable
@@ -305,6 +305,17 @@ class DominantSetScan:
         """Every live unit (no Corollary-2 exclusion) — used by the
         early-stop bound, which must cover arbitrary future tuples."""
         return list(self._independent_units) + list(self._rule_unit_cache.values())
+
+    def unit_counts(self) -> Tuple[int, int, int]:
+        """``(independent units, rule units, rule merges)`` so far.
+
+        Derived from internal state in O(#rules) — called once per query
+        by the flight recorder, never on the per-tuple path.
+        """
+        merges = sum(
+            len(seen) - 1 for seen in self._rule_seen.values() if len(seen) > 1
+        )
+        return len(self._independent_units), len(self._rule_unit_cache), merges
 
 
 def rule_index_of_table(table: UncertainTable) -> Dict[Any, GenerationRule]:

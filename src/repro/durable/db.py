@@ -260,10 +260,16 @@ class DurableDB(UncertainDB):
                 return 0
             pending = list(self._pending_serves.items())
             self._pending_serves.clear()
-        return sum(
+        started = time.perf_counter()
+        appended = sum(
             self._journal_serve(name, k, where)
             for (name, where), k in pending
         )
+        if appended and OBS.enabled:
+            elapsed = time.perf_counter() - started
+            catalogued("repro_durable_serve_flush_seconds").observe(elapsed)
+            OBS.flight.note_serve_flush(elapsed)
+        return appended
 
     def _journal_serve(self, name: str, k: int, where: Optional[str]) -> int:
         """Append one serve record unless this segment already has it."""

@@ -194,6 +194,7 @@ class WriteAheadLog:
         self.appended_records = 0
         self.appended_bytes = 0
         self.fsyncs = 0
+        self.unsynced_bytes = 0
         self._file = None
         self._last_fsync = 0.0
         self._lock = threading.RLock()
@@ -273,6 +274,7 @@ class WriteAheadLog:
                 raise DurabilityError("write-ahead log is closed")
             self._file.write(buffer)
             self._file.flush()
+            self.unsynced_bytes += len(buffer)
             if self.fsync_policy == "always":
                 self._fsync()
             elif self.fsync_policy == "interval":
@@ -281,19 +283,23 @@ class WriteAheadLog:
                     self._fsync()
             self.appended_records += 1
             self.appended_bytes += len(buffer)
+            backlog = self.unsynced_bytes
         if OBS.enabled:
             catalogued("repro_durable_wal_appends_total").inc(
                 kind=str(record.get("op", "unknown"))
             )
             catalogued("repro_durable_wal_bytes_total").inc(len(buffer))
+            catalogued("repro_durable_wal_backlog_bytes").set(backlog)
         return len(buffer)
 
     def _fsync(self) -> None:
         os.fsync(self._file.fileno())
         self._last_fsync = time.monotonic()
         self.fsyncs += 1
+        self.unsynced_bytes = 0
         if OBS.enabled:
             catalogued("repro_durable_wal_fsyncs_total").inc()
+            catalogued("repro_durable_wal_backlog_bytes").set(0)
 
     def sync(self) -> None:
         """Force the active segment to stable storage."""

@@ -36,6 +36,8 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Union
 
 from repro.obs import catalog, export  # noqa: F401  (re-exported submodules)
+from repro.obs import flight  # noqa: F401  (re-exported submodule)
+from repro.obs.flight import FlightRecorder, QueryProfile
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -47,25 +49,32 @@ from repro.obs.tracing import NOOP_SPAN, NoopSpan, Span, Tracer
 
 
 class ObservabilityState:
-    """Process-wide observability state: the flag, registry, and tracer.
+    """Process-wide observability state: flag, registry, tracer, flight.
 
     A single shared instance (:data:`OBS`) exists; instrumented modules
     hold a reference and check ``OBS.enabled`` before doing any work.
     Tests may build private instances to exercise components in
     isolation.
+
+    The flight recorder has its *own* ``enabled`` flag (under the global
+    one): metrics collection can run without per-query profiling, and
+    every flight call site already sits behind ``OBS.enabled``, so the
+    obs-off hot path still pays exactly one attribute check.
     """
 
-    __slots__ = ("enabled", "registry", "tracer")
+    __slots__ = ("enabled", "registry", "tracer", "flight")
 
     def __init__(self) -> None:
         self.enabled = False
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
+        self.flight = FlightRecorder()
 
     def reset(self) -> None:
-        """Drop all collected metrics and finished traces."""
+        """Drop collected metrics, finished traces, and query profiles."""
         self.registry.reset()
         self.tracer.reset()
+        self.flight.reset()
 
 
 #: The process-wide observability state.
@@ -135,13 +144,20 @@ def query_scope(semantics: str, **attributes: Any):
 
 
 class _QueryScope:
-    __slots__ = ("_semantics", "_attributes", "_span_cm", "_timer_cm")
+    __slots__ = (
+        "_semantics",
+        "_attributes",
+        "_span_cm",
+        "_timer_cm",
+        "_profile",
+    )
 
     def __init__(self, semantics: str, attributes: dict) -> None:
         self._semantics = semantics
         self._attributes = attributes
         self._span_cm = None
         self._timer_cm = None
+        self._profile = None
 
     def __enter__(self) -> "Span":
         self._timer_cm = OBS.registry.timer(
@@ -153,9 +169,20 @@ class _QueryScope:
         self._span_cm = OBS.tracer.span(
             f"query.{self._semantics}", **self._attributes
         )
-        return self._span_cm.__enter__()
+        span = self._span_cm.__enter__()
+        # Open the flight profile *inside* the span so it carries the
+        # trace id; engines fill counters via OBS.flight.current().
+        self._profile = OBS.flight.begin(
+            self._semantics,
+            table=self._attributes.get("table"),
+            k=self._attributes.get("k"),
+            threshold=self._attributes.get("threshold"),
+        )
+        return span
 
     def __exit__(self, *exc_info: Any) -> None:
+        if self._profile is not None:
+            OBS.flight.finish(self._profile)
         self._span_cm.__exit__(*exc_info)
         self._timer_cm.__exit__(*exc_info)
 
@@ -197,12 +224,14 @@ def last_trace() -> Optional[Span]:
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NoopSpan",
     "OBS",
     "ObservabilityState",
+    "QueryProfile",
     "Span",
     "Timer",
     "Tracer",
@@ -213,6 +242,7 @@ __all__ = [
     "enable",
     "enabled_scope",
     "export",
+    "flight",
     "is_enabled",
     "last_trace",
     "query_scope",

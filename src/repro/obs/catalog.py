@@ -299,6 +299,41 @@ CATALOG: Dict[str, MetricSpec] = {
             "recovery.",
             "Beyond the paper (durable storage)",
         ),
+        _spec(
+            "repro_durable_wal_backlog_bytes", "gauge", (),
+            "Bytes appended to the write-ahead log since the last fsync "
+            "(data at risk under the interval/off policies).",
+            "Beyond the paper (durable storage)",
+        ),
+        _spec(
+            "repro_durable_serve_flush_seconds", "timer", (),
+            "Wall time flushing buffered serve-key records to the WAL.",
+            "Beyond the paper (durable storage)",
+        ),
+        # ------------------------------------------------ flight recorder
+        _spec(
+            "repro_flight_profiles_total", "counter", ("kind",),
+            "Query profiles recorded by the flight recorder, by query "
+            "kind (exact, sampled, served, ...).",
+            "Beyond the paper (flight recorder)",
+        ),
+        _spec(
+            "repro_flight_slow_queries_total", "counter", (),
+            "Profiles whose measured latency crossed the slow-query "
+            "threshold.",
+            "Beyond the paper (flight recorder)",
+        ),
+        _spec(
+            "repro_flight_slow_log_bytes_total", "counter", (),
+            "Bytes appended to the slow-query JSONL log.",
+            "Beyond the paper (flight recorder)",
+        ),
+        _spec(
+            "repro_serve_debug_requests_total", "counter", ("view",),
+            "Requests to the /debug introspection endpoints "
+            "(view=queries|slow|calibration).",
+            "Beyond the paper (flight recorder)",
+        ),
         # --------------------------------------------------------- timers
         _spec(
             "repro_query_seconds", "timer", ("semantics",),

@@ -51,6 +51,49 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 )
 
 
+#: Quantiles derived for every histogram/timer sample in JSON exports.
+EXPORT_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+def _bucket_quantile(
+    bounds: Sequence[float], bucket_counts: Sequence[int], count: int, q: float
+) -> float:
+    """Estimate the ``q``-quantile from per-bucket counts.
+
+    Prometheus ``histogram_quantile`` semantics: locate the bucket
+    holding the rank ``q * count`` observation and interpolate linearly
+    inside it (the lower edge of the first bucket is 0).  Observations
+    in the ``+Inf`` bucket are reported as the last finite bound — the
+    distribution's resolution simply ends there.
+    """
+    rank = q * count
+    cumulative = 0
+    for i, bound in enumerate(bounds):
+        in_bucket = bucket_counts[i]
+        if cumulative + in_bucket >= rank:
+            if in_bucket == 0:
+                return bound
+            lower = bounds[i - 1] if i > 0 else 0.0
+            fraction = (rank - cumulative) / in_bucket
+            return lower + (bound - lower) * fraction
+        cumulative += in_bucket
+    return bounds[-1]
+
+
+def _derive_quantiles(
+    bounds: Sequence[float], bucket_counts: Sequence[int], count: int
+) -> Dict[str, float]:
+    """The ``{"p50": ..., "p95": ..., "p99": ...}`` export field."""
+    return {
+        name: _bucket_quantile(bounds, bucket_counts, count, q)
+        for name, q in EXPORT_QUANTILES
+    }
+
+
 def _label_key(
     labelnames: Tuple[str, ...], labels: Mapping[str, Any]
 ) -> Tuple[str, ...]:
@@ -259,28 +302,37 @@ class Histogram(Metric):
                     running += n
                     cumulative[repr(bound)] = running
                 cumulative["+Inf"] = series.count
-                out.append(
-                    {
-                        "labels": self._labels_dict(key),
-                        "count": series.count,
-                        "sum": series.sum,
-                        "buckets": cumulative,
-                    }
-                )
+                sample = {
+                    "labels": self._labels_dict(key),
+                    "count": series.count,
+                    "sum": series.sum,
+                    "buckets": cumulative,
+                }
+                if series.count:
+                    sample["quantiles"] = _derive_quantiles(
+                        self.buckets, series.bucket_counts, series.count
+                    )
+                out.append(sample)
             return out
 
 
 class _TimerSeries:
-    __slots__ = ("count", "total", "max")
+    __slots__ = ("count", "total", "max", "bucket_counts")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.max = 0.0
+        # Per-bucket counts over LATENCY_BUCKETS (+Inf last) so exports
+        # can derive latency quantiles without keeping raw samples.
+        self.bucket_counts = [0] * (len(LATENCY_BUCKETS) + 1)
 
 
 class Timer(Metric):
-    """Accumulated wall-time: total seconds, call count, and max.
+    """Accumulated wall-time: total seconds, call count, max, quantiles.
+
+    Durations are also counted into :data:`LATENCY_BUCKETS`, from which
+    exports derive p50/p95/p99 estimates.
 
     Use as a context manager factory::
 
@@ -309,6 +361,12 @@ class Timer(Metric):
             series.total += seconds
             if seconds > series.max:
                 series.max = seconds
+            index = len(LATENCY_BUCKETS)
+            for i, bound in enumerate(LATENCY_BUCKETS):
+                if seconds <= bound:
+                    index = i
+                    break
+            series.bucket_counts[index] += 1
 
     def time(self, **labels: Any) -> "_TimerContext":
         """Context manager recording the elapsed wall time on exit."""
@@ -328,15 +386,20 @@ class Timer(Metric):
 
     def samples(self) -> List[Dict[str, Any]]:
         with self._lock:
-            return [
-                {
+            out = []
+            for key, series in sorted(self._series.items()):
+                sample = {
                     "labels": self._labels_dict(key),
                     "count": series.count,
                     "sum": series.total,
                     "max": series.max,
                 }
-                for key, series in sorted(self._series.items())
-            ]
+                if series.count:
+                    sample["quantiles"] = _derive_quantiles(
+                        LATENCY_BUCKETS, series.bucket_counts, series.count
+                    )
+                out.append(sample)
+            return out
 
 
 class _TimerContext:

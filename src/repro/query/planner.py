@@ -208,6 +208,19 @@ class LatencyModel:
         per_unit = self.seconds_per_sampled_tuple * max(unit_length, 1.0)
         return int(available / max(per_unit, 1e-12))
 
+    def coefficients(self) -> dict:
+        """The current (possibly EWMA-calibrated) cost coefficients.
+
+        Exposed by the serving layer's ``/debug/calibration`` endpoint so
+        operators can see what the model has converged to.
+        """
+        return {
+            "seconds_per_cell": self.seconds_per_cell,
+            "seconds_per_sampled_tuple": self.seconds_per_sampled_tuple,
+            "floor_seconds": self.floor_seconds,
+            "alpha": self.alpha,
+        }
+
     # ------------------------------------------------------- calibration
     def observe_exact(self, depth: int, seconds: float) -> None:
         """Fold one measured exact query into the cost coefficient."""

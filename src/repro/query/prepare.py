@@ -194,10 +194,12 @@ class PrepareCache:
                     self._hits += 1
                     if OBS.enabled:
                         catalogued("repro_prepare_cache_hits_total").inc()
+                        OBS.flight.note_prepare(hit=True)
                     return hit
             self._misses += 1
             if OBS.enabled:
                 catalogued("repro_prepare_cache_misses_total").inc()
+                OBS.flight.note_prepare(hit=False)
             prepared = prepare_ranking(table, query)
             if entries is None:
                 entries = OrderedDict()

@@ -116,6 +116,11 @@ class LoopbackTransport:
 
     def close(self) -> None:
         if self._loop.is_running():
+            # Stop the flusher while its loop is still alive, then stop
+            # the loop itself.
+            asyncio.run_coroutine_threadsafe(
+                self.app.stop_flusher(), self._loop
+            ).result(timeout=10)
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=10)
         self._loop.close()

@@ -41,6 +41,7 @@ import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
@@ -51,6 +52,7 @@ from repro.exceptions import ReproError, UnknownTableError
 from repro.model.statistics import TableStatistics, collect_statistics
 from repro.obs import OBS, catalogued
 from repro.obs import export as obs_export
+from repro.obs import flight
 from repro.query.engine import UncertainDB
 from repro.query.planner import LatencyModel, estimate_latency
 from repro.query.prepare import PreparedRanking
@@ -97,6 +99,18 @@ class ServeConfig:
     :param seed: seed for degraded sampling runs (deterministic tests).
     :param enable_obs: turn the observability layer on at startup so
         ``/metrics`` has content.
+    :param enable_flight: turn the query flight recorder on (per-query
+        profiles behind ``/debug/queries`` et al.); requires
+        ``enable_obs``.
+    :param flight_dir: directory for the recorder's on-disk artefacts
+        (``slow.jsonl``, ``metrics.json``, ``spans.jsonl``); ``None``
+        keeps profiles in memory only.
+    :param slow_ms: queries at least this slow are appended to the
+        slow-query log (0 logs everything).
+    :param flight_ring: in-memory profile ring capacity.
+    :param metrics_flush_s: period of the background flusher that
+        snapshots registry metrics (and span trees) into ``flight_dir``;
+        0 disables it.
     """
 
     host: str = "127.0.0.1"
@@ -110,6 +124,11 @@ class ServeConfig:
     min_sample_budget: int = 100
     seed: Optional[int] = 7
     enable_obs: bool = True
+    enable_flight: bool = True
+    flight_dir: Optional[str] = None
+    slow_ms: float = 100.0
+    flight_ring: int = 256
+    metrics_flush_s: float = 30.0
 
 
 @dataclass
@@ -153,14 +172,32 @@ class ServeApp:
         self._inflight: Optional[asyncio.Semaphore] = None
         self._stats_cache: Dict[int, Tuple[int, TableStatistics]] = {}
         self._started = time.monotonic()
+        self._flusher_task: Optional[asyncio.Task] = None
+        self._exported_traces: set = set()
         if self.config.enable_obs:
             obs.enable()
+            if self.config.enable_flight:
+                slow_log = (
+                    str(Path(self.config.flight_dir) / "slow.jsonl")
+                    if self.config.flight_dir
+                    else None
+                )
+                OBS.flight.configure(
+                    ring_size=self.config.flight_ring,
+                    slow_log_path=slow_log,
+                    slow_threshold_ms=self.config.slow_ms,
+                )
+                OBS.flight.enable()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def startup(self) -> None:
-        """Allocate the executor and concurrency gate (idempotent)."""
+        """Allocate the executor and concurrency gate (idempotent).
+
+        When a flight directory is configured and an event loop is
+        running, also start the periodic metrics/span flusher.
+        """
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.config.max_inflight,
@@ -168,12 +205,71 @@ class ServeApp:
             )
         if self._inflight is None:
             self._inflight = asyncio.Semaphore(self.config.max_inflight)
+        if (
+            self._flusher_task is None
+            and self.config.enable_obs
+            and self.config.flight_dir
+            and self.config.metrics_flush_s > 0
+        ):
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                return  # no loop yet (sync caller); retried on dispatch
+            self._flusher_task = loop.create_task(self._flush_periodically())
 
     def shutdown(self) -> None:
         """Release the executor; in-flight batches finish first."""
+        if self._flusher_task is not None:
+            try:
+                self._flusher_task.cancel()
+            except RuntimeError:
+                # The owning event loop already closed (``asyncio.run``
+                # returned); the task died with it.
+                pass
+            self._flusher_task = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    async def stop_flusher(self) -> None:
+        """Cancel and await the periodic flusher (run on its loop).
+
+        Transports that outlive their event loop (the loopback) call
+        this before stopping the loop so the task finishes cleanly
+        instead of being destroyed while pending.
+        """
+        task = self._flusher_task
+        self._flusher_task = None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def _flush_periodically(self) -> None:
+        """Snapshot registry metrics and span trees into ``flight_dir``.
+
+        Runs immediately on startup (so short-lived servers still leave
+        artefacts) and then every ``metrics_flush_s`` seconds.  The
+        files are small; writing them inline on the loop is fine.
+        """
+        directory = Path(self.config.flight_dir)
+        while True:
+            try:
+                self.flush_observability(directory)
+            except OSError:  # disk trouble must not kill the server
+                pass
+            await asyncio.sleep(self.config.metrics_flush_s)
+
+    def flush_observability(self, directory: Path) -> None:
+        """One flush tick: ``metrics.json`` + new spans to ``spans.jsonl``."""
+        directory.mkdir(parents=True, exist_ok=True)
+        obs_export.write_json(directory / "metrics.json")
+        written = flight.write_spans_jsonl(
+            directory / "spans.jsonl", skip_trace_ids=self._exported_traces
+        )
+        self._exported_traces.update(written)
 
     # ------------------------------------------------------------------
     # Routing
@@ -197,7 +293,16 @@ class ServeApp:
             return self._endpoint_tables()
         if route == ("GET", "/metrics"):
             return self._endpoint_metrics()
-        if path in ("/query", "/healthz", "/tables", "/metrics"):
+        if route == ("GET", "/debug/queries"):
+            return self._endpoint_debug("queries")
+        if route == ("GET", "/debug/slow"):
+            return self._endpoint_debug("slow")
+        if route == ("GET", "/debug/calibration"):
+            return self._endpoint_debug("calibration")
+        if path in (
+            "/query", "/healthz", "/tables", "/metrics",
+            "/debug/queries", "/debug/slow", "/debug/calibration",
+        ):
             return _json_response(
                 405, error_body("method-not-allowed", f"{method} {path}")
             )
@@ -238,11 +343,44 @@ class ServeApp:
     def _endpoint_metrics(self):
         self._count_request("metrics")
         text = obs_export.to_prometheus()
+        # Tell scrapers whether the export is live or frozen: with
+        # observability off the text is empty/stale, and silently
+        # serving it reads as "everything is zero".
         return (
             200,
-            [("Content-Type", "text/plain; version=0.0.4")],
+            [
+                ("Content-Type", "text/plain; version=0.0.4"),
+                ("X-Repro-Obs-Enabled", "true" if OBS.enabled else "false"),
+            ],
             text.encode("utf-8"),
         )
+
+    # ------------------------------------------------------------------
+    # /debug — flight-recorder introspection
+    # ------------------------------------------------------------------
+    def _endpoint_debug(self, view: str):
+        if OBS.enabled:
+            catalogued("repro_serve_debug_requests_total").inc(view=view)
+        recorder = OBS.flight
+        if view == "queries":
+            body: Dict[str, Any] = {
+                "flight": recorder.stats(),
+                "profiles": recorder.recent(limit=100),
+            }
+        elif view == "slow":
+            body = {
+                "slow_threshold_ms": recorder.stats()["slow_threshold_ms"],
+                "slow_log_path": (
+                    str(recorder.slow_log_path)
+                    if recorder.slow_log_path
+                    else None
+                ),
+                "profiles": recorder.slow_recent(limit=100),
+            }
+        else:
+            body = recorder.calibration()
+            body["latency_model"] = self.latency_model.coefficients()
+        return _json_response(200, body)
 
     # ------------------------------------------------------------------
     # /query
@@ -370,10 +508,16 @@ class ServeApp:
         if note_served is not None:
             note_served(name, max_k, defer=True)
         statistics = self._statistics_for(table)
+        recorder = OBS.flight if OBS.enabled else None
+        # The batch-level PrepareCache.get above ran before any per-item
+        # profile opened; its outcome was parked per-thread.
+        prepare_hit = recorder.consume_prepare() if recorder else None
 
         results: List[Any] = [None] * len(items)
-        exact_positions: List[int] = []
-        sampled_plans: List[Tuple[int, SamplingConfig, bool]] = []
+        exact_plans: List[Tuple[int, Any, Optional[float]]] = []
+        sampled_plans: List[
+            Tuple[int, SamplingConfig, bool, Any, Optional[float]]
+        ] = []
         now = time.monotonic()
         for position, work in enumerate(items):
             remaining = None if work.deadline is None else work.deadline - now
@@ -382,46 +526,101 @@ class ServeApp:
                     f"deadline expired before dispatch "
                     f"(table {name!r}, k={work.request.k})"
                 )
+                if recorder is not None:
+                    expired = recorder.begin(
+                        "served",
+                        table=name,
+                        k=work.request.k,
+                        threshold=work.request.threshold,
+                    )
+                    if expired is not None:
+                        recorder.finish(
+                            expired,
+                            served=True,
+                            outcome="deadline-expired",
+                            batch_size=len(items),
+                            deadline_remaining_ms=remaining * 1000.0,
+                            prepare_hit=prepare_hit,
+                        )
                 continue
-            mode, config, degraded = self._plan(
+            mode, config, degraded, estimate = self._plan(
                 table, work.request, remaining, statistics
             )
             if mode == "exact":
-                exact_positions.append(position)
+                exact_plans.append((position, estimate, remaining))
             else:
-                sampled_plans.append((position, config, degraded))
+                sampled_plans.append(
+                    (position, config, degraded, estimate, remaining)
+                )
                 if OBS.enabled and degraded:
                     catalogued("repro_serve_degraded_total").inc()
 
-        if exact_positions:
+        if exact_plans:
             # One pruned RC+LR scan per request over the *shared*
             # preparation.  The unpruned shared-profile path
             # (``batch_ptk_queries``) would answer every k from one
             # scan, but it computes the full n-deep profile — quadratic
             # on large tables — while pruned scans stop at the depth
             # the latency model actually prices.
-            started = time.monotonic()
+            total_elapsed = 0.0
             depth = 0
-            for position in exact_positions:
+            for position, estimate, remaining in exact_plans:
                 work = items[position]
+                profile = (
+                    recorder.begin(
+                        "served",
+                        table=name,
+                        k=work.request.k,
+                        threshold=work.request.threshold,
+                    )
+                    if recorder
+                    else None
+                )
+                started = time.perf_counter()
                 answer = exact_ptk_query(
                     table,
                     TopKQuery(k=work.request.k),
                     work.request.threshold,
                     prepared=prepared,
                 )
+                elapsed = time.perf_counter() - started
+                total_elapsed += elapsed
                 depth = max(depth, answer.stats.scan_depth)
+                if profile is not None:
+                    recorder.finish(
+                        profile,
+                        served=True,
+                        outcome="ok",
+                        mode="exact",
+                        degraded=False,
+                        batch_size=len(items),
+                        estimated_seconds=estimate.exact_seconds,
+                        actual_seconds=elapsed,
+                        deadline_remaining_ms=(
+                            remaining * 1000.0 if remaining is not None else None
+                        ),
+                        prepare_hit=prepare_hit,
+                    )
                 results[position] = self._response(
                     work, answer, "exact", False, len(items)
                 )
-            elapsed = time.monotonic() - started
             self.latency_model.observe_exact(
-                depth, elapsed / len(exact_positions)
+                depth, total_elapsed / len(exact_plans)
             )
 
-        for position, config, degraded in sampled_plans:
+        for position, config, degraded, estimate, remaining in sampled_plans:
             work = items[position]
-            started = time.monotonic()
+            profile = (
+                recorder.begin(
+                    "served",
+                    table=name,
+                    k=work.request.k,
+                    threshold=work.request.threshold,
+                )
+                if recorder
+                else None
+            )
+            started = time.perf_counter()
             answer = sampled_ptk_query(
                 table,
                 TopKQuery(k=work.request.k),
@@ -429,12 +628,30 @@ class ServeApp:
                 config=config,
                 prepared=prepared,
             )
-            elapsed = time.monotonic() - started
+            elapsed = time.perf_counter() - started
             self.latency_model.observe_sampled(
                 answer.stats.sample_units,
                 answer.stats.avg_sample_length,
                 elapsed,
             )
+            if profile is not None:
+                recorder.finish(
+                    profile,
+                    served=True,
+                    outcome="ok",
+                    mode="sampled",
+                    degraded=degraded,
+                    batch_size=len(items),
+                    estimated_seconds=self.latency_model.predict_sampled_seconds(
+                        config.resolved_sample_size(),
+                        estimate.expected_unit_length,
+                    ),
+                    actual_seconds=elapsed,
+                    deadline_remaining_ms=(
+                        remaining * 1000.0 if remaining is not None else None
+                    ),
+                    prepare_hit=prepare_hit,
+                )
             results[position] = self._response(
                 work, answer, "sampled", degraded, len(items)
             )
@@ -446,15 +663,15 @@ class ServeApp:
         request: QueryRequest,
         remaining: Optional[float],
         statistics: TableStatistics,
-    ) -> Tuple[str, Optional[SamplingConfig], bool]:
-        """Pick the algorithm for one request: ``(mode, config, degraded)``.
+    ) -> Tuple[str, Optional[SamplingConfig], bool, Any]:
+        """Pick the algorithm: ``(mode, config, degraded, estimate)``.
 
         ``degraded`` is True only when the client did not ask for
         sampling but the planner predicted the exact scan would miss the
-        deadline.
+        deadline.  The latency estimate is always computed (it is cheap:
+        a closed form over cached statistics) so the flight recorder can
+        compare it against the measured latency on every path.
         """
-        if request.mode == "exact":
-            return "exact", None, False
         estimate = estimate_latency(
             table,
             request.k,
@@ -462,15 +679,27 @@ class ServeApp:
             model=self.latency_model,
             statistics=statistics,
         )
+        if request.mode == "exact":
+            return "exact", None, False, estimate
         if request.mode == "sampled":
-            return "sampled", self._sampling_config(request, remaining, estimate), False
+            return (
+                "sampled",
+                self._sampling_config(request, remaining, estimate),
+                False,
+                estimate,
+            )
         # auto: exact unless the prediction busts the deadline budget
         if remaining is None:
-            return "exact", None, False
+            return "exact", None, False, estimate
         budget = remaining * self.config.deadline_safety
         if estimate.exact_seconds <= budget:
-            return "exact", None, False
-        return "sampled", self._sampling_config(request, remaining, estimate), True
+            return "exact", None, False, estimate
+        return (
+            "sampled",
+            self._sampling_config(request, remaining, estimate),
+            True,
+            estimate,
+        )
 
     def _sampling_config(
         self, request: QueryRequest, remaining: Optional[float], estimate

@@ -453,3 +453,102 @@ class TestUnknownTableError:
         db = UncertainDB()
         with pytest.raises(UnknownTupleError):
             db.table("nope")
+
+
+# ----------------------------------------------------------------------
+# Satellite: derived quantiles in the JSON export
+# ----------------------------------------------------------------------
+class TestDerivedQuantiles:
+    """Pin the bucket-interpolation math against hand-computed samples."""
+
+    def test_histogram_quantiles_interpolate_within_buckets(self):
+        hist = Histogram("h", buckets=(1, 2, 4))
+        # Per-bucket counts: [1, 1, 2, 0 in +Inf]; total 4.
+        for value in (0.5, 1.5, 3.0, 3.5):
+            hist.observe(value)
+        [sample] = hist.samples()
+        quantiles = sample["quantiles"]
+        # rank(p50) = 2 lands exactly on the (1, 2] bucket's upper edge.
+        assert quantiles["p50"] == pytest.approx(2.0)
+        # rank(p95) = 3.8: 2 observations precede the (2, 4] bucket,
+        # interpolate 0.9 of the way through its 2 observations.
+        assert quantiles["p95"] == pytest.approx(2.0 + 2.0 * 0.9)
+        assert quantiles["p99"] == pytest.approx(2.0 + 2.0 * 0.98)
+
+    def test_histogram_quantiles_clamp_to_last_finite_bound(self):
+        hist = Histogram("h", buckets=(1, 10))
+        hist.observe(500)  # lands in +Inf
+        [sample] = hist.samples()
+        assert sample["quantiles"]["p50"] == pytest.approx(10.0)
+        assert sample["quantiles"]["p99"] == pytest.approx(10.0)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = Histogram("h", buckets=(1, 2))
+        assert hist.samples() == []
+
+    def test_timer_samples_carry_quantiles(self):
+        timer = Timer("t")
+        for _ in range(10):
+            timer.observe(0.002)  # within the (0.001, 0.0025] bucket
+        [sample] = timer.samples()
+        quantiles = sample["quantiles"]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        # All mass in one bucket: every quantile inside it.
+        assert 0.001 < quantiles["p50"] <= 0.0025
+        assert 0.001 < quantiles["p99"] <= 0.0025
+        assert quantiles["p50"] <= quantiles["p95"] <= quantiles["p99"]
+        # Timers derive from the shared latency buckets without
+        # exposing raw bucket counts in their samples.
+        assert "buckets" not in sample
+
+    def test_quantiles_survive_the_json_round_trip(self, tmp_path):
+        db = _query_db()
+        with obs.enabled_scope(fresh=True):
+            db.ptk("panda_sightings", k=2, threshold=0.35)
+        path = obs_export.write_json(tmp_path / "metrics.json")
+        parsed = json.loads(path.read_text())
+        [sample] = parsed["metrics"]["repro_query_seconds"]["samples"]
+        assert sample["quantiles"]["p50"] > 0.0
+
+
+# ----------------------------------------------------------------------
+# Satellite: Prometheus label escaping + catalogue rejection
+# ----------------------------------------------------------------------
+class TestPrometheusLabelEscaping:
+    def _export_with_label(self, value: str) -> str:
+        registry = MetricsRegistry()
+        registry.counter("c_total", labelnames=("v",)).inc(1, v=value)
+        return obs_export.to_prometheus(registry)
+
+    def test_double_quotes_escaped(self):
+        text = self._export_with_label('say "hi"')
+        assert r'v="say \"hi\""' in text
+
+    def test_backslashes_escaped(self):
+        text = self._export_with_label("dir\\file")
+        assert r'v="dir\\file"' in text
+
+    def test_newlines_escaped(self):
+        text = self._export_with_label("line1\nline2")
+        assert r'v="line1\nline2"' in text
+        # The exposition stays line-framed: no raw newline inside a label.
+        for line in text.splitlines():
+            if line.startswith("c_total{"):
+                assert line.endswith(" 1")
+
+    def test_all_three_together(self):
+        text = self._export_with_label('a"b\nc\\d')
+        assert r'v="a\"b\nc\\d"' in text
+
+
+class TestCatalogueRejection:
+    def test_uncatalogued_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_flight_bogus_total").inc()
+        snapshot = obs_export.snapshot(registry=registry, tracer=Tracer())
+        problems = catalog.validate_snapshot(snapshot)
+        assert any("repro_flight_bogus_total" in p for p in problems)
+
+    def test_spec_of_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            catalog.spec_of("repro_not_in_catalogue_total")

@@ -197,11 +197,15 @@ class TestEndToEndSoundness:
     def test_each_flag_combination_is_sound(self, table, k):
         query = TopKQuery(k=k)
         threshold = 0.4
-        truth = {
-            tid
-            for tid, pr in naive_topk_probabilities(table, query).items()
-            if pr >= threshold
+        # Tuples whose true Pr^k sits on the threshold are excluded from
+        # the comparison: the naive enumerator and the DP accumulate
+        # different roundoff, so a generated probability of exactly 0.4
+        # can land on opposite sides of `>=` in the two computations.
+        naive = naive_topk_probabilities(table, query)
+        borderline = {
+            tid for tid, pr in naive.items() if abs(pr - threshold) < 1e-9
         }
+        truth = {tid for tid, pr in naive.items() if pr >= threshold}
         for flags in (
             PruningFlags(True, False, False, False),
             PruningFlags(False, True, False, False),
@@ -212,7 +216,7 @@ class TestEndToEndSoundness:
             answer = exact_ptk_query(
                 table, query, threshold, pruning_flags=flags
             )
-            assert answer.answer_set == truth
+            assert answer.answer_set - borderline == truth - borderline
 
     def test_pruning_reduces_scan_depth_on_large_input(self):
         probabilities = [0.9] * 200

@@ -10,6 +10,7 @@ planner) without opening a socket, so the suite stays hermetic in CI.
 from __future__ import annotations
 
 import asyncio
+import json
 import random
 import threading
 import time
@@ -43,6 +44,9 @@ def _obs_off_after():
     """ServeApp enables observability; restore the quiet default."""
     yield
     obs.disable()
+    obs.OBS.flight.disable()
+    obs.OBS.flight.unconfigure()
+    obs.OBS.flight.reset()
 
 
 def served_table(n: int = 240, name: str = "served"):
@@ -694,3 +698,149 @@ class TestServeCLI:
 
         with pytest.raises(ReproError, match="no tables"):
             load_table_directory(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# /debug introspection and flight artefacts
+# ----------------------------------------------------------------------
+class TestDebugEndpoints:
+    def _get_json(self, transport, path):
+        status, payload = transport.request("GET", path)
+        assert status == 200
+        return json.loads(payload.decode("utf-8"))
+
+    def test_debug_queries_shows_served_profiles(self):
+        db = make_db()
+        with loopback(db) as transport:
+            client = ServeClient(transport)
+            client.query("served", k=5, threshold=0.3)
+            client.query("served", k=3, threshold=0.4)
+            body = self._get_json(transport, "/debug/queries")
+        assert body["flight"]["enabled"] is True
+        assert body["flight"]["recorded"] >= 2
+        profiles = body["profiles"]
+        assert len(profiles) >= 2
+        newest = profiles[0]
+        assert newest["kind"] == "served"
+        assert newest["served"] is True
+        assert newest["table"] == "served"
+        assert newest["outcome"] == "ok"
+        assert newest["mode"] in ("exact", "sampled")
+        assert newest["actual_seconds"] > 0.0
+        assert newest["estimated_seconds"] > 0.0
+        assert newest["prepare_hit"] in (True, False)
+
+    def test_debug_slow_and_log_file(self, tmp_path):
+        db = make_db()
+        overrides = dict(slow_ms=0.0, flight_dir=str(tmp_path))
+        with loopback(db, **overrides) as transport:
+            client = ServeClient(transport)
+            for k in (2, 3, 4):
+                client.query("served", k=k, threshold=0.35)
+            body = self._get_json(transport, "/debug/slow")
+        assert body["slow_threshold_ms"] == 0.0
+        assert body["slow_log_path"].endswith("slow.jsonl")
+        assert len(body["profiles"]) >= 3
+        assert all(p["slow"] for p in body["profiles"])
+
+        from repro.obs.flight import read_jsonl
+
+        obs.OBS.flight.close()
+        scan = read_jsonl(tmp_path / "slow.jsonl")
+        assert scan.problem is None
+        assert len(scan.records) >= 3
+        assert scan.records[0]["kind"] == "served"
+
+    def test_debug_calibration_reports_residuals(self):
+        db = make_db()
+        with loopback(db) as transport:
+            client = ServeClient(transport)
+            for k in range(2, 8):
+                client.query("served", k=k, threshold=0.35)
+            body = self._get_json(transport, "/debug/calibration")
+        assert body["calibrated"] >= 6
+        exact = body["engines"]["exact"]
+        assert exact["count"] >= 6
+        for key in (
+            "mean_relative_error",
+            "median_relative_error",
+            "mean_abs_relative_error",
+        ):
+            assert isinstance(exact[key], float)
+        model = body["latency_model"]
+        assert set(model) == {
+            "seconds_per_cell",
+            "seconds_per_sampled_tuple",
+            "floor_seconds",
+            "alpha",
+        }
+
+    def test_debug_views_counted_in_metrics(self):
+        db = make_db()
+        with loopback(db) as transport:
+            # The registry is process-global: count deltas, not totals.
+            before = obs.OBS.registry.get("repro_serve_debug_requests_total")
+            queries_0 = before.value(view="queries") if before else 0.0
+            calibration_0 = before.value(view="calibration") if before else 0.0
+            self._get_json(transport, "/debug/queries")
+            self._get_json(transport, "/debug/calibration")
+            counter = obs.OBS.registry.get("repro_serve_debug_requests_total")
+            assert counter is not None
+            assert counter.value(view="queries") == queries_0 + 1.0
+            assert counter.value(view="calibration") == calibration_0 + 1.0
+
+    def test_flusher_writes_metrics_and_spans(self, tmp_path):
+        db = make_db()
+        overrides = dict(
+            flight_dir=str(tmp_path), metrics_flush_s=0.05, slow_ms=0.0
+        )
+        with loopback(db, **overrides) as transport:
+            client = ServeClient(transport)
+            client.query("served", k=4, threshold=0.35)
+            deadline = time.monotonic() + 5.0
+            metrics_path = tmp_path / "metrics.json"
+            spans_path = tmp_path / "spans.jsonl"
+            while time.monotonic() < deadline:
+                if metrics_path.exists() and spans_path.exists():
+                    try:
+                        snapshot = json.loads(metrics_path.read_text())
+                    except json.JSONDecodeError:
+                        snapshot = None
+                    if snapshot and (
+                        "repro_serve_requests_total" in snapshot["metrics"]
+                    ):
+                        break
+                time.sleep(0.02)
+            else:
+                pytest.fail("flusher artefacts never appeared")
+
+        from repro.obs.flight import read_jsonl
+
+        scan = read_jsonl(spans_path)
+        assert scan.problem is None
+        assert len(scan.records) >= 1
+        assert any(
+            record["name"].startswith("serve.") or record["name"].startswith("query.")
+            for record in scan.records
+        )
+
+
+class TestMetricsHeader:
+    """Satellite: /metrics declares whether observability is live."""
+
+    def _metrics_headers(self, app):
+        status, headers, _body = asyncio.run(app.dispatch("GET", "/metrics"))
+        assert status == 200
+        return dict(headers)
+
+    def test_header_true_when_obs_enabled(self):
+        app = ServeApp(make_db(), ServeConfig(enable_obs=True))
+        headers = self._metrics_headers(app)
+        assert headers["X-Repro-Obs-Enabled"] == "true"
+        assert headers["Content-Type"].startswith("text/plain")
+
+    def test_header_false_when_obs_disabled(self):
+        app = ServeApp(make_db(), ServeConfig(enable_obs=False))
+        obs.disable()
+        headers = self._metrics_headers(app)
+        assert headers["X-Repro-Obs-Enabled"] == "false"
