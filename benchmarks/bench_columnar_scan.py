@@ -1,0 +1,90 @@
+"""Columnar kernel vs scalar oracle on the full-scan path (standalone).
+
+Measures ``exact_topk_probabilities`` — a PT-k query in full-scan mode —
+with the vectorized columnar kernel against the retained scalar
+reference loop, on the paper's synthetic workload shape.  This is the
+headline number for the columnar refactor; the scalar side is O(n²) in
+tuple count, so the large sizes take tens of minutes and the script is
+run manually, not in CI (CI guards regressions through the calibrated
+perf smoke instead; see ``check_bench_regression.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_columnar_scan.py [n ...]
+
+writes ``benchmarks/results/columnar_scan.json`` (appending one record
+per size) and prints a table.  Default sizes: 10_000 and 100_000.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.exact import exact_topk_probabilities
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.query.prepare import prepare_ranking
+from repro.query.topk import TopKQuery
+
+RESULTS = Path(__file__).parent / "results" / "columnar_scan.json"
+K = 100
+SEED = 7
+
+
+def measure(n: int) -> dict:
+    table = generate_synthetic_table(
+        SyntheticConfig(n_tuples=n, n_rules=n // 10, seed=SEED)
+    )
+    query = TopKQuery(k=K)
+    prepared = prepare_ranking(table, query)
+    prepared.columns  # materialise outside the timed region
+
+    started = time.perf_counter()
+    columnar = exact_topk_probabilities(
+        table, query, prepared=prepared, columnar=True
+    )
+    columnar_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    scalar = exact_topk_probabilities(
+        table, query, prepared=prepared, columnar=False
+    )
+    scalar_seconds = time.perf_counter() - started
+
+    worst = max(abs(columnar[tid] - scalar[tid]) for tid in columnar)
+    return {
+        "n_tuples": n,
+        "n_rules": n // 10,
+        "k": K,
+        "seed": SEED,
+        "columnar_seconds": round(columnar_seconds, 4),
+        "scalar_seconds": round(scalar_seconds, 4),
+        "speedup": round(scalar_seconds / columnar_seconds, 2),
+        "max_abs_difference": worst,
+    }
+
+
+def main(argv: list[str]) -> None:
+    sizes = [int(a.replace("_", "")) for a in argv] or [10_000, 100_000]
+    records = []
+    if RESULTS.exists():
+        records = json.loads(RESULTS.read_text())
+    for n in sizes:
+        record = measure(n)
+        print(
+            f"n={record['n_tuples']}: columnar {record['columnar_seconds']}s "
+            f"scalar {record['scalar_seconds']}s "
+            f"speedup {record['speedup']}x "
+            f"parity {record['max_abs_difference']:.2e}",
+            flush=True,
+        )
+        records = [r for r in records if r["n_tuples"] != n] + [record]
+        records.sort(key=lambda r: r["n_tuples"])
+        RESULTS.parent.mkdir(exist_ok=True)
+        RESULTS.write_text(json.dumps(records, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -10,7 +10,12 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import bench_scale
-from repro.core.exact import ExactVariant, exact_ptk_query
+from repro.core.exact import (
+    ExactVariant,
+    exact_ptk_query,
+    exact_topk_probabilities,
+)
+from repro.query.prepare import prepare_ranking
 from repro.core.rule_compression import rule_index_of_table
 from repro.core.sampling import WorldSampler
 from repro.core.subset_probability import SubsetProbabilityVector
@@ -61,6 +66,35 @@ def test_exact_query_variants(benchmark, workload, variant):
     query = TopKQuery(k=k)
     benchmark.pedantic(
         lambda: exact_ptk_query(table, query, 0.3, variant=variant),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_full_scan_columnar(benchmark, workload):
+    """Full-scan mode on the vectorized columnar kernel."""
+    table, k = workload
+    query = TopKQuery(k=k)
+    prepared = prepare_ranking(table, query)
+    prepared.columns  # columnarisation is cached; time only the scan
+    benchmark.pedantic(
+        lambda: exact_topk_probabilities(
+            table, query, prepared=prepared, columnar=True
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_full_scan_scalar(benchmark, workload):
+    """Full-scan mode on the retained scalar oracle (the old path)."""
+    table, k = workload
+    query = TopKQuery(k=k)
+    prepared = prepare_ranking(table, query)
+    benchmark.pedantic(
+        lambda: exact_topk_probabilities(
+            table, query, prepared=prepared, columnar=False
+        ),
         rounds=3,
         iterations=1,
     )

@@ -24,6 +24,8 @@ from __future__ import annotations
 import enum
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.core import kernel
+from repro.core.kernel import TableColumns
 from repro.core.pruning import PruningFlags, PruningTracker
 from repro.core.reordering import (
     AggressiveReordering,
@@ -72,9 +74,10 @@ class ExactVariant(enum.Enum):
 
 
 def _validate_threshold(threshold: float) -> None:
-    if not (0.0 < threshold <= 1.0):
+    if not (0.0 <= threshold <= 1.0):
         raise QueryError(
-            f"probability threshold must be in (0, 1], got {threshold!r}"
+            f"probability threshold must be in (0, 1], or exactly 0.0 "
+            f"for full-scan mode, got {threshold!r}"
         )
 
 
@@ -102,11 +105,23 @@ class ExactPTKEngine:
     :param rule_of: maps tuple id -> multi-tuple rule.
     :param rule_probability: maps rule id -> ``Pr(R)``.
     :param k: top-k size.
-    :param threshold: probability threshold p.
+    :param threshold: probability threshold p in ``(0, 1]`` — or exactly
+        ``0.0`` for *full-scan mode*: every ``Pr^k`` is computed, no
+        tuple "passes" (``answers`` stays empty), pruning is off, and
+        ``stats.stopped_by`` reads ``"exhausted"``.
     :param variant: RC / RC+AR / RC+LR.
     :param pruning: disable to force a full scan computing every ``Pr^k``
         (used for ground truth, U-KRanks, and the pruning ablation).
     :param stop_check_interval: how often the tail stop bound is checked.
+    :param columnar: use the vectorized columnar kernel instead of the
+        scalar per-tuple loop.  Only applies in full-scan mode (the
+        kernel computes every ``Pr^k``; early termination belongs to
+        the scalar scan).  Default: columnar when full-scanning,
+        scalar otherwise.  ``columnar=False`` retains the scalar
+        implementation as the cross-check oracle.
+    :param columns: pre-built :class:`~repro.core.kernel.TableColumns`
+        for ``ranked`` (e.g. from a prepared ranking or a recovered
+        snapshot); built on demand when omitted.
     """
 
     def __init__(
@@ -120,6 +135,8 @@ class ExactPTKEngine:
         pruning: bool = True,
         stop_check_interval: int = 16,
         pruning_flags: Optional[PruningFlags] = None,
+        columnar: Optional[bool] = None,
+        columns: Optional[TableColumns] = None,
     ) -> None:
         if k <= 0:
             raise QueryError(f"k must be positive, got {k}")
@@ -127,7 +144,12 @@ class ExactPTKEngine:
         self.k = k
         self.threshold = threshold
         self.variant = variant
-        self.pruning = pruning
+        self.full_scan = threshold == 0.0
+        self.pruning = pruning and not self.full_scan
+        self.columnar = columnar if columnar is not None else self.full_scan
+        self._ranked = ranked
+        self._rule_of = rule_of
+        self._columns = columns
         self._stream = RankedStream(ranked, presorted=True)
         self._scan = DominantSetScan(ranked, rule_of)
         self._strategy = variant.strategy
@@ -152,6 +174,8 @@ class ExactPTKEngine:
 
     def run(self) -> PTKAnswer:
         """Execute the scan and return the complete answer object."""
+        if self.full_scan and self.columnar:
+            return self._run_columnar()
         answer = PTKAnswer(k=self.k, threshold=self.threshold, method=self.variant.value)
         stats = answer.stats
         with obs_span("ptk.scan", variant=self.variant.value, k=self.k) as scan_span:
@@ -162,7 +186,7 @@ class ExactPTKEngine:
                     probability = self._evaluate(tup)
                     stats.tuples_evaluated += 1
                     answer.probabilities[tup.tid] = probability
-                    if probability >= self.threshold:
+                    if not self.full_scan and probability >= self.threshold:
                         answer.answers.append(tup.tid)
                     self._tracker.observe(tup, probability)
                 else:
@@ -183,10 +207,43 @@ class ExactPTKEngine:
                 scan_depth=stats.scan_depth, stopped_by=stats.stopped_by
             )
         if OBS.enabled:
-            self._publish(stats)
+            self._publish(stats, self._scan.unit_counts())
         return answer
 
-    def _publish(self, stats) -> None:
+    def _run_columnar(self) -> PTKAnswer:
+        """Full-scan mode on the vectorized columnar kernel.
+
+        Produces the same ``probabilities`` map as the scalar full scan
+        (to within the kernel's documented 1e-12 parity budget) with
+        ``answers`` empty and a clean ``stopped_by``; the reordering
+        strategy is irrelevant because the kernel maintains one live DP
+        over the whole scan.
+        """
+        answer = PTKAnswer(
+            k=self.k, threshold=self.threshold, method=self.variant.value
+        )
+        stats = answer.stats
+        with obs_span(
+            "ptk.scan", variant=self.variant.value, k=self.k, columnar=True
+        ) as scan_span:
+            columns = self._columns
+            if columns is None:
+                columns = TableColumns.from_ranked(self._ranked, self._rule_of)
+            out, extensions = kernel.columnar_topk_scan(
+                columns.probability, columns.rule_index, self.k
+            )
+            answer.probabilities.update(zip(columns.tids, out.tolist()))
+            stats.scan_depth = len(columns)
+            stats.tuples_evaluated = len(columns)
+            stats.subset_extensions = extensions
+            scan_span.set(
+                scan_depth=stats.scan_depth, stopped_by=stats.stopped_by
+            )
+        if OBS.enabled:
+            self._publish(stats, columns.unit_counts())
+        return answer
+
+    def _publish(self, stats, unit_counts) -> None:
         """Flush the run's counters into the global metrics registry.
 
         Done once per query (not per tuple) so enabled-mode overhead
@@ -203,7 +260,7 @@ class ExactPTKEngine:
         catalogued("repro_ptk_dp_extensions_total").inc(stats.subset_extensions)
         profile = OBS.flight.current()
         if profile is not None:
-            independent, rule, merges = self._scan.unit_counts()
+            independent, rule, merges = unit_counts
             profile.engine = "exact"
             profile.variant = self.variant.value
             profile.scan_depth = stats.scan_depth
@@ -225,10 +282,16 @@ class ExactPTKEngine:
         vector = self._dp.vector_for(order)
         if self.variant.shares_prefix:
             self._previous_order = order
-        fewer_than_k = float(vector[: self.k].sum())
-        # Guard against float drift above 1.
-        fewer_than_k = min(fewer_than_k, 1.0)
-        return tup.probability * fewer_than_k
+        if len(order) < self.k:
+            # Fewer than k units in the dominant set: Pr(|T(t)| < k) is
+            # exactly 1, not a DP sum that may sit an ulp off it.
+            return tup.probability
+        # The kernel's compensated sum — identical to
+        # SubsetProbabilityVector.probability_fewer_than, so the scan
+        # path and the oracle/tail-bound path agree bit-for-bit on the
+        # same vector (naive ndarray.sum() here once let Pr^k straddle
+        # the threshold differently from the reference computation).
+        return tup.probability * kernel.fewer_than_k(vector, self.k)
 
 
 def exact_ptk_query(
@@ -241,12 +304,15 @@ def exact_ptk_query(
     pruning_flags: Optional[PruningFlags] = None,
     prepared: Optional[PreparedRanking] = None,
     cache: Optional[PrepareCache] = None,
+    columnar: Optional[bool] = None,
 ) -> PTKAnswer:
     """Answer a PT-k query exactly (the paper's main algorithm).
 
     :param table: the uncertain table ``T``.
     :param query: the top-k query ``Q^k(P, f)``.
-    :param threshold: the probability threshold ``p`` in ``(0, 1]``.
+    :param threshold: the probability threshold ``p`` in ``(0, 1]``, or
+        exactly ``0.0`` for full-scan mode (every ``Pr^k`` computed,
+        ``answers`` left empty, pruning off).
     :param variant: RC, RC+AR or RC+LR (default: the fastest, RC+LR).
     :param pruning: set False to compute every tuple's probability.
     :param pruning_flags: enable individual pruning rules (ablation);
@@ -255,10 +321,18 @@ def exact_ptk_query(
         query)``; skips selection/ranking/rule indexing entirely.
     :param cache: a :class:`PrepareCache` to consult (and fill) when
         ``prepared`` is not given.
+    :param columnar: in full-scan mode, run the vectorized columnar
+        kernel (the default there); ``False`` keeps the scalar
+        per-tuple loop as the cross-check oracle.
     :returns: a :class:`~repro.core.results.PTKAnswer`.
     """
     with obs_span("ptk.prepare"):
         prepared = resolve_prepared(table, query, prepared=prepared, cache=cache)
+    columns = None
+    if threshold == 0.0 and columnar is not False:
+        # The prepared ranking caches its columnarisation, so repeated
+        # full scans against an unchanged table skip re-extraction.
+        columns = prepared.columns
     engine = ExactPTKEngine(
         prepared.ranked,
         prepared.rule_of,
@@ -269,6 +343,8 @@ def exact_ptk_query(
         pruning=pruning,
         stop_check_interval=stop_check_interval,
         pruning_flags=pruning_flags,
+        columnar=columnar,
+        columns=columns,
     )
     return engine.run()
 
@@ -279,21 +355,26 @@ def exact_topk_probabilities(
     variant: ExactVariant = ExactVariant.RC_LR,
     prepared: Optional[PreparedRanking] = None,
     cache: Optional[PrepareCache] = None,
+    columnar: Optional[bool] = None,
 ) -> Dict[Any, float]:
     """``Pr^k`` for *every* tuple satisfying the predicate (full scan).
 
-    Equivalent to a PT-k query with an infinitesimal threshold and
-    pruning disabled; used for ground-truth comparisons, result tables,
-    and the alternative-semantics baselines.
+    A PT-k query in explicit full-scan mode (``threshold=0.0``): every
+    tuple's probability is computed, nothing is declared an "answer",
+    and the scan runs to exhaustion.  Used for ground-truth
+    comparisons, result tables, and the alternative-semantics
+    baselines.  By default the vectorized columnar kernel does the
+    work; pass ``columnar=False`` for the scalar reference loop.
     """
     answer = exact_ptk_query(
         table,
         query,
-        threshold=1e-300,
+        threshold=0.0,
         variant=variant,
         pruning=False,
         prepared=prepared,
         cache=cache,
+        columnar=columnar,
     )
     return answer.probabilities
 

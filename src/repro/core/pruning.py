@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
 
+from repro.core.kernel import RunningSum
 from repro.core.rule_compression import DominantSetScan
 from repro.core.subset_probability import SubsetProbabilityVector
 from repro.model.rules import GenerationRule
@@ -102,8 +103,10 @@ class PruningTracker:
         self._rule_entry_max: Dict[Any, float] = {}
         # Theorem 4 state: per-rule largest failed member probability.
         self._rule_failed_max: Dict[Any, float] = {}
-        # Theorem 5 state: running sum of computed Pr^k values.
-        self._probability_mass: float = 0.0
+        # Theorem 5 state: compensated running sum of computed Pr^k
+        # values.  A naive `+=` over up to n terms can drift across the
+        # `k - p` stop boundary; the kernel accumulator cannot.
+        self._probability_mass = RunningSum()
         self._since_stop_check = 0
         self.stopped_by: Optional[str] = None
 
@@ -151,7 +154,7 @@ class PruningTracker:
 
     def observe(self, tup: UncertainTuple, topk_probability: float) -> None:
         """Feed back a computed ``Pr^k`` so future tuples can be pruned."""
-        self._probability_mass += topk_probability
+        self._probability_mass.add(topk_probability)
         if topk_probability >= self.threshold:
             return
         rule = self._rule_of.get(tup.tid)
@@ -193,7 +196,7 @@ class PruningTracker:
         """
         if (
             self.flags.total_probability
-            and self._probability_mass > self.k - self.threshold
+            and self._probability_mass.value > self.k - self.threshold
         ):
             self.stopped_by = "total-probability"
             return self.stopped_by
@@ -212,11 +215,10 @@ class PruningTracker:
         if len(units) <= self.k:
             return 1.0
         vector = SubsetProbabilityVector(self.k + 1)
-        for unit in units:
-            vector.extend(unit.probability)
+        vector.extend_run([unit.probability for unit in units])
         return vector.probability_fewer_than(self.k + 1)
 
     @property
     def probability_mass(self) -> float:
         """Sum of all computed ``Pr^k`` values so far (Theorem 5 state)."""
-        return self._probability_mass
+        return self._probability_mass.value

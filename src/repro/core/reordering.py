@@ -33,6 +33,7 @@ from typing import Dict, FrozenSet, List, Sequence
 
 import numpy as np
 
+from repro.core import kernel
 from repro.core.rule_compression import CompressionUnit
 from repro.core.subset_probability import SubsetProbabilityVector
 from repro.obs import OBS, catalogued
@@ -193,14 +194,21 @@ class PrefixSharedDP:
         del self._order[keep:]
         del self._snapshots[keep + 1 :]
         if keep < len(order):
-            vector = SubsetProbabilityVector.from_snapshot(
-                self._snapshots[keep], size=keep
+            # Batched Theorem-2 chain: one kernel call produces every
+            # intermediate prefix snapshot past the shared prefix.
+            fresh = order[keep:]
+            chain = kernel.dp_extend_chain(
+                self._snapshots[keep],
+                [unit.probability for unit in fresh],
             )
-            for unit in order[keep:]:
-                vector.extend(unit.probability)
+            for offset, unit in enumerate(fresh):
+                # Copy the row out so retained snapshots never pin the
+                # whole chain matrix in memory.
+                snapshot = chain[offset + 1].copy()
+                snapshot.flags.writeable = False
                 self._order.append(unit)
-                self._snapshots.append(vector.snapshot())
-            self.extensions += vector.extension_count
+                self._snapshots.append(snapshot)
+            self.extensions += len(fresh)
         return self._snapshots[len(order)]
 
     @property
@@ -229,8 +237,7 @@ class FreshDP:
             misses.inc()
             recomputed.inc(len(order))
         vector = SubsetProbabilityVector(self.cap)
-        for unit in order:
-            vector.extend(unit.probability)
+        vector.extend_run([unit.probability for unit in order])
         self.extensions += vector.extension_count
         return vector.snapshot()
 

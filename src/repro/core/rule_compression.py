@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.kernel import compensated_sum
 from repro.model.rules import GenerationRule
 from repro.model.table import UncertainTable
 from repro.model.tuples import UncertainTuple
@@ -148,7 +149,9 @@ def compressed_dominant_set(
         units.append(
             CompressionUnit(
                 members=frozenset(m.tid for m in members),
-                probability=_clamp_probability(sum(m.probability for m in members)),
+                probability=_clamp_probability(
+                    compensated_sum(m.probability for m in members)
+                ),
                 rule_id=rule_id,
                 first_rank=min(member_rank_values),
                 last_rank=max(member_rank_values),
@@ -202,8 +205,12 @@ class DominantSetScan:
                 )
                 self._rule_member_ranks[rule.rule_id] = ranks
         self._independent_units: List[CompressionUnit] = []
-        # rule_id -> (member ids in scan order, probability sum, seen count)
+        # rule_id -> member ids in scan order
         self._rule_seen: Dict[Any, List[Any]] = {}
+        # rule_id -> member probabilities in scan order; the rule-tuple
+        # probability is their compensated sum so the incremental scan
+        # and the from-scratch reference can never drift apart.
+        self._rule_member_probs: Dict[Any, List[float]] = {}
         self._rule_prob: Dict[Any, float] = {}
         self._rule_unit_cache: Dict[Any, CompressionUnit] = {}
         self._scanned = 0
@@ -243,9 +250,9 @@ class DominantSetScan:
         else:
             seen = self._rule_seen.setdefault(rule.rule_id, [])
             seen.append(tup.tid)
-            self._rule_prob[rule.rule_id] = (
-                self._rule_prob.get(rule.rule_id, 0.0) + tup.probability
-            )
+            member_probs = self._rule_member_probs.setdefault(rule.rule_id, [])
+            member_probs.append(tup.probability)
+            self._rule_prob[rule.rule_id] = compensated_sum(member_probs)
             self._rebuild_rule_unit(rule.rule_id)
             if self._obs_units is not None:
                 self._obs_units.inc(1.0, kind="rule")

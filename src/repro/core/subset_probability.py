@@ -22,11 +22,11 @@ unit of cost counted by Equation 5.
 
 from __future__ import annotations
 
-import math
 from typing import Iterable, List, Sequence
 
 import numpy as np
 
+from repro.core import kernel
 from repro.exceptions import QueryError
 from repro.model.tuples import validate_probability
 
@@ -87,10 +87,14 @@ class SubsetProbabilityVector:
         """``Pr(|S ∩ W| < j)`` — the factor in Equation 4 (``j = k``).
 
         ``j`` may be at most ``cap`` (summing the whole stored vector).
+        Routed through the kernel's compensated-summation primitive —
+        the same sum the exact engine, the columnar scan, and the
+        pruning tracker use, so no two paths can disagree about the
+        same vector.
         """
         if j < 0 or j > self.cap:
             raise QueryError(f"j must be in [0, {self.cap}], got {j}")
-        return float(math.fsum(self._values[:j].tolist()))
+        return kernel.fewer_than_k(self._values, j)
 
     def probability_at_most(self, j: int) -> float:
         """``Pr(|S ∩ W| <= j)`` for ``j < cap``."""
@@ -120,6 +124,25 @@ class SubsetProbabilityVector:
         """Fold a sequence of independent units, in order."""
         for p in probabilities:
             self.extend(p)
+
+    def extend_run(self, probabilities: Sequence[float]) -> None:
+        """Fold a contiguous run of units in one batched kernel call.
+
+        Semantically identical to :meth:`extend_many` (the kernel
+        performs the same Theorem-2 float operations in the same
+        order) but skips the per-unit python dispatch — the fast path
+        for the tail stop bound and any caller folding whole runs.
+        Probabilities are validated like :meth:`extend`.
+        """
+        values = [
+            validate_probability(p, what="unit probability")
+            for p in probabilities
+        ]
+        if not values:
+            return
+        count = kernel.dp_extend(self._values, values)
+        self.size += count
+        self.extension_count += count
 
     def copy(self) -> "SubsetProbabilityVector":
         """An independent copy with the same entries and size.

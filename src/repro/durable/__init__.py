@@ -36,7 +36,10 @@ from repro.durable.recover import (
     verify_data_dir,
 )
 from repro.durable.snapshot import (
+    SnapshotColumns,
     compact_snapshots,
+    open_latest_snapshot_columns,
+    open_snapshot_columns,
     read_snapshot,
     write_snapshot,
 )
@@ -51,10 +54,13 @@ __all__ = [
     "DurableDB",
     "RecoveryReport",
     "SegmentScan",
+    "SnapshotColumns",
     "VerifyReport",
     "WriteAheadLog",
     "compact_snapshots",
     "load_tables_into",
+    "open_latest_snapshot_columns",
+    "open_snapshot_columns",
     "read_snapshot",
     "recover_state",
     "replay_wal",

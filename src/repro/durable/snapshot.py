@@ -44,11 +44,13 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass, field
+from functools import cached_property
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.kernel import TableColumns, columnar_topk_scan, ranked_order
 from repro.exceptions import SnapshotCorruptionError
 from repro.durable.wal import decode_tid, encode_tid
 from repro.model.table import UncertainTable
@@ -219,6 +221,197 @@ def write_snapshot(
 def read_snapshot(path: Union[str, Path]) -> Tuple[UncertainTable, str]:
     """Load and fully validate one snapshot file."""
     return deserialize_table(Path(path).read_bytes(), source=str(path))
+
+
+@dataclass
+class SnapshotColumns:
+    """Zero-copy columnar view over one snapshot file.
+
+    ``score`` and ``probability`` are read-only ``numpy.memmap`` views
+    straight over the on-disk float64 columns — the same layout (and
+    the same :class:`~repro.core.kernel.TableColumns` consumers) the
+    in-memory prepared rankings use — so serving a recovered table's
+    full-scan queries never materialises per-tuple python objects.
+
+    Mmap lifecycle: the mapping stays valid for as long as any derived
+    array is referenced and closes when the arrays are collected; on
+    POSIX, compaction unlinking the file does not invalidate a live
+    mapping.  Consumers must treat the arrays as immutable (the mode-r
+    map enforces it).
+    """
+
+    path: Path
+    name: str
+    table_name: str
+    epoch: int
+    version: int
+    tids: Tuple[Any, ...]
+    score: np.ndarray
+    probability: np.ndarray
+    #: ``(rule_id, member tids)`` per multi-tuple rule, as journalled.
+    rules: Tuple[Tuple[Any, Tuple[Any, ...]], ...]
+
+    def __len__(self) -> int:
+        return len(self.tids)
+
+    @cached_property
+    def ranked_columns(self) -> TableColumns:
+        """The snapshot re-ordered into ranking order, as kernel columns.
+
+        Snapshots persist insertion order, so serving the exact DP
+        needs one vectorized ``lexsort`` gather (score descending,
+        stringified tid ascending — the library's canonical ranking).
+        The gather copies the two float64 columns; the source stays
+        memory-mapped.
+        """
+        order = ranked_order(np.asarray(self.score, dtype=np.float64), self.tids)
+        ranked_tids = tuple(self.tids[i] for i in order)
+        slot_of: Dict[Any, int] = {}
+        rule_ids: List[Any] = []
+        for rule_id, members in self.rules:
+            slot = len(rule_ids)
+            rule_ids.append(rule_id)
+            for tid in members:
+                slot_of[tid] = slot
+        rule_index = np.full(len(ranked_tids), -1, dtype=np.int64)
+        if slot_of:
+            for position, tid in enumerate(ranked_tids):
+                slot = slot_of.get(tid)
+                if slot is not None:
+                    rule_index[position] = slot
+        return TableColumns(
+            tids=ranked_tids,
+            score=np.ascontiguousarray(self.score[order], dtype=np.float64),
+            probability=np.ascontiguousarray(
+                self.probability[order], dtype=np.float64
+            ),
+            rule_index=rule_index,
+            rule_ids=tuple(rule_ids),
+        )
+
+    def topk_probabilities(self, k: int) -> Dict[Any, float]:
+        """``Pr^k`` for every tuple, straight off the snapshot columns.
+
+        The recovery-time serving shortcut: one columnar kernel scan,
+        no :class:`~repro.model.table.UncertainTable` reconstruction.
+        """
+        columns = self.ranked_columns
+        out, _ = columnar_topk_scan(columns.probability, columns.rule_index, k)
+        return dict(zip(columns.tids, out.tolist()))
+
+
+def open_snapshot_columns(
+    path: Union[str, Path], verify: bool = True
+) -> SnapshotColumns:
+    """Open a snapshot's numeric columns as read-only memory-maps.
+
+    The JSON header is decoded eagerly (ids, rules, version); the two
+    float64 columns are *not* read — they are ``numpy.memmap`` views the
+    OS pages in on demand, which is what makes recovery of large tables
+    cheap enough to serve from directly.
+
+    :param verify: stream the body once to check the CRC32 before
+        handing out views (recommended; recovery paths that already
+        validated the file may skip it).
+    :raises SnapshotCorruptionError: bad magic, short file, bad CRC, or
+        an undecodable header.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        prefix = handle.read(len(MAGIC) + _PREFIX.size)
+        if len(prefix) < len(MAGIC) + _PREFIX.size or prefix[: len(MAGIC)] != MAGIC:
+            raise SnapshotCorruptionError(f"{path}: not a snapshot (bad magic)")
+        crc, header_len = _PREFIX.unpack_from(prefix, len(MAGIC))
+        header_bytes = handle.read(header_len)
+        if len(header_bytes) < header_len:
+            raise SnapshotCorruptionError(f"{path}: truncated snapshot header")
+        if verify:
+            body_crc = zlib.crc32(header_bytes)
+            while True:
+                chunk = handle.read(1 << 20)
+                if not chunk:
+                    break
+                body_crc = zlib.crc32(chunk, body_crc)
+            if body_crc != crc:
+                raise SnapshotCorruptionError(f"{path}: snapshot failed CRC32")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+        count = int(header["count"])
+        tids = tuple(decode_tid(t) for t in header["tids"])
+        rules = tuple(
+            (
+                rule["rule_id"],
+                tuple(decode_tid(m) for m in rule["members"]),
+            )
+            for rule in header.get("rules", [])
+        )
+    except (UnicodeDecodeError, ValueError, KeyError, TypeError) as error:
+        raise SnapshotCorruptionError(
+            f"{path}: undecodable snapshot header: {error}"
+        ) from error
+    offset = len(MAGIC) + _PREFIX.size + header_len
+    expected_end = offset + 2 * count * 8
+    if path.stat().st_size < expected_end:
+        raise SnapshotCorruptionError(
+            f"{path}: truncated snapshot columns "
+            f"(need {expected_end} bytes, have {path.stat().st_size})"
+        )
+    score = (
+        np.memmap(path, dtype="<f8", mode="r", offset=offset, shape=(count,))
+        if count
+        else np.empty(0, dtype=np.float64)
+    )
+    probability = (
+        np.memmap(
+            path,
+            dtype="<f8",
+            mode="r",
+            offset=offset + count * 8,
+            shape=(count,),
+        )
+        if count
+        else np.empty(0, dtype=np.float64)
+    )
+    return SnapshotColumns(
+        path=path,
+        name=header["name"],
+        table_name=header.get("table_name") or header["name"],
+        epoch=int(header.get("epoch", 0)),
+        version=int(header["version"]),
+        tids=tids,
+        score=score,
+        probability=probability,
+        rules=rules,
+    )
+
+
+def open_latest_snapshot_columns(
+    directory: Union[str, Path], name: str, verify: bool = True
+) -> Optional[SnapshotColumns]:
+    """Memory-mapped columns of ``name``'s newest loadable snapshot.
+
+    The zero-copy sibling of :func:`load_latest_snapshots` for one
+    table: candidates are tried newest ``(epoch, version)`` first, CRC
+    failures fall back to older generations, and ``None`` means no
+    loadable snapshot exists.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates: List[Tuple[Tuple[int, int], Path]] = []
+    for path in sorted(directory.glob("*.snap")):
+        try:
+            header = read_header(path)
+            if header["name"] == name:
+                candidates.append((snapshot_rank(header), path))
+        except (SnapshotCorruptionError, KeyError, TypeError, ValueError):
+            continue
+    for _, path in sorted(candidates, reverse=True):
+        try:
+            return open_snapshot_columns(path, verify=verify)
+        except SnapshotCorruptionError:
+            continue
+    return None
 
 
 @dataclass

@@ -16,6 +16,7 @@ a partition of the tuples.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.exceptions import (
@@ -282,8 +283,17 @@ class UncertainTable:
         return tid not in self._rule_of_tuple
 
     def rule_probability(self, rule: GenerationRule) -> float:
-        """``Pr(R)``: sum of the members' membership probabilities."""
-        total = sum(self._tuples[tid].probability for tid in rule.tuple_ids)
+        """``Pr(R)``: sum of the members' membership probabilities.
+
+        Compensated (``math.fsum``, the same primitive the core kernel
+        wraps) so the membership-pruning comparison against rule-tuple
+        probabilities never disagrees with the DP by accumulated
+        roundoff.  The model layer cannot import the kernel (the core
+        package imports the model), hence the direct ``fsum``.
+        """
+        total = math.fsum(
+            self._tuples[tid].probability for tid in rule.tuple_ids
+        )
         return min(total, 1.0)
 
     # ------------------------------------------------------------------

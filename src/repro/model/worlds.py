@@ -20,7 +20,8 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from fractions import Fraction
+from typing import Any, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import EnumerationLimitError
 from repro.model.rules import GenerationRule
@@ -34,10 +35,15 @@ DEFAULT_WORLD_LIMIT = 2_000_000
 
 @dataclass(frozen=True)
 class PossibleWorld:
-    """One possible world: a set of tuple ids and its existence probability."""
+    """One possible world: a set of tuple ids and its existence probability.
+
+    ``probability`` is a float normally, or an exact
+    :class:`fractions.Fraction` when the enumerator runs in
+    exact-arithmetic mode.
+    """
 
     tuple_ids: FrozenSet[Any]
-    probability: float
+    probability: Union[float, Fraction]
 
     def __contains__(self, tid: Any) -> bool:
         return tid in self.tuple_ids
@@ -66,29 +72,54 @@ def count_possible_worlds(table: UncertainTable) -> int:
 
 
 def _rule_choices(
-    table: UncertainTable, rule: GenerationRule
-) -> List[Tuple[Optional[Any], float]]:
+    table: UncertainTable, rule: GenerationRule, exact: bool = False
+) -> List[Tuple[Optional[Any], Union[float, Fraction]]]:
     """Per-rule alternatives as ``(chosen tid or None, probability factor)``.
 
     The ``None`` alternative (no member appears) carries probability
     ``1 - Pr(R)`` and is omitted when the rule is certain.
+
+    With ``exact`` the factors are :class:`fractions.Fraction` values:
+    each float membership probability is taken as the exact rational it
+    represents and ``1 - Pr(R)`` is computed without rounding.  Which
+    rules count as certain is decided by the same float predicate in
+    both modes, so the *set* of worlds never depends on the mode.
     """
-    choices: List[Tuple[Optional[Any], float]] = [
-        (tid, table.probability(tid)) for tid in rule.tuple_ids
+    if not exact:
+        choices: List[Tuple[Optional[Any], Union[float, Fraction]]] = [
+            (tid, table.probability(tid)) for tid in rule.tuple_ids
+        ]
+        if not _rule_is_certain(table, rule):
+            choices.append((None, 1.0 - table.rule_probability(rule)))
+        return choices
+    exact_choices: List[Tuple[Optional[Any], Union[float, Fraction]]] = [
+        (tid, Fraction(table.probability(tid))) for tid in rule.tuple_ids
     ]
     if not _rule_is_certain(table, rule):
-        choices.append((None, 1.0 - table.rule_probability(rule)))
-    return choices
+        total = sum(
+            (Fraction(table.probability(tid)) for tid in rule.tuple_ids),
+            Fraction(0),
+        )
+        if total > 1:
+            total = Fraction(1)  # mirrors the float path's Pr(R) clamp
+        exact_choices.append((None, Fraction(1) - total))
+    return exact_choices
 
 
 def enumerate_possible_worlds(
     table: UncertainTable,
     limit: int = DEFAULT_WORLD_LIMIT,
+    exact: bool = False,
 ) -> Iterator[PossibleWorld]:
     """Yield every possible world of ``table`` with its probability.
 
     :param limit: safety cap; enumeration of a table whose world count
         exceeds it raises :class:`EnumerationLimitError` *before* any work.
+    :param exact: compute world probabilities in exact rational
+        arithmetic (:class:`fractions.Fraction`) instead of floats.
+        The world *set* is identical; only the probability type changes.
+        Used by ground-truth oracles whose comparisons must not inherit
+        float accumulation error.
     :raises EnumerationLimitError: when the table has more than ``limit``
         possible worlds.
     """
@@ -99,15 +130,17 @@ def enumerate_possible_worlds(
             f"which exceeds the enumeration limit of {limit}"
         )
     rules = table.rules()
-    per_rule = [_rule_choices(table, rule) for rule in rules]
+    per_rule = [_rule_choices(table, rule, exact=exact) for rule in rules]
+    zero = Fraction(0) if exact else 0.0
+    one = Fraction(1) if exact else 1.0
     for combo in itertools.product(*per_rule):
-        probability = 1.0
+        probability = one
         members: List[Any] = []
         for tid, factor in combo:
             probability *= factor
             if tid is not None:
                 members.append(tid)
-        if probability <= 0.0:
+        if probability <= zero:
             continue
         yield PossibleWorld(tuple_ids=frozenset(members), probability=probability)
 

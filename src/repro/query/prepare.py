@@ -35,13 +35,17 @@ import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from functools import cached_property
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.model.rules import GenerationRule
 from repro.model.table import UncertainTable
 from repro.model.tuples import UncertainTuple
 from repro.obs import OBS, catalogued, span as obs_span
 from repro.query.topk import TopKQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.kernel import TableColumns
 
 #: Cached preparations kept per table; oldest evicted first.  Dashboards
 #: alternating a handful of predicates/rankings stay fully cached.
@@ -76,6 +80,21 @@ class PreparedRanking:
     def ranked_list(self) -> List[UncertainTuple]:
         """The ranked tuples as a fresh list (callers may not mutate it)."""
         return list(self.ranked)
+
+    @cached_property
+    def columns(self) -> "TableColumns":
+        """The ranked tuples as dense float64/int64 columns.
+
+        Built once per preparation and cached on the instance (a
+        ``cached_property`` writes straight into ``__dict__``, which a
+        frozen dataclass permits), so every full-scan query against a
+        cached preparation shares one columnarisation.  The arrays are
+        immutable by convention — consumers, including the columnar
+        kernel, only read them.
+        """
+        from repro.core.kernel import TableColumns
+
+        return TableColumns.from_ranked(self.ranked, self.rule_of)
 
     def __len__(self) -> int:
         return len(self.ranked)

@@ -59,9 +59,44 @@ class RankingFunction:
         primary = -value if self.descending else value
         return (primary, str(tup.tid))
 
+    #: Below this size the plain python sort wins (no numpy dispatch).
+    _VECTORIZED_SORT_MIN = 2048
+
     def order(self, tuples: Sequence[UncertainTuple]) -> List[UncertainTuple]:
-        """Sort ``tuples`` into the ranking order, best first."""
+        """Sort ``tuples`` into the ranking order, best first.
+
+        Large inputs take a vectorized path: one ``lexsort`` over a
+        float64 score column and a stringified-tid tie-break column —
+        the exact relation ``sort_key`` induces (numpy ``<U``
+        comparison is code-point order, same as python strings, and
+        lexsort is stable) — instead of a python comparison sort over
+        tuple keys.
+        """
+        if len(tuples) >= self._VECTORIZED_SORT_MIN:
+            permutation = self._vectorized_order(tuples)
+            if permutation is not None:
+                return [tuples[i] for i in permutation]
         return sorted(tuples, key=self.sort_key)
+
+    def _vectorized_order(self, tuples: Sequence[UncertainTuple]):
+        """Ranking permutation via the columnar kernel; None = fall back."""
+        import numpy as np
+
+        from repro.core.kernel import ranked_order
+
+        try:
+            scores = np.fromiter(
+                (self._key(t) for t in tuples),
+                dtype=np.float64,
+                count=len(tuples),
+            )
+        except (TypeError, ValueError):
+            return None  # non-numeric scores: python sort handles them
+        if np.isnan(scores).any():
+            return None  # NaN ordering differs between numpy and python
+        if not self.descending:
+            scores = -scores
+        return ranked_order(scores, [t.tid for t in tuples])
 
     def rank_table(self, table: UncertainTable) -> List[UncertainTuple]:
         """All tuples of ``table`` in the ranking order, best first."""

@@ -9,7 +9,8 @@ small tables.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from fractions import Fraction
+from typing import Any, Dict, List, Union
 
 from repro.core.results import AlgorithmStats, PTKAnswer
 from repro.exceptions import QueryError
@@ -22,7 +23,8 @@ def naive_topk_probabilities(
     table: UncertainTable,
     query: TopKQuery,
     world_limit: int = DEFAULT_WORLD_LIMIT,
-) -> Dict[Any, float]:
+    exact: bool = False,
+) -> Dict[Any, Union[float, Fraction]]:
     """``Pr^k`` for every tuple, straight from Equation 2.
 
     Enumerates every possible world of ``P(table)``, applies the certain
@@ -30,14 +32,22 @@ def naive_topk_probabilities(
     of each top-k list.
 
     :param world_limit: safety cap forwarded to the enumerator.
+    :param exact: accumulate in exact rational arithmetic and return
+        :class:`fractions.Fraction` values.  Comparing those against a
+        float threshold (``Fraction >= float``) is itself exact, which
+        makes this mode the right oracle for threshold-boundary tests:
+        a naive float accumulation of the same worlds can land an ulp
+        away from the DP's compensated result and misclassify tuples
+        whose true ``Pr^k`` sits exactly on the threshold.
     :returns: mapping tuple id -> exact top-k probability (tuples never
         in any top-k get 0.0 entries, so the mapping covers all of
         ``P(table)``).
     """
     selected = query.selected(table)
     by_id = {tup.tid: tup for tup in selected}
-    result: Dict[Any, float] = {tid: 0.0 for tid in by_id}
-    for world in enumerate_possible_worlds(selected, limit=world_limit):
+    zero: Union[float, Fraction] = Fraction(0) if exact else 0.0
+    result: Dict[Any, Union[float, Fraction]] = {tid: zero for tid in by_id}
+    for world in enumerate_possible_worlds(selected, limit=world_limit, exact=exact):
         members = [by_id[tid] for tid in world.tuple_ids]
         for tup in query.answer_on_world(members):
             result[tup.tid] += world.probability

@@ -57,9 +57,22 @@ class TestPaperValues:
 class TestValidation:
     def test_rejects_bad_threshold(self):
         table = panda_table()
-        for bad in (0.0, -0.1, 1.5):
+        for bad in (-0.1, -1e-300, 1.5):
             with pytest.raises(QueryError):
                 exact_ptk_query(table, TopKQuery(k=2), bad)
+
+    def test_threshold_zero_is_full_scan_mode(self):
+        # threshold == 0.0 is the explicit full-scan mode: every tuple's
+        # Pr^k is computed, no membership decisions are made, and no
+        # pruning rule may fire.
+        table = panda_table()
+        answer = exact_ptk_query(table, TopKQuery(k=2), 0.0)
+        assert answer.answers == []
+        assert answer.stats.stopped_by == "exhausted"
+        assert answer.stats.scan_depth == len(table)
+        assert set(answer.probabilities) == {t.tid for t in table}
+        for tid, expected in PANDA_TOP2_PROBABILITIES.items():
+            assert answer.probabilities[tid] == pytest.approx(expected, abs=1e-9)
 
     def test_threshold_one_allowed(self):
         table = build_table([1.0, 0.5], rule_groups=[])

@@ -53,7 +53,7 @@ class TestEngineDirectUse:
         with pytest.raises(QueryError):
             ExactPTKEngine([], {}, {}, k=0, threshold=0.5)
         with pytest.raises(QueryError):
-            ExactPTKEngine([], {}, {}, k=1, threshold=0.0)
+            ExactPTKEngine([], {}, {}, k=1, threshold=-0.1)
 
     def test_engine_runs_standalone(self):
         table = build_table([0.9, 0.8, 0.2], rule_groups=[])

@@ -180,6 +180,69 @@ class TestStopping:
             assert tracker.should_stop(scan) is None
 
 
+class TestTheorem5Accumulation:
+    """The Theorem-5 mass must accumulate compensated, not naively."""
+
+    def test_mass_survives_tiny_terms(self):
+        # A naive += accumulator loses every term below the current
+        # sum's ulp, so a mass creeping over the k - p stop boundary by
+        # many tiny contributions would never trigger the stop.
+        table = build_table([0.9, 0.8], rule_groups=[])
+        tup = table.ranked_tuples()[0]
+        tracker = PruningTracker(
+            k=1, threshold=0.5, rule_of={}, table_rule_probability={}
+        )
+        tracker.observe(tup, 0.5)
+        naive = 0.5
+        for _ in range(1000):
+            tracker.observe(tup, 1e-17)
+            naive += 1e-17
+        assert naive == 0.5  # the accumulator behaviour being replaced
+        assert tracker.probability_mass > 0.5  # true mass crossed k - p
+
+    @given(
+        st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=200)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mass_matches_exact_sum(self, values):
+        import math
+
+        table = build_table([0.9], rule_groups=[])
+        tup = table.ranked_tuples()[0]
+        tracker = PruningTracker(
+            k=2, threshold=0.3, rule_of={}, table_rule_probability={}
+        )
+        for value in values:
+            tracker.observe(tup, value)
+        assert tracker.probability_mass == pytest.approx(
+            math.fsum(values), abs=1e-13
+        )
+
+    @given(
+        uncertain_tables(max_tuples=9),
+        st.integers(1, 4),
+        st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stop_decisions_preserve_the_answer(self, table, k, threshold):
+        # Theorem 5 alone, against the unpruned scan and the exact
+        # rational oracle, at arbitrary thresholds: stopping early must
+        # never change membership.
+        query = TopKQuery(k=k)
+        stopped = exact_ptk_query(
+            table,
+            query,
+            threshold,
+            pruning_flags=PruningFlags(False, False, True, False),
+            stop_check_interval=1,
+        )
+        unpruned = exact_ptk_query(table, query, threshold, pruning=False)
+        assert stopped.answer_set == unpruned.answer_set
+        truth = naive_topk_probabilities(table, query, exact=True)
+        expected = {tid for tid, pr in truth.items() if pr >= threshold}
+        assert stopped.answer_set == expected
+
+
 class TestEndToEndSoundness:
     """Pruning must never change the answer set."""
 
@@ -197,14 +260,11 @@ class TestEndToEndSoundness:
     def test_each_flag_combination_is_sound(self, table, k):
         query = TopKQuery(k=k)
         threshold = 0.4
-        # Tuples whose true Pr^k sits on the threshold are excluded from
-        # the comparison: the naive enumerator and the DP accumulate
-        # different roundoff, so a generated probability of exactly 0.4
-        # can land on opposite sides of `>=` in the two computations.
-        naive = naive_topk_probabilities(table, query)
-        borderline = {
-            tid for tid, pr in naive.items() if abs(pr - threshold) < 1e-9
-        }
+        # Ground truth in exact rational arithmetic: Fraction >= float is
+        # an exact comparison, so tuples whose true Pr^k lands precisely
+        # on the threshold are classified unambiguously.  The engine's
+        # compensated summation must agree even on those.
+        naive = naive_topk_probabilities(table, query, exact=True)
         truth = {tid for tid, pr in naive.items() if pr >= threshold}
         for flags in (
             PruningFlags(True, False, False, False),
@@ -216,7 +276,7 @@ class TestEndToEndSoundness:
             answer = exact_ptk_query(
                 table, query, threshold, pruning_flags=flags
             )
-            assert answer.answer_set - borderline == truth - borderline
+            assert answer.answer_set == truth
 
     def test_pruning_reduces_scan_depth_on_large_input(self):
         probabilities = [0.9] * 200
