@@ -15,12 +15,14 @@ from repro.core.exact import (
     exact_ptk_query,
     exact_topk_probabilities,
 )
+from repro.query.planner import LatencyEstimate
 from repro.query.prepare import prepare_ranking
 from repro.core.rule_compression import rule_index_of_table
 from repro.core.sampling import WorldSampler
 from repro.core.subset_probability import SubsetProbabilityVector
 from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
 from repro.query.topk import TopKQuery
+from repro.serve.scheduler import CostScheduler, ExactTask
 
 
 @pytest.fixture(scope="module")
@@ -98,3 +100,40 @@ def test_full_scan_scalar(benchmark, workload):
         rounds=3,
         iterations=1,
     )
+
+
+def test_scheduler_cost_order(benchmark):
+    """Order + pre-execution re-check of one large mixed-cost batch.
+
+    The scheduler sits on the serving hot path in front of every exact
+    scan; this pins the pure-python cost of sorting a 512-item batch by
+    predicted cost and re-deciding each item against its deadline.
+    """
+    rng = np.random.default_rng(13)
+    seconds = rng.gamma(shape=0.8, scale=0.02, size=512)
+    tasks = [
+        ExactTask(
+            position=i,
+            estimate=LatencyEstimate(
+                depth=50 + i,
+                exact_seconds=float(seconds[i]),
+                sampled_seconds_per_unit=1e-6,
+                expected_unit_length=10.0,
+            ),
+        )
+        for i in range(512)
+    ]
+    scheduler = CostScheduler()
+
+    def run():
+        runnable = 0
+        for task in scheduler.order(tasks):
+            decision = scheduler.decide(
+                0.050, task.estimate.exact_seconds, 0.5
+            )
+            if decision == "run":
+                runnable += 1
+        return runnable
+
+    assert run() > 0
+    benchmark(run)

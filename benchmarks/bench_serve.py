@@ -36,11 +36,19 @@ import time
 import pytest
 
 from benchmarks.conftest import bench_scale, emit
+from repro import obs
 from repro.bench.harness import ExperimentTable
 from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_table
+from repro.obs import OBS, catalogued
 from repro.parallel import available_cpus
 from repro.query.engine import UncertainDB
-from repro.serve import LoopbackTransport, ServeApp, ServeClient, ServeConfig
+from repro.serve import (
+    LoopbackTransport,
+    ServeApp,
+    ServeClient,
+    ServeClientError,
+    ServeConfig,
+)
 
 K_BASE = 20
 THRESHOLD = 0.3
@@ -163,3 +171,179 @@ def test_serve_closed_loop(window_ms):
         + ("coalesce" if window_ms else "solo")
         + ".txt",
     )
+
+
+# ----------------------------------------------------------------------
+# Skewed-cost closed loop: FIFO vs cost-ordered scheduling
+# ----------------------------------------------------------------------
+SKEW_CLIENTS = 12
+SKEW_ROUNDS = 8
+SKEW_HEAVY_EVERY = 6  # 2 of the 12 clients issue a heavy scan per round
+SKEW_CHEAP_K = 5
+#: Cheap-query deadline: comfortably covers the cheap work in a batch,
+#: but one in-batch heavy scan ahead of a cheap item blows it.
+SKEW_DEADLINE_MS = 200.0
+
+
+def _skewed_loop(db, name, scheduler, heavy_k):
+    """Lockstep closed loop: each round, all clients issue together and
+    the coalescer forms one mixed batch (2 heavy scans without
+    deadlines, 10 cheap scans with tight ones).  Every client waits for
+    its response before the next round, so the queue is empty between
+    rounds and the measured latencies isolate exactly what the
+    scheduler controls — the execution order *within* a batch."""
+    app = ServeApp(
+        db,
+        ServeConfig(
+            window_ms=20.0,  # wide enough to coalesce the whole round
+            max_batch=64,
+            max_inflight=1,
+            max_queue=256,
+            scheduler=scheduler,
+            flight_ring=512,
+            slow_ms=10_000.0,  # keep the slow log quiet for timing
+        ),
+    )
+    OBS.flight.reset()
+    degraded_before = catalogued("repro_serve_degraded_preexec_total").value()
+    cheap_latencies, heavy_latencies = [], []
+    expired = [0]
+    lock = threading.Lock()
+    round_barrier = threading.Barrier(SKEW_CLIENTS)
+
+    with LoopbackTransport(app) as transport:
+        client = ServeClient(transport)
+
+        def worker(worker_index):
+            local_cheap, local_heavy, local_expired = [], [], 0
+            for round_index in range(SKEW_ROUNDS):
+                round_barrier.wait()
+                # the heavy role rotates through the clients
+                heavy = (
+                    (worker_index + round_index) % SKEW_HEAVY_EVERY == 0
+                )
+                start = time.perf_counter()
+                try:
+                    if heavy:
+                        client.query(name, k=heavy_k, threshold=THRESHOLD)
+                    else:
+                        client.query(
+                            name, k=SKEW_CHEAP_K, threshold=THRESHOLD,
+                            deadline_ms=SKEW_DEADLINE_MS,
+                        )
+                except ServeClientError as exc:
+                    if exc.status != 504:
+                        raise
+                    local_expired += 1
+                elapsed = time.perf_counter() - start
+                (local_heavy if heavy else local_cheap).append(elapsed)
+            with lock:
+                cheap_latencies.extend(local_cheap)
+                heavy_latencies.extend(local_heavy)
+                expired[0] += local_expired
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(SKEW_CLIENTS)
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        profiles = OBS.flight.recent(limit=512)
+
+    degraded = (
+        catalogued("repro_serve_degraded_preexec_total").value()
+        - degraded_before
+    )
+    return {
+        "cheap": sorted(cheap_latencies),
+        "heavy": sorted(heavy_latencies),
+        "expired": expired[0],
+        "degraded_preexec": int(degraded),
+        "wall": wall,
+        "profiles": profiles,
+    }
+
+
+def _post_deadline_exact(profiles):
+    """Exact executions that started or ran past their deadline."""
+    late = []
+    for profile in profiles:
+        remaining = profile.get("deadline_remaining_ms")
+        if profile.get("mode") != "exact" or remaining is None:
+            continue
+        if profile.get("outcome") == "deadline-expired":
+            continue  # failed fast, never executed
+        if remaining < 0 or profile["actual_seconds"] * 1000.0 > remaining:
+            late.append(profile)
+    return late
+
+
+def test_serve_skewed_cost_scheduler():
+    """FIFO vs cost-ordered dispatch under a skewed-cost closed loop.
+
+    Each batch mixes two expensive exact scans (no deadline) with ten
+    cheap scans carrying a tight deadline.  Under FIFO the cheap
+    queries execute behind the expensive head-of-line scans — after
+    their deadline has already passed; the cost scheduler reorders them
+    ahead and re-checks each deadline pre-execution, so no exact scan
+    ever starts (or runs) past its deadline.
+    """
+    db, name, n_tuples = _make_db()
+    heavy_k = max(130, int(400 * bench_scale()))
+    db.ptk(name, k=heavy_k, threshold=THRESHOLD)  # warm the prepare cache
+
+    result = ExperimentTable(
+        title="Skewed-cost closed loop: FIFO vs cost-ordered scheduling",
+        columns=[
+            "scheduler", "cheap_p50_ms", "cheap_p99_ms", "heavy_p99_ms",
+            "expired_504", "degraded_preexec", "late_exact", "wall_s",
+        ],
+        notes=(
+            f"n={n_tuples}, heavy k={heavy_k} (2 per batch of "
+            f"{SKEW_CLIENTS}), cheap k={SKEW_CHEAP_K} with "
+            f"{SKEW_DEADLINE_MS:.0f} ms deadline, p={THRESHOLD}, "
+            f"{SKEW_CLIENTS} lockstep closed-loop clients x "
+            f"{SKEW_ROUNDS} rounds; loopback transport, max_inflight=1 "
+            f"on {available_cpus()} usable core(s); late_exact = exact "
+            "executions started/run past deadline (flight profiles)"
+        ),
+    )
+    runs = {}
+    try:
+        for scheduler in ("fifo", "cost"):
+            run = _skewed_loop(db, name, scheduler, heavy_k)
+            runs[scheduler] = run
+            late = _post_deadline_exact(run["profiles"])
+            result.add_row(
+                scheduler,
+                round(_percentile(run["cheap"], 0.50) * 1000, 2),
+                round(_percentile(run["cheap"], 0.99) * 1000, 2),
+                round(_percentile(run["heavy"], 0.99) * 1000, 2),
+                run["expired"],
+                run["degraded_preexec"],
+                len(late),
+                round(run["wall"], 3),
+            )
+    finally:
+        obs.disable()
+        obs.reset()
+        OBS.flight.disable()
+        OBS.flight.reset()
+
+    # The tentpole claims, asserted: the cost scheduler never executes
+    # an exact scan past its deadline, FIFO demonstrably does, and the
+    # reordering improves cheap-query tail latency.
+    assert not _post_deadline_exact(runs["cost"]["profiles"])
+    assert _post_deadline_exact(runs["fifo"]["profiles"])
+    fifo_p99 = _percentile(runs["fifo"]["cheap"], 0.99)
+    cost_p99 = _percentile(runs["cost"]["cheap"], 0.99)
+    assert cost_p99 < fifo_p99, (
+        f"cost p99 {cost_p99 * 1000:.1f} ms not better than "
+        f"FIFO p99 {fifo_p99 * 1000:.1f} ms"
+    )
+
+    emit(result, "serve_scheduler_skew.txt")

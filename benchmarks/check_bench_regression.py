@@ -38,6 +38,7 @@ GATED = (
     "test_exact_query_variants[RC+LR]",
     "test_full_scan_columnar",
     "test_subset_probability_thousand_extensions",
+    "test_scheduler_cost_order",
 )
 
 #: Allowed slowdown of a calibrated median before the gate fails.

@@ -33,6 +33,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
+from repro.core import kernel
 from repro.core.reordering import LazyReordering, PrefixSharedDP
 from repro.core.results import PTKAnswer
 from repro.core.rule_compression import (
@@ -156,7 +157,16 @@ def ptk_with_prefilter(
             order = strategy.order_units(units, previous)
             vector = dp.vector_for(order)
             previous = order
-            probability = tup.probability * min(float(vector[:k].sum()), 1.0)
+            if len(order) < k:
+                # Fewer than k units in the dominant set: Pr(|T(t)| < k)
+                # is exactly 1, not a DP sum that may sit an ulp off it.
+                probability = tup.probability
+            else:
+                # Same compensated sum as the exact engine, so the two
+                # paths agree bit-for-bit on threshold-straddling values
+                # (a naive ndarray.sum() here could land an ulp below
+                # the true mass and flip a boundary decision).
+                probability = tup.probability * kernel.fewer_than_k(vector, k)
             answer.probabilities[tup.tid] = probability
             if probability >= threshold:
                 answer.answers.append(tup.tid)

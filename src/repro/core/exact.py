@@ -22,6 +22,8 @@ Variants (Section 6.2):
 from __future__ import annotations
 
 import enum
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.core import kernel
@@ -92,12 +94,71 @@ def _rule_probabilities(
     return out
 
 
+@dataclass
+class ScanCheckpoint:
+    """A resumable scan-prefix checkpoint of an interrupted exact scan.
+
+    Produced when :meth:`ExactPTKEngine.run` hits a ``deadline_seconds``
+    budget mid-scan.  The checkpoint owns the *live engine* — stream
+    cursor, dominant-set scan, shared-prefix DP, pruning-tracker state,
+    and the partially filled answer — so resuming simply continues the
+    very same scan: the resumed result is bit-exact with an
+    uninterrupted run by construction (no state is re-derived).
+
+    A checkpoint is single-use: the engine it wraps mutates as the scan
+    continues, so :meth:`resume` refuses a second call.
+
+    :param engine: the interrupted engine (opaque to callers).
+    :param depth: tuples fully processed before the interruption.
+    :param k: the query's k (for cache keying by callers).
+    :param threshold: the query's probability threshold.
+    :param variant: algorithm variant name (``RC`` / ``RC+AR`` /
+        ``RC+LR``).
+    """
+
+    engine: "ExactPTKEngine" = field(repr=False)
+    depth: int = 0
+    k: int = 0
+    threshold: float = 0.0
+    variant: str = ""
+    consumed: bool = field(default=False, repr=False)
+
+    def resume(self, deadline_seconds: Optional[float] = None) -> PTKAnswer:
+        """Continue the interrupted scan (optionally budgeted again).
+
+        :raises QueryError: when the checkpoint was already resumed.
+        """
+        if self.consumed:
+            raise QueryError(
+                "scan checkpoint already resumed; checkpoints are "
+                "single-use (request a fresh one from the new answer)"
+            )
+        self.consumed = True
+        return self.engine.run(deadline_seconds=deadline_seconds)
+
+    def describe(self) -> Dict[str, Any]:
+        """Introspection for debug endpoints and the scheduler block."""
+        return {
+            "depth": self.depth,
+            "k": self.k,
+            "threshold": self.threshold,
+            "variant": self.variant,
+            "answers_so_far": len(self.engine.partial_answer.answers),
+            "pruning": self.engine.tracker.snapshot(),
+        }
+
+
 class ExactPTKEngine:
-    """One-shot executor for a PT-k query over a ranked stream.
+    """Executor for a PT-k query over a ranked stream.
 
     Most callers should use the module-level functions
     :func:`exact_ptk_query` / :func:`exact_topk_probabilities`; the
     engine class exists so benchmarks can inspect intermediate state.
+
+    :meth:`run` accepts an optional wall-clock budget.  A budgeted run
+    that cannot finish in time returns a *partial* answer whose
+    ``checkpoint`` resumes the scan later — repeated ``run()`` calls on
+    one engine continue the same scan, they never restart it.
 
     :param ranked: full ranked list behind the stream (rank positions of
         rule members must be known up front; tuples are still *retrieved*
@@ -166,20 +227,62 @@ class ExactPTKEngine:
             stop_check_interval=stop_check_interval,
             flags=pruning_flags,
         )
+        # Resumable-scan state: the answer fills across run() segments,
+        # and _publish increments global counters by *deltas* so a
+        # resumed query is not double-counted.
+        self._answer = PTKAnswer(
+            k=k, threshold=threshold, method=variant.value
+        )
+        self._published: Dict[str, int] = {}
         # Observability: resolve metric handles once per engine so the
         # per-tuple hot path pays only a None check when obs is off.
         self._obs_dp_units = (
             catalogued("repro_ptk_dp_units") if OBS.enabled else None
         )
 
-    def run(self) -> PTKAnswer:
-        """Execute the scan and return the complete answer object."""
+    @property
+    def partial_answer(self) -> PTKAnswer:
+        """The (possibly still partial) answer the scan is filling."""
+        return self._answer
+
+    @property
+    def tracker(self) -> PruningTracker:
+        """The pruning tracker (checkpoint introspection, benchmarks)."""
+        return self._tracker
+
+    def run(self, deadline_seconds: Optional[float] = None) -> PTKAnswer:
+        """Execute (or continue) the scan and return the answer object.
+
+        :param deadline_seconds: optional wall-clock budget for *this*
+            call.  When the budget expires mid-scan the returned answer
+            is partial: ``stats.stopped_by == "deadline"`` and
+            ``answer.checkpoint`` resumes the scan.  Ignored by the
+            columnar full-scan kernel (one vectorized shot, no per-tuple
+            loop to interrupt).
+        """
         if self.full_scan and self.columnar:
             return self._run_columnar()
-        answer = PTKAnswer(k=self.k, threshold=self.threshold, method=self.variant.value)
+        answer = self._answer
+        answer.checkpoint = None
         stats = answer.stats
+        stop_at = (
+            None
+            if deadline_seconds is None
+            else time.perf_counter() + deadline_seconds
+        )
+        interrupted = False
         with obs_span("ptk.scan", variant=self.variant.value, k=self.k) as scan_span:
-            for tup in self._stream:
+            while True:
+                # The budget is checked *before* retrieving, so every
+                # consumed tuple is fully processed: the stream cursor
+                # is exactly the count of processed tuples and a resume
+                # picks up at the next unseen one.
+                if stop_at is not None and time.perf_counter() >= stop_at:
+                    interrupted = True
+                    break
+                tup = self._stream.next_tuple()
+                if tup is None:
+                    break
                 self._tracker.note_first_encounter(tup)
                 skip_reason = self._tracker.should_skip(tup) if self.pruning else None
                 if skip_reason is None:
@@ -203,6 +306,21 @@ class ExactPTKEngine:
                         break
             stats.scan_depth = self._stream.scan_depth
             stats.subset_extensions = self._dp.extensions
+            if interrupted:
+                stats.stopped_by = "deadline"
+                answer.checkpoint = ScanCheckpoint(
+                    engine=self,
+                    depth=stats.scan_depth,
+                    k=self.k,
+                    threshold=self.threshold,
+                    variant=self.variant.value,
+                )
+            elif stats.stopped_by == "deadline":
+                # A resumed scan that ran to a real stop: the stale
+                # marker from the interrupted segment must not survive.
+                stats.stopped_by = (
+                    self._tracker.stopped_by or "exhausted"
+                )
             scan_span.set(
                 scan_depth=stats.scan_depth, stopped_by=stats.stopped_by
             )
@@ -243,21 +361,53 @@ class ExactPTKEngine:
             self._publish(stats, columns.unit_counts())
         return answer
 
+    def _delta(self, key: str, value: int) -> int:
+        """Unpublished growth of a stat since the last ``_publish``.
+
+        A budgeted scan publishes once per ``run()`` segment; counting
+        deltas keeps the global counters exact across resumes (absolute
+        values would double-count every resumed prefix).
+        """
+        previous = self._published.get(key, 0)
+        self._published[key] = value
+        return value - previous
+
     def _publish(self, stats, unit_counts) -> None:
         """Flush the run's counters into the global metrics registry.
 
-        Done once per query (not per tuple) so enabled-mode overhead
-        stays off the inner loop.
+        Done once per query segment (not per tuple) so enabled-mode
+        overhead stays off the inner loop.  Work counters advance by
+        deltas; the per-query counters (queries, stops, the scan-depth
+        histogram) fire once — queries on the first segment, stops and
+        the depth sample only when the scan actually completed.
         """
-        catalogued("repro_ptk_queries_total").inc(1.0, method=self.variant.value)
-        catalogued("repro_ptk_tuples_scanned_total").inc(stats.scan_depth)
-        catalogued("repro_ptk_scan_depth").observe(stats.scan_depth)
-        catalogued("repro_ptk_tuples_evaluated_total").inc(stats.tuples_evaluated)
+        if not self._published:
+            catalogued("repro_ptk_queries_total").inc(
+                1.0, method=self.variant.value
+            )
+        catalogued("repro_ptk_tuples_scanned_total").inc(
+            self._delta("scan_depth", stats.scan_depth)
+        )
+        catalogued("repro_ptk_tuples_evaluated_total").inc(
+            self._delta("tuples_evaluated", stats.tuples_evaluated)
+        )
         pruned = catalogued("repro_ptk_tuples_pruned_total")
-        pruned.inc(stats.tuples_pruned_membership, theorem="membership")
-        pruned.inc(stats.tuples_pruned_same_rule, theorem="same-rule")
-        catalogued("repro_ptk_scan_stops_total").inc(1.0, reason=stats.stopped_by)
-        catalogued("repro_ptk_dp_extensions_total").inc(stats.subset_extensions)
+        pruned.inc(
+            self._delta("pruned_membership", stats.tuples_pruned_membership),
+            theorem="membership",
+        )
+        pruned.inc(
+            self._delta("pruned_same_rule", stats.tuples_pruned_same_rule),
+            theorem="same-rule",
+        )
+        catalogued("repro_ptk_dp_extensions_total").inc(
+            self._delta("subset_extensions", stats.subset_extensions)
+        )
+        if stats.stopped_by != "deadline":
+            catalogued("repro_ptk_scan_depth").observe(stats.scan_depth)
+            catalogued("repro_ptk_scan_stops_total").inc(
+                1.0, reason=stats.stopped_by
+            )
         profile = OBS.flight.current()
         if profile is not None:
             independent, rule, merges = unit_counts
@@ -305,6 +455,8 @@ def exact_ptk_query(
     prepared: Optional[PreparedRanking] = None,
     cache: Optional[PrepareCache] = None,
     columnar: Optional[bool] = None,
+    deadline_seconds: Optional[float] = None,
+    resume: Optional[ScanCheckpoint] = None,
 ) -> PTKAnswer:
     """Answer a PT-k query exactly (the paper's main algorithm).
 
@@ -324,8 +476,24 @@ def exact_ptk_query(
     :param columnar: in full-scan mode, run the vectorized columnar
         kernel (the default there); ``False`` keeps the scalar
         per-tuple loop as the cross-check oracle.
+    :param deadline_seconds: wall-clock budget for the scalar scan; on
+        expiry the answer is partial (``stats.stopped_by ==
+        "deadline"``) and carries a resumable ``checkpoint``.
+    :param resume: a :class:`ScanCheckpoint` from an earlier budgeted
+        call; the scan continues from its prefix instead of restarting.
+        The checkpoint must come from the same (table version, k,
+        threshold) — callers key their checkpoint stores accordingly —
+        and every other parameter of this call is ignored.
     :returns: a :class:`~repro.core.results.PTKAnswer`.
     """
+    if resume is not None:
+        if resume.k != query.k or resume.threshold != threshold:
+            raise QueryError(
+                f"checkpoint is for k={resume.k} threshold="
+                f"{resume.threshold}, cannot resume a query with "
+                f"k={query.k} threshold={threshold}"
+            )
+        return resume.resume(deadline_seconds=deadline_seconds)
     with obs_span("ptk.prepare"):
         prepared = resolve_prepared(table, query, prepared=prepared, cache=cache)
     columns = None
@@ -346,7 +514,7 @@ def exact_ptk_query(
         columnar=columnar,
         columns=columns,
     )
-    return engine.run()
+    return engine.run(deadline_seconds=deadline_seconds)
 
 
 def exact_topk_probabilities(

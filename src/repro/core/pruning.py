@@ -222,3 +222,23 @@ class PruningTracker:
     def probability_mass(self) -> float:
         """Sum of all computed ``Pr^k`` values so far (Theorem 5 state)."""
         return self._probability_mass.value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The tracker's Theorem 3–5 state as a JSON-able dict.
+
+        The scan-prefix checkpoint (:class:`~repro.core.exact.ScanCheckpoint`)
+        exposes this so debug tooling — and the resume-parity tests —
+        can see exactly what pruning knowledge an interrupted scan
+        carries across the deadline boundary.  The live tracker object
+        itself stays with the engine; this is a read-only view.
+        """
+        return {
+            "k": self.k,
+            "threshold": self.threshold,
+            "probability_mass": self._probability_mass.value,
+            "max_failed_independent": self._max_failed_independent,
+            "rules_entered": len(self._rule_entry_max),
+            "rules_with_failed_members": len(self._rule_failed_max),
+            "since_stop_check": self._since_stop_check,
+            "stopped_by": self.stopped_by,
+        }

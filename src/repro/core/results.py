@@ -30,8 +30,10 @@ class AlgorithmStats:
     :param tuples_pruned_membership: tuples skipped by Theorem 3.
     :param tuples_pruned_same_rule: tuples skipped by Theorem 4.
     :param stopped_by: what ended the scan: ``"exhausted"`` (whole list),
-        ``"total-probability"`` (Theorem 5), or ``"tail-bound"`` (the
-        ``Pr(at most k of the seen units appear) < p`` bound).
+        ``"total-probability"`` (Theorem 5), ``"tail-bound"`` (the
+        ``Pr(at most k of the seen units appear) < p`` bound), or
+        ``"deadline"`` (a wall-clock budget interrupted the scan; the
+        answer is partial and carries a resumable checkpoint).
     :param sample_units: sampler only — number of sample units drawn.
     :param avg_sample_length: sampler only — mean tuples scanned per unit
         (the "sample length" series of Figure 4).
@@ -65,6 +67,10 @@ class PTKAnswer:
         it).
     :param stats: instrumentation counters.
     :param method: short name of the algorithm that produced the answer.
+    :param checkpoint: set only when an exact scan was cut off by a
+        deadline budget (``stats.stopped_by == "deadline"``): an opaque
+        :class:`~repro.core.exact.ScanCheckpoint` from which the scan
+        can be resumed.  ``None`` for complete answers.
     """
 
     k: int
@@ -73,6 +79,13 @@ class PTKAnswer:
     probabilities: Dict[Any, float] = field(default_factory=dict)
     stats: AlgorithmStats = field(default_factory=AlgorithmStats)
     method: str = "exact"
+    checkpoint: Optional[Any] = None
+
+    @property
+    def partial(self) -> bool:
+        """True when the scan was interrupted and the answer covers only
+        the scanned prefix (resumable via ``checkpoint``)."""
+        return self.checkpoint is not None
 
     @property
     def answer_set(self) -> set:

@@ -104,6 +104,9 @@ class QueryProfile:
     batch_size: Optional[int] = None
     deadline_remaining_ms: Optional[float] = None
     outcome: Optional[str] = None
+    # batch scheduler trace: policy, queue_position, estimated_seconds,
+    # decision, and (when applicable) checkpoint_depth/resumed_from_depth
+    scheduler: Optional[Dict[str, Any]] = None
     serve_flush_seconds: Optional[float] = None
     slow: bool = False
     # internal: perf_counter at begin (not exported)

@@ -188,6 +188,24 @@ class LatencyModel:
         cells = float(max(depth, 1)) ** 2
         return self.floor_seconds + self.seconds_per_cell * cells
 
+    def predict_resume_seconds(
+        self, done_depth: int, target_depth: int
+    ) -> float:
+        """Predicted *remaining* latency of a checkpointed exact scan.
+
+        A scan cut off at ``done_depth`` has already paid for the
+        ``done_depth^2`` DP-cell prefix; finishing to ``target_depth``
+        costs only the difference of squares.  The serving layer's
+        scheduler prices a resume with this instead of the full
+        ``predict_exact_seconds`` so checkpointed work is correctly
+        cheaper than restarting.
+        """
+        done = float(max(done_depth, 0)) ** 2
+        target = float(max(target_depth, 1)) ** 2
+        return self.floor_seconds + self.seconds_per_cell * max(
+            target - done, 0.0
+        )
+
     def predict_sampled_seconds(
         self, budget: int, unit_length: float
     ) -> float:

@@ -9,6 +9,9 @@ An asyncio HTTP/1.1 service (stdlib only) hosting an
 * :mod:`~repro.serve.coalescer` — per-table micro-batching so one warm
   :class:`~repro.query.prepare.PreparedRanking` serves a whole burst of
   concurrent requests.
+* :mod:`~repro.serve.scheduler` — cost-based batch scheduling: exact
+  work cheapest-first, pre-execution deadline re-checks, budgeted
+  resumable scans (``--scheduler fifo|cost``).
 * :mod:`~repro.serve.admission` — bounded queue, ``max_inflight``, 429
   rejection with ``Retry-After``.
 * :mod:`~repro.serve.protocol` — JSON request/response schema and the
@@ -27,6 +30,12 @@ from repro.serve.client import (
     ServeClientError,
 )
 from repro.serve.coalescer import RequestCoalescer
+from repro.serve.scheduler import (
+    CostScheduler,
+    ExactTask,
+    FifoScheduler,
+    make_scheduler,
+)
 from repro.serve.protocol import (
     DeadlineExceededError,
     ProtocolError,
@@ -38,7 +47,10 @@ from repro.serve.server import ServeApp, ServeConfig, run, serve
 
 __all__ = [
     "AdmissionController",
+    "CostScheduler",
     "DeadlineExceededError",
+    "ExactTask",
+    "FifoScheduler",
     "HTTPTransport",
     "LoopbackTransport",
     "ProtocolError",
@@ -50,6 +62,7 @@ __all__ = [
     "ServeClient",
     "ServeClientError",
     "ServeConfig",
+    "make_scheduler",
     "run",
     "serve",
 ]

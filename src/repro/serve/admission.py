@@ -24,6 +24,9 @@ from repro.serve.protocol import RejectedError
 #: Fallback mean service time (seconds) before any query has finished.
 _PRIOR_SERVICE_SECONDS = 0.05
 
+#: Per-request EWMA weight of the mean-service-time estimate.
+_SERVICE_ALPHA = 0.2
+
 
 class AdmissionController:
     """Counts admitted work and rejects beyond the configured bounds.
@@ -93,11 +96,20 @@ class AdmissionController:
 
     # ------------------------------------------------------------------
     def observe_service(self, seconds: float, requests: int = 1) -> None:
-        """Fold a measured batch service time into the rate estimate."""
+        """Fold a measured batch service time into the rate estimate.
+
+        A batch of ``m`` requests carries ``m`` samples of the same
+        per-request time, so it compounds the per-request EWMA ``m``
+        times: the effective weight is ``1 - (1 - alpha)^m``.  (A fixed
+        weight regardless of ``m`` made the estimate — and every
+        ``Retry-After`` hint derived from it — track the batch *count*
+        rather than the traffic actually served.)
+        """
         if requests <= 0 or seconds < 0:
             return
         per_request = seconds / requests
-        self._mean_service_seconds += 0.2 * (
+        weight = 1.0 - (1.0 - _SERVICE_ALPHA) ** requests
+        self._mean_service_seconds += weight * (
             per_request - self._mean_service_seconds
         )
 

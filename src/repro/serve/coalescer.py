@@ -22,13 +22,37 @@ baseline configuration for the serving benchmarks.
 from __future__ import annotations
 
 import asyncio
+import inspect
 from typing import Any, Awaitable, Callable, Dict, Generic, List, TypeVar
 
 K = TypeVar("K")
 T = TypeVar("T")
 
 #: ``dispatch(key, items) -> results`` contract; results align with items.
+#: A dispatch callable that accepts a third parameter is additionally
+#: handed a thread-safe ``complete(index, result)`` callback it may
+#: invoke to resolve individual items *before* the batch returns — how
+#: the cost scheduler gets cheap, tight-deadline responses out from
+#: behind an expensive scan still running in the same batch.
 DispatchFn = Callable[[Any, List[Any]], Awaitable[List[Any]]]
+
+
+def _accepts_complete(dispatch: Callable) -> bool:
+    """True when ``dispatch`` takes a per-item completion callback."""
+    try:
+        parameters = inspect.signature(dispatch).parameters.values()
+    except (TypeError, ValueError):  # builtins, odd callables
+        return False
+    positional = [
+        p for p in parameters
+        if p.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    ]
+    return len(positional) >= 3 or any(
+        p.kind is inspect.Parameter.VAR_POSITIONAL for p in parameters
+    )
 
 
 class _Batch:
@@ -67,6 +91,7 @@ class RequestCoalescer:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
         self._dispatch = dispatch
+        self._wants_complete = _accepts_complete(dispatch)
         self.window_seconds = window_seconds
         self.max_batch = max_batch
         self._open: Dict[Any, _Batch] = {}
@@ -111,8 +136,27 @@ class RequestCoalescer:
     ) -> None:
         self._batches_dispatched += 1
         self._items_dispatched += len(items)
+        loop = asyncio.get_running_loop()
+
+        def complete(index: int, result: Any) -> None:
+            """Resolve one item early; callable from any thread."""
+
+            def _set() -> None:
+                future = futures[index]
+                if future.done():
+                    return
+                if isinstance(result, Exception):
+                    future.set_exception(result)
+                else:
+                    future.set_result(result)
+
+            loop.call_soon_threadsafe(_set)
+
         try:
-            results = await self._dispatch(key, list(items))
+            if self._wants_complete:
+                results = await self._dispatch(key, list(items), complete)
+            else:
+                results = await self._dispatch(key, list(items))
         except Exception as error:  # noqa: BLE001 - fan the failure out
             for future in futures:
                 if not future.done():

@@ -15,7 +15,10 @@ and the corresponding response::
      "intervals": {"t3": [0.78, 0.84]},   # sampled responses only
      "batch_size": 4,            # requests coalesced into the dispatch
      "elapsed_ms": 1.9,
-     "units_drawn": 1800}        # sampled responses only
+     "units_drawn": 1800,        # sampled responses only
+     "partial": true,            # only when a deadline cut the scan
+     "scheduler": {"policy": "cost", "queue_position": 0,
+                   "estimated_seconds": 0.004, "decision": "run"}}
 
 Tuple ids are stringified in JSON object keys (JSON objects cannot key
 on non-strings); the ``answers`` array keeps the original id values when
@@ -177,6 +180,13 @@ class QueryResponse:
     ``mode`` is the algorithm that actually ran; ``degraded`` is True
     only when the client asked for ``auto``/``exact`` and the server
     fell back to sampling to meet the deadline.
+
+    ``partial`` is True when an exact scan was cut off at its deadline
+    budget: ``answers``/``probabilities`` cover only the scanned ranked
+    prefix, and the server holds a checkpoint from which an identical
+    retry resumes instead of restarting.  ``scheduler`` carries the
+    batch scheduler's per-item trace (policy, queue position, estimate,
+    decision) for requests that went through exact-work scheduling.
     """
 
     table: str
@@ -190,6 +200,8 @@ class QueryResponse:
     batch_size: int = 1
     elapsed_ms: float = 0.0
     units_drawn: Optional[int] = None
+    partial: bool = False
+    scheduler: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {
@@ -209,6 +221,10 @@ class QueryResponse:
                 for tid, (low, high) in self.intervals.items()
             }
             body["units_drawn"] = self.units_drawn
+        if self.partial:
+            body["partial"] = True
+        if self.scheduler is not None:
+            body["scheduler"] = dict(self.scheduler)
         return body
 
 

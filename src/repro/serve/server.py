@@ -10,9 +10,10 @@ Architecture (one process, one event loop, a small thread pool)::
                             |
                             v  (thread pool, max_inflight wide)
                       _run_batch: one PrepareCache.get for the batch,
-                      exact requests as pruned scans over the shared
-                      preparation, degraded requests through the
-                      sampler with a deadline-sized budget
+                      exact work ordered cheapest-first by the batch
+                      scheduler (re-checking deadlines before each
+                      item), degraded requests through the sampler
+                      with a deadline-sized budget
 
 The interesting decision is **deadline-aware degradation**: before
 running the exact algorithm for a request carrying a deadline, the
@@ -26,6 +27,15 @@ honest answer with a Wilson confidence interval beats a timeout.  The
 response carries ``mode: "exact" | "sampled"`` and ``degraded: true``
 so clients can tell.
 
+Within a batch, **scheduling** (:mod:`repro.serve.scheduler`) extends
+the same discipline to execution time: exact work runs cheapest-first,
+each item's remaining deadline is re-checked immediately before it
+executes (degrading or failing it *before* any scan starts), and the
+scan itself runs under a wall-clock budget — a cut-off scan returns a
+partial answer and parks a :class:`~repro.core.exact.ScanCheckpoint`
+keyed by (table, version, k, threshold, variant) so an identical retry
+resumes from the scanned prefix instead of restarting.
+
 Endpoints: ``POST /query``, ``GET /healthz``, ``GET /tables``,
 ``GET /metrics`` (Prometheus text from :mod:`repro.obs`).
 
@@ -38,14 +48,16 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
-from repro.core.exact import exact_ptk_query
+from repro.core.exact import ScanCheckpoint, exact_ptk_query
 from repro.core.results import PTKAnswer
 from repro.core.sampling import SamplingConfig, sampled_ptk_query
 from repro.exceptions import ReproError, UnknownTableError
@@ -59,6 +71,7 @@ from repro.query.prepare import PreparedRanking
 from repro.query.topk import TopKQuery
 from repro.serve.admission import AdmissionController
 from repro.serve.coalescer import RequestCoalescer
+from repro.serve.scheduler import ExactTask, make_scheduler
 from repro.serve.protocol import (
     DeadlineExceededError,
     ProtocolError,
@@ -95,6 +108,12 @@ class ServeConfig:
     :param deadline_safety: fraction of the remaining deadline the
         planner's exact-latency prediction must fit within; the rest
         absorbs estimation error and response serialisation.
+    :param scheduler: batch-scheduling policy for exact work: ``cost``
+        (cheapest-first, pre-execution deadline re-checks, budgeted
+        resumable scans) or ``fifo`` (arrival order, deadline-blind —
+        the historical behaviour, kept as baseline/escape hatch).
+    :param max_checkpoints: bound on parked deadline checkpoints held
+        for resumption (oldest evicted first).
     :param min_sample_budget: floor on degraded sampling budgets.
     :param seed: seed for degraded sampling runs (deterministic tests).
     :param enable_obs: turn the observability layer on at startup so
@@ -121,6 +140,8 @@ class ServeConfig:
     max_queue: int = 64
     default_deadline_ms: Optional[float] = None
     deadline_safety: float = 0.5
+    scheduler: str = "cost"
+    max_checkpoints: int = 64
     min_sample_budget: int = 100
     seed: Optional[int] = 7
     enable_obs: bool = True
@@ -159,6 +180,12 @@ class ServeApp:
         self.db = db
         self.config = config or ServeConfig()
         self.latency_model = latency_model or LatencyModel()
+        self.scheduler = make_scheduler(self.config.scheduler)
+        # Deadline checkpoints parked for resumption, keyed by
+        # (table name, table version, k, threshold).  Bounded FIFO:
+        # checkpoints are best-effort latency savings, not state.
+        self._checkpoints: "OrderedDict[Tuple, ScanCheckpoint]" = OrderedDict()
+        self._checkpoints_lock = threading.Lock()
         self.admission = AdmissionController(
             max_inflight=self.config.max_inflight,
             max_queue=self.config.max_queue,
@@ -321,6 +348,8 @@ class ServeApp:
             "tables": len(self.db.tables()),
             "admission": self.admission.stats(),
             "coalescer": self.coalescer.stats(),
+            "scheduler": self.scheduler.name,
+            "checkpoints": self.checkpoint_stats(),
         }
         return _json_response(200, body)
 
@@ -447,8 +476,15 @@ class ServeApp:
     # ------------------------------------------------------------------
     # Batch execution
     # ------------------------------------------------------------------
-    async def _dispatch_batch(self, name: str, items: List[_Work]):
-        """Coalescer callback: run one micro-batch on the thread pool."""
+    async def _dispatch_batch(self, name: str, items: List[_Work], complete):
+        """Coalescer callback: run one micro-batch on the thread pool.
+
+        ``complete`` is the coalescer's thread-safe per-item resolver:
+        ``_run_batch`` calls it the moment each item's response (or
+        error) is ready, so a cheap query scheduled ahead of an
+        expensive scan answers its client immediately instead of
+        waiting for the whole batch to drain.
+        """
         self.startup()
         if OBS.enabled:
             catalogued("repro_serve_batch_size").observe(len(items))
@@ -456,7 +492,7 @@ class ServeApp:
         async with self._inflight:
             start = time.monotonic()
             results = await loop.run_in_executor(
-                self._executor, self._run_batch, name, items
+                self._executor, self._run_batch, name, items, complete
             )
             self.admission.observe_service(
                 time.monotonic() - start, requests=len(items)
@@ -483,14 +519,19 @@ class ServeApp:
             return
         future.add_done_callback(_consume_flush_outcome)
 
-    def _run_batch(self, name: str, items: List[_Work]) -> List[Any]:
+    def _run_batch(
+        self, name: str, items: List[_Work], complete=None
+    ) -> List[Any]:
         """Answer one micro-batch (thread pool; blocking engine calls).
 
         One :meth:`PrepareCache.get` covers the whole batch — the cache
         key ignores k, so mixed-k requests still share the entry — and
         both the exact path and the degraded sampling path take the
         shared preparation via explicit ``prepared=``.  Returns one
-        ``QueryResponse`` or ``Exception`` per item.
+        ``QueryResponse`` or ``Exception`` per item; when ``complete``
+        is given, each item is additionally resolved through it the
+        moment its result is ready (items the scheduler answers early
+        do not wait for the rest of the batch).
         """
         try:
             table = self.db.table(name)
@@ -514,7 +555,13 @@ class ServeApp:
         prepare_hit = recorder.consume_prepare() if recorder else None
 
         results: List[Any] = [None] * len(items)
-        exact_plans: List[Tuple[int, Any, Optional[float]]] = []
+
+        def finish(position: int, result: Any) -> None:
+            results[position] = result
+            if complete is not None:
+                complete(position, result)
+
+        exact_tasks: List[ExactTask] = []
         sampled_plans: List[
             Tuple[int, SamplingConfig, bool, Any, Optional[float]]
         ] = []
@@ -522,32 +569,16 @@ class ServeApp:
         for position, work in enumerate(items):
             remaining = None if work.deadline is None else work.deadline - now
             if remaining is not None and remaining <= 0:
-                results[position] = DeadlineExceededError(
-                    f"deadline expired before dispatch "
-                    f"(table {name!r}, k={work.request.k})"
-                )
-                if recorder is not None:
-                    expired = recorder.begin(
-                        "served",
-                        table=name,
-                        k=work.request.k,
-                        threshold=work.request.threshold,
-                    )
-                    if expired is not None:
-                        recorder.finish(
-                            expired,
-                            served=True,
-                            outcome="deadline-expired",
-                            batch_size=len(items),
-                            deadline_remaining_ms=remaining * 1000.0,
-                            prepare_hit=prepare_hit,
-                        )
+                finish(position, self._expired_item(
+                    name, work, remaining, "dispatch", len(items),
+                    recorder, prepare_hit,
+                ))
                 continue
             mode, config, degraded, estimate = self._plan(
                 table, work.request, remaining, statistics
             )
             if mode == "exact":
-                exact_plans.append((position, estimate, remaining))
+                exact_tasks.append(ExactTask(position, estimate))
             else:
                 sampled_plans.append(
                     (position, config, degraded, estimate, remaining)
@@ -555,61 +586,66 @@ class ServeApp:
                 if OBS.enabled and degraded:
                     catalogued("repro_serve_degraded_total").inc()
 
-        if exact_plans:
-            # One pruned RC+LR scan per request over the *shared*
-            # preparation.  The unpruned shared-profile path
-            # (``batch_ptk_queries``) would answer every k from one
-            # scan, but it computes the full n-deep profile — quadratic
-            # on large tables — while pruned scans stop at the depth
-            # the latency model actually prices.
-            total_elapsed = 0.0
-            depth = 0
-            for position, estimate, remaining in exact_plans:
-                work = items[position]
-                profile = (
-                    recorder.begin(
-                        "served",
-                        table=name,
-                        k=work.request.k,
-                        threshold=work.request.threshold,
-                    )
-                    if recorder
-                    else None
-                )
-                started = time.perf_counter()
-                answer = exact_ptk_query(
-                    table,
-                    TopKQuery(k=work.request.k),
-                    work.request.threshold,
-                    prepared=prepared,
-                )
-                elapsed = time.perf_counter() - started
-                total_elapsed += elapsed
-                depth = max(depth, answer.stats.scan_depth)
-                if profile is not None:
-                    recorder.finish(
-                        profile,
-                        served=True,
-                        outcome="ok",
-                        mode="exact",
-                        degraded=False,
-                        batch_size=len(items),
-                        estimated_seconds=estimate.exact_seconds,
-                        actual_seconds=elapsed,
-                        deadline_remaining_ms=(
-                            remaining * 1000.0 if remaining is not None else None
-                        ),
-                        prepare_hit=prepare_hit,
-                    )
-                results[position] = self._response(
-                    work, answer, "exact", False, len(items)
-                )
-            self.latency_model.observe_exact(
-                depth, total_elapsed / len(exact_plans)
+        # Exact work: one pruned RC+LR scan per request over the
+        # *shared* preparation, dispatched in the scheduler's order
+        # (cheapest predicted scan first under the cost policy) with a
+        # pre-execution deadline re-check per item.  The unpruned
+        # shared-profile path (``batch_ptk_queries``) would answer
+        # every k from one scan, but it computes the full n-deep
+        # profile — quadratic on large tables — while pruned scans stop
+        # at the depth the latency model actually prices.
+        safety = self.config.deadline_safety
+        for queue_position, task in enumerate(self.scheduler.order(exact_tasks)):
+            work = items[task.position]
+            now = time.monotonic()
+            remaining = None if work.deadline is None else work.deadline - now
+            checkpoint_key = (
+                name, table.version, work.request.k, work.request.threshold,
             )
-
-        for position, config, degraded, estimate, remaining in sampled_plans:
-            work = items[position]
+            checkpoint = self._take_checkpoint(checkpoint_key)
+            estimated = (
+                self.latency_model.predict_resume_seconds(
+                    checkpoint.depth, task.estimate.depth
+                )
+                if checkpoint is not None
+                else task.estimate.exact_seconds
+            )
+            decision = self.scheduler.decide(
+                remaining, estimated, safety,
+                can_degrade=work.request.mode != "exact",
+            )
+            sched_info: Dict[str, Any] = {
+                "policy": self.scheduler.name,
+                "queue_position": queue_position,
+                "estimated_seconds": estimated,
+                "decision": decision,
+            }
+            if checkpoint is not None:
+                sched_info["resumed_from_depth"] = checkpoint.depth
+            if decision == "expired":
+                if checkpoint is not None:
+                    self._store_checkpoint(checkpoint_key, checkpoint)
+                finish(task.position, self._expired_item(
+                    name, work, remaining, "pre-exec", len(items),
+                    recorder, prepare_hit, sched_info,
+                ))
+                continue
+            if decision == "degrade":
+                if checkpoint is not None:
+                    self._store_checkpoint(checkpoint_key, checkpoint)
+                    sched_info.pop("resumed_from_depth", None)
+                if OBS.enabled:
+                    catalogued("repro_serve_degraded_preexec_total").inc()
+                    catalogued("repro_serve_degraded_total").inc()
+                config = self._sampling_config(
+                    work.request, remaining, task.estimate
+                )
+                finish(task.position, self._run_sampled_item(
+                    table, name, work, config, True, task.estimate,
+                    remaining, prepared, recorder, prepare_hit,
+                    len(items), sched_info,
+                ))
+                continue
             profile = (
                 recorder.begin(
                     "served",
@@ -620,42 +656,197 @@ class ServeApp:
                 if recorder
                 else None
             )
+            budget = self.scheduler.budget(remaining, safety)
             started = time.perf_counter()
-            answer = sampled_ptk_query(
+            answer = exact_ptk_query(
                 table,
                 TopKQuery(k=work.request.k),
                 work.request.threshold,
-                config=config,
                 prepared=prepared,
+                deadline_seconds=budget,
+                resume=checkpoint,
             )
             elapsed = time.perf_counter() - started
-            self.latency_model.observe_sampled(
-                answer.stats.sample_units,
-                answer.stats.avg_sample_length,
-                elapsed,
-            )
+            partial = answer.checkpoint is not None
+            if partial:
+                self._store_checkpoint(checkpoint_key, answer.checkpoint)
+                sched_info["checkpoint_depth"] = answer.stats.scan_depth
+            if checkpoint is not None:
+                if OBS.enabled:
+                    catalogued("repro_serve_resumed_scans_total").inc()
+            else:
+                # Per-item calibration: this item's depth with this
+                # item's clock.  (Batch-aggregated observations paired
+                # one item's depth with another item's time and
+                # corrupted the model the scheduler prices with.)
+                # Resumed segments are skipped — their elapsed covers
+                # only the suffix of the reported depth.
+                self.latency_model.observe_exact(
+                    answer.stats.scan_depth, elapsed
+                )
             if profile is not None:
                 recorder.finish(
                     profile,
                     served=True,
-                    outcome="ok",
-                    mode="sampled",
-                    degraded=degraded,
+                    outcome="deadline-partial" if partial else "ok",
+                    mode="exact",
+                    degraded=False,
                     batch_size=len(items),
-                    estimated_seconds=self.latency_model.predict_sampled_seconds(
-                        config.resolved_sample_size(),
-                        estimate.expected_unit_length,
-                    ),
+                    estimated_seconds=estimated,
                     actual_seconds=elapsed,
                     deadline_remaining_ms=(
                         remaining * 1000.0 if remaining is not None else None
                     ),
                     prepare_hit=prepare_hit,
+                    scheduler=dict(sched_info),
                 )
-            results[position] = self._response(
-                work, answer, "sampled", degraded, len(items)
-            )
+            finish(task.position, self._response(
+                work, answer, "exact", False, len(items),
+                partial=partial, scheduler=sched_info,
+            ))
+
+        for position, config, degraded, estimate, remaining in sampled_plans:
+            finish(position, self._run_sampled_item(
+                table, name, items[position], config, degraded, estimate,
+                remaining, prepared, recorder, prepare_hit, len(items),
+            ))
         return results
+
+    def _expired_item(
+        self,
+        name: str,
+        work: _Work,
+        remaining: Optional[float],
+        stage: str,
+        batch_size: int,
+        recorder,
+        prepare_hit: Optional[bool],
+        sched_info: Optional[Dict[str, Any]] = None,
+    ) -> DeadlineExceededError:
+        """Account one batch item whose deadline has already passed.
+
+        ``stage`` says where the expiry was caught: ``dispatch`` (the
+        batch-start sweep) or ``pre-exec`` (the scheduler's re-check
+        immediately before the item would have run).
+        """
+        if OBS.enabled:
+            catalogued("repro_serve_deadline_expired_total").inc(stage=stage)
+        if recorder is not None:
+            expired = recorder.begin(
+                "served",
+                table=name,
+                k=work.request.k,
+                threshold=work.request.threshold,
+            )
+            if expired is not None:
+                recorder.finish(
+                    expired,
+                    served=True,
+                    outcome="deadline-expired",
+                    batch_size=batch_size,
+                    deadline_remaining_ms=(
+                        remaining * 1000.0 if remaining is not None else None
+                    ),
+                    prepare_hit=prepare_hit,
+                    scheduler=dict(sched_info) if sched_info else None,
+                )
+        return DeadlineExceededError(
+            f"deadline expired before {stage} "
+            f"(table {name!r}, k={work.request.k})"
+        )
+
+    def _run_sampled_item(
+        self,
+        table,
+        name: str,
+        work: _Work,
+        config: SamplingConfig,
+        degraded: bool,
+        estimate,
+        remaining: Optional[float],
+        prepared: PreparedRanking,
+        recorder,
+        prepare_hit: Optional[bool],
+        batch_size: int,
+        sched_info: Optional[Dict[str, Any]] = None,
+    ) -> QueryResponse:
+        """Answer one item through the sampler (planned or degraded)."""
+        profile = (
+            recorder.begin(
+                "served",
+                table=name,
+                k=work.request.k,
+                threshold=work.request.threshold,
+            )
+            if recorder
+            else None
+        )
+        started = time.perf_counter()
+        answer = sampled_ptk_query(
+            table,
+            TopKQuery(k=work.request.k),
+            work.request.threshold,
+            config=config,
+            prepared=prepared,
+        )
+        elapsed = time.perf_counter() - started
+        self.latency_model.observe_sampled(
+            answer.stats.sample_units,
+            answer.stats.avg_sample_length,
+            elapsed,
+        )
+        if profile is not None:
+            recorder.finish(
+                profile,
+                served=True,
+                outcome="ok",
+                mode="sampled",
+                degraded=degraded,
+                batch_size=batch_size,
+                estimated_seconds=self.latency_model.predict_sampled_seconds(
+                    config.resolved_sample_size(),
+                    estimate.expected_unit_length,
+                ),
+                actual_seconds=elapsed,
+                deadline_remaining_ms=(
+                    remaining * 1000.0 if remaining is not None else None
+                ),
+                prepare_hit=prepare_hit,
+                scheduler=dict(sched_info) if sched_info else None,
+            )
+        return self._response(
+            work, answer, "sampled", degraded, batch_size,
+            scheduler=sched_info,
+        )
+
+    # ------------------------------------------------------------------
+    # Deadline checkpoints (resumable exact scans)
+    # ------------------------------------------------------------------
+    def _take_checkpoint(self, key: Tuple) -> Optional[ScanCheckpoint]:
+        """Claim (and remove) a parked checkpoint for this query shape.
+
+        Removal under the lock makes the claim exclusive: two batches
+        racing for the same key cannot both resume one single-use
+        checkpoint.
+        """
+        with self._checkpoints_lock:
+            return self._checkpoints.pop(key, None)
+
+    def _store_checkpoint(self, key: Tuple, checkpoint: ScanCheckpoint) -> None:
+        """Park a checkpoint for a future identical query to resume."""
+        with self._checkpoints_lock:
+            self._checkpoints[key] = checkpoint
+            self._checkpoints.move_to_end(key)
+            while len(self._checkpoints) > self.config.max_checkpoints:
+                self._checkpoints.popitem(last=False)
+
+    def checkpoint_stats(self) -> Dict[str, Any]:
+        """Point-in-time view of the parked-checkpoint store (tests)."""
+        with self._checkpoints_lock:
+            return {
+                "parked": len(self._checkpoints),
+                "capacity": self.config.max_checkpoints,
+            }
 
     def _plan(
         self,
@@ -727,6 +918,8 @@ class ServeApp:
         mode: str,
         degraded: bool,
         batch_size: int,
+        partial: bool = False,
+        scheduler: Optional[Dict[str, Any]] = None,
     ) -> QueryResponse:
         request = work.request
         response = QueryResponse(
@@ -742,6 +935,8 @@ class ServeApp:
             },
             batch_size=batch_size,
             elapsed_ms=(time.monotonic() - work.arrived) * 1000.0,
+            partial=partial,
+            scheduler=dict(scheduler) if scheduler is not None else None,
         )
         if mode == "sampled":
             units = max(answer.stats.sample_units, 1)

@@ -69,6 +69,23 @@ class TestPrefilterSoundness:
         with pytest.raises(QueryError):
             ptk_with_prefilter(panda_table(), TopKQuery(k=2), 0.0)
 
+    def test_boundary_probability_matches_exact_engine(self):
+        """Dominant set smaller than k: Pr(|T(t)| < k) is exactly 1.
+
+        The last-ranked tuple has membership probability exactly equal
+        to the threshold; a naive ``vector[:k].sum()`` lands an ulp
+        below 1 and wrongly rejects it while the exact engine accepts.
+        (Found by the hypothesis soundness fuzz above.)
+        """
+        table = build_table(
+            [0.25, 0.30344946432812286, 0.5], [], scores=[24.0, 26.0, 2.0]
+        )
+        exact = exact_ptk_query(table, TopKQuery(k=3), 0.5, pruning=False)
+        filtered, _ = ptk_with_prefilter(table, TopKQuery(k=3), 0.5)
+        assert "t2" in exact.answer_set
+        assert filtered.answer_set == exact.answer_set
+        assert filtered.probabilities["t2"] == 0.5
+
 
 class TestPrefilterEffectiveness:
     def test_most_tuples_decided_without_dp(self):
