@@ -31,6 +31,12 @@ Usage (also available as ``python -m repro``)::
     python -m repro durable recover state/
     python -m repro durable verify state/
 
+    # WAL-shipping replication (see docs/replication.md)
+    python -m repro replicate primary state/ --tables tables/ --port 8080
+    python -m repro replicate follow state-r1/ --primary 127.0.0.1:8080 --port 8081
+    python -m repro replicate promote state-r1/
+    python -m repro replicate status --primary 127.0.0.1:8080
+
 Tables are JSON documents (see :mod:`repro.io.jsonio`) or CSV pairs
 (pass the stem; see :mod:`repro.io.csvio`) — the format is inferred
 from the extension.
@@ -290,7 +296,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.data_dir is not None:
         from repro.durable import DurableDB, load_tables_into
 
-        db = DurableDB(args.data_dir, fsync=args.fsync)
+        db = DurableDB(
+            args.data_dir,
+            fsync=args.fsync,
+            max_segment_bytes=args.max_segment_bytes,
+        )
         report = db.last_recovery
         if report.tables:
             print(
@@ -395,6 +405,135 @@ def _cmd_durable(args: argparse.Namespace) -> int:
         print(f"snapshotted {len(paths)} table(s); WAL rotated")
     finally:
         db.close()
+    return 0
+
+
+def _serve_config_for_replication(args: argparse.Namespace):
+    from repro.serve.server import ServeConfig
+
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        window_ms=args.window_ms,
+    )
+
+
+def _cmd_replicate_primary(args: argparse.Namespace) -> int:
+    """Serve a durable directory as a replication primary."""
+    from repro.durable import DurableDB, load_tables_into
+    from repro.replication import ReplicationServer
+    from repro.serve.server import ServeApp, run
+
+    db = DurableDB(
+        args.data_dir,
+        fsync=args.fsync,
+        max_segment_bytes=args.max_segment_bytes,
+    )
+    try:
+        if args.tables is not None:
+            directory = Path(args.tables)
+            if not directory.is_dir():
+                print(f"error: {directory} is not a directory", file=sys.stderr)
+                return 2
+            loaded = load_tables_into(db, directory)
+            if loaded:
+                print(f"registered and journalled: {', '.join(loaded)}")
+        if not db.tables():
+            print(
+                f"error: no tables in {args.data_dir}; pass --tables to "
+                f"seed it",
+                file=sys.stderr,
+            )
+            return 2
+        replication = ReplicationServer(
+            db, retention_ttl=args.retention_ttl
+        )
+        print(
+            f"replication primary on {args.host}:{args.port} "
+            f"(data {args.data_dir}, wal end {replication.end_cursor().encode()})",
+            flush=True,
+        )
+        run(ServeApp(db, _serve_config_for_replication(args), replication=replication))
+    finally:
+        db.close()
+    return 0
+
+
+def _cmd_replicate_follow(args: argparse.Namespace) -> int:
+    """Run a read replica following a primary."""
+    from repro.replication import ReplicaApplier, ReplicationFollower
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeApp, run
+
+    host, _, port = args.primary.rpartition(":")
+    if not host or not port.isdigit():
+        print(
+            f"error: --primary must be HOST:PORT, got {args.primary!r}",
+            file=sys.stderr,
+        )
+        return 2
+    applier = ReplicaApplier(
+        args.data_dir, replica_id=args.replica_id, fsync=args.fsync
+    )
+    follower = ReplicationFollower(
+        applier,
+        ServeClient.connect(host, int(port)),
+        poll_interval=args.poll_ms / 1000.0,
+        advertise=f"{args.host}:{args.port}",
+    )
+    follower.start()
+    print(
+        f"replica {applier.replica_id} on {args.host}:{args.port} "
+        f"following {args.primary} (cursor {applier.cursor.encode()})",
+        flush=True,
+    )
+    try:
+        run(ServeApp(applier.db, _serve_config_for_replication(args), replication=applier))
+    finally:
+        follower.stop()
+        applier.close()
+    return 0
+
+
+def _cmd_replicate_promote(args: argparse.Namespace) -> int:
+    """Promote a stopped replica's data directory to primary lineage."""
+    from repro.replication import promote_data_dir
+
+    report = promote_data_dir(args.data_dir, snapshot=not args.no_snapshot)
+    for name in sorted(report.new_epochs):
+        print(
+            f"  {name}: epoch {report.old_epochs.get(name, 0)} -> "
+            f"{report.new_epochs[name]}"
+        )
+    print(
+        f"promoted {len(report.tables)} table(s) in {args.data_dir}; "
+        f"{len(report.snapshots)} snapshot(s) written"
+    )
+    print(
+        f"serve it as the new primary: "
+        f"repro replicate primary {args.data_dir}"
+    )
+    return 0
+
+
+def _cmd_replicate_status(args: argparse.Namespace) -> int:
+    """Print a node's replication status as JSON."""
+    import json as _json
+
+    from repro.serve.client import ServeClient
+
+    host, _, port = args.primary.rpartition(":")
+    if not host or not port.isdigit():
+        print(
+            f"error: --primary must be HOST:PORT, got {args.primary!r}",
+            file=sys.stderr,
+        )
+        return 2
+    client = ServeClient.connect(host, int(port))
+    try:
+        print(_json.dumps(client.replicate_status(), indent=2, sort_keys=True))
+    finally:
+        client.close()
     return 0
 
 
@@ -599,6 +738,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="interval",
         help="WAL fsync policy when --data-dir is set (default: interval)",
     )
+    serve.add_argument(
+        "--max-segment-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="rotate the WAL to a fresh segment once the active one "
+        "reaches this size (default: rotate on snapshot only)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8080, help="0 picks an ephemeral port"
@@ -702,6 +849,121 @@ def build_parser() -> argparse.ArgumentParser:
         "generations instead of deleting them",
     )
     durable.set_defaults(fn=_cmd_durable)
+
+    replicate = commands.add_parser(
+        "replicate",
+        help="WAL-shipping replication: primary, follow, promote, status "
+        "(see docs/replication.md)",
+    )
+    replicate_commands = replicate.add_subparsers(
+        dest="replicate_command", required=True
+    )
+
+    primary = replicate_commands.add_parser(
+        "primary", help="serve a durable directory as a replication primary"
+    )
+    primary.add_argument(
+        "data_dir", help="durable state directory (owns all writes)"
+    )
+    primary.add_argument(
+        "--tables",
+        default=None,
+        metavar="DIR",
+        help="table directory to seed the data dir from on first start",
+    )
+    primary.add_argument("--host", default="127.0.0.1")
+    primary.add_argument(
+        "--port", type=int, default=8080, help="0 picks an ephemeral port"
+    )
+    primary.add_argument(
+        "--window-ms", type=float, default=2.0, metavar="MS",
+        help="query coalescing window (as in repro serve)",
+    )
+    primary.add_argument(
+        "--fsync",
+        choices=["always", "interval", "off"],
+        default="interval",
+        help="WAL fsync policy (default: interval)",
+    )
+    primary.add_argument(
+        "--max-segment-bytes",
+        type=int,
+        default=4 * 1024 * 1024,
+        metavar="BYTES",
+        help="WAL auto-rotation threshold; small segments bound how "
+        "much history one replica pin retains (default: 4 MiB)",
+    )
+    primary.add_argument(
+        "--retention-ttl",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="drop a silent replica's retention pin after this many "
+        "seconds (default: 600)",
+    )
+    primary.set_defaults(fn=_cmd_replicate_primary)
+
+    follow = replicate_commands.add_parser(
+        "follow", help="run a read replica following a primary"
+    )
+    follow.add_argument(
+        "data_dir",
+        help="local replica state directory (cursor marker + local WAL; "
+        "promotable on failover)",
+    )
+    follow.add_argument(
+        "--primary", required=True, metavar="HOST:PORT",
+        help="address of the primary's serve endpoint",
+    )
+    follow.add_argument("--host", default="127.0.0.1")
+    follow.add_argument(
+        "--port", type=int, default=8081, help="0 picks an ephemeral port"
+    )
+    follow.add_argument(
+        "--window-ms", type=float, default=2.0, metavar="MS",
+        help="query coalescing window (as in repro serve)",
+    )
+    follow.add_argument(
+        "--poll-ms", type=float, default=100.0, metavar="MS",
+        help="WAL poll interval once caught up (default: 100)",
+    )
+    follow.add_argument(
+        "--replica-id",
+        default=None,
+        help="stable replica identity (default: persisted in the data "
+        "dir, generated on first start)",
+    )
+    follow.add_argument(
+        "--fsync",
+        choices=["always", "interval", "off"],
+        default="off",
+        help="fsync policy of the replica's local WAL (default: off — "
+        "a lost replica re-bootstraps from the primary)",
+    )
+    follow.set_defaults(fn=_cmd_replicate_follow)
+
+    promote = replicate_commands.add_parser(
+        "promote",
+        help="promote a stopped replica's data directory: bump every "
+        "table's epoch so the old primary's lineage is fenced out",
+    )
+    promote.add_argument("data_dir", help="the replica's state directory")
+    promote.add_argument(
+        "--no-snapshot",
+        action="store_true",
+        help="skip the post-promotion snapshot (faster, but recovery "
+        "replays the whole WAL)",
+    )
+    promote.set_defaults(fn=_cmd_replicate_promote)
+
+    status = replicate_commands.add_parser(
+        "status", help="print a node's /replicate/status as JSON"
+    )
+    status.add_argument(
+        "--primary", required=True, metavar="HOST:PORT",
+        help="address of the node to inspect (primary or replica)",
+    )
+    status.set_defaults(fn=_cmd_replicate_status)
 
     explain = commands.add_parser(
         "explain", help="explain one tuple's top-k probability"

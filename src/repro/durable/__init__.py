@@ -43,6 +43,14 @@ from repro.durable.snapshot import (
     read_snapshot,
     write_snapshot,
 )
+from repro.durable.stream import (
+    StreamBatch,
+    WalCursor,
+    count_records_from,
+    follow,
+    pending_bytes_from,
+    read_from,
+)
 from repro.durable.wal import (
     SegmentScan,
     WriteAheadLog,
@@ -55,12 +63,18 @@ __all__ = [
     "RecoveryReport",
     "SegmentScan",
     "SnapshotColumns",
+    "StreamBatch",
     "VerifyReport",
+    "WalCursor",
     "WriteAheadLog",
     "compact_snapshots",
+    "count_records_from",
+    "follow",
     "load_tables_into",
     "open_latest_snapshot_columns",
     "open_snapshot_columns",
+    "pending_bytes_from",
+    "read_from",
     "read_snapshot",
     "recover_state",
     "replay_wal",

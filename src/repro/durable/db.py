@@ -60,6 +60,9 @@ class DurableDB(UncertainDB):
     :param warm_start: re-prepare the journalled recently-served query
         keys after recovery so the first post-restart queries hit a warm
         prepare cache.
+    :param max_segment_bytes: size-based WAL auto-rotation threshold
+        (see :class:`~repro.durable.wal.WriteAheadLog`); ``None`` keeps
+        rotation manual (snapshot-time only).
     """
 
     def __init__(
@@ -68,6 +71,7 @@ class DurableDB(UncertainDB):
         fsync: str = "interval",
         fsync_interval: float = 0.05,
         warm_start: bool = True,
+        max_segment_bytes: Optional[int] = None,
     ) -> None:
         super().__init__()
         self.data_dir = Path(data_dir)
@@ -77,7 +81,10 @@ class DurableDB(UncertainDB):
         for name, table in tables.items():
             super().register(table, name=name)
         self.wal = WriteAheadLog(
-            self.data_dir / "wal", fsync=fsync, fsync_interval=fsync_interval
+            self.data_dir / "wal",
+            fsync=fsync,
+            fsync_interval=fsync_interval,
+            max_segment_bytes=max_segment_bytes,
         )
         # Registration epoch per name (how many times the name has been
         # registered, ever) — stamps register records and snapshots so a
@@ -137,6 +144,41 @@ class DurableDB(UncertainDB):
             self._pending_serves = {
                 key: k for key, k in self._pending_serves.items() if key[0] != name
             }
+
+    def epochs(self) -> Dict[str, int]:
+        """Registration epoch per table name (names ever registered,
+        including currently dropped ones)."""
+        return dict(self._epochs)
+
+    def fence(self) -> Dict[str, int]:
+        """Bump every registered table's epoch and journal fresh full
+        register records — the failover promotion step.
+
+        Recovery and snapshot ranking key on ``(epoch, version)``, so
+        after fencing, no state from the previous lineage (stale
+        snapshots, segments shipped from a dead primary) can ever
+        supersede this database's tables, even though their versions
+        continue from where the old primary left off.
+
+        :returns: the new epoch per registered table name.
+        """
+        fenced: Dict[str, int] = {}
+        for name in self.tables():
+            table = self.table(name)
+            epoch = self._epochs.get(name, 0) + 1
+            self._epochs[name] = epoch
+            self.wal.append(
+                {
+                    "op": "register",
+                    "table": name,
+                    "epoch": epoch,
+                    "version": table.version,
+                    "doc": table_to_dict(table),
+                }
+            )
+            fenced[name] = epoch
+        self.wal.sync()
+        return fenced
 
     # ------------------------------------------------------------------
     # Journalled mutations

@@ -169,6 +169,10 @@ class WriteAheadLog:
     :param fsync: durability policy — ``always`` / ``interval`` / ``off``.
     :param fsync_interval: maximum seconds between fsyncs under the
         ``interval`` policy.
+    :param max_segment_bytes: when set, :meth:`append` rotates to a new
+        segment once the active one reaches this size, so consumers
+        (snapshot compaction, replication shipping) see bounded segments
+        without anyone calling :meth:`rotate` by hand.
 
     Segments are named ``wal-<seq>.log``; sequence numbers only grow.
     The writer opens a *new* segment (it never appends to an existing
@@ -181,23 +185,32 @@ class WriteAheadLog:
         directory: Union[str, Path],
         fsync: str = "interval",
         fsync_interval: float = 0.05,
+        max_segment_bytes: Optional[int] = None,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise DurabilityError(
                 f"unknown fsync policy {fsync!r}; "
                 f"expected one of {FSYNC_POLICIES}"
             )
+        if max_segment_bytes is not None and max_segment_bytes <= len(MAGIC):
+            raise DurabilityError(
+                f"max_segment_bytes must exceed the {len(MAGIC)}-byte "
+                f"segment header, got {max_segment_bytes}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync_policy = fsync
         self.fsync_interval = fsync_interval
+        self.max_segment_bytes = max_segment_bytes
         self.appended_records = 0
         self.appended_bytes = 0
         self.fsyncs = 0
+        self.rotations = 0
         self.unsynced_bytes = 0
         self._file = None
         self._last_fsync = 0.0
         self._lock = threading.RLock()
+        self._pins: Dict[str, int] = {}
         self._sequence = self._last_sequence()
         self._open_segment()
 
@@ -219,15 +232,28 @@ class WriteAheadLog:
 
     @classmethod
     def segment_paths(cls, directory: Union[str, Path]) -> List[Path]:
-        """All segments under ``directory``, oldest first (by sequence)."""
+        """All segments under ``directory``, oldest first (by sequence).
+
+        Foreign directory entries that merely match the glob — editor
+        temp files like ``wal-000003.log~x`` saved as ``wal-x.log``,
+        subdirectories, anything whose name does not parse to a sequence
+        number — are not segments and are skipped rather than scanned.
+        """
         return sorted(
-            Path(directory).glob("wal-*.log"),
+            (
+                path
+                for path in Path(directory).glob("wal-*.log")
+                if path.is_file() and cls.sequence_of(path) >= 0
+            ),
             key=lambda path: (cls.sequence_of(path), path.name),
         )
 
     def _last_sequence(self) -> int:
+        # Scan the raw glob, not segment_paths(): a foreign *directory*
+        # named like a segment must still push the writer past its
+        # sequence or _open_segment's exclusive create would collide.
         sequences = [
-            self.sequence_of(p) for p in self.segment_paths(self.directory)
+            self.sequence_of(p) for p in Path(self.directory).glob("wal-*.log")
         ]
         return max([0] + sequences)
 
@@ -248,6 +274,23 @@ class WriteAheadLog:
     def tell(self) -> int:
         """Byte length of the active segment written so far."""
         return self._file.tell()
+
+    @property
+    def sequence(self) -> int:
+        """Sequence number of the active segment."""
+        return self._sequence
+
+    def position(self) -> Tuple[int, int]:
+        """Consistent ``(sequence, offset)`` of the end of the journal.
+
+        Taken under the append lock, so the offset never lands inside a
+        half-written record — safe to hand out as a replication cursor
+        while other threads append.
+        """
+        with self._lock:
+            if self._file is None:
+                return self._sequence, len(MAGIC)
+            return self._sequence, self._file.tell()
 
     @property
     def closed(self) -> bool:
@@ -284,6 +327,11 @@ class WriteAheadLog:
             self.appended_records += 1
             self.appended_bytes += len(buffer)
             backlog = self.unsynced_bytes
+            if (
+                self.max_segment_bytes is not None
+                and self._file.tell() >= self.max_segment_bytes
+            ):
+                self._rotate_locked()
         if OBS.enabled:
             catalogued("repro_durable_wal_appends_total").inc(
                 kind=str(record.get("op", "unknown"))
@@ -317,22 +365,62 @@ class WriteAheadLog:
         :returns: the path of the sealed segment.
         """
         with self._lock:
-            sealed = self._path
-            self._file.flush()
-            self._fsync()
-            self._file.close()
-            self._open_segment()
-            return sealed
+            return self._rotate_locked()
+
+    def _rotate_locked(self) -> Path:
+        sealed = self._path
+        self._file.flush()
+        self._fsync()
+        self._file.close()
+        self._open_segment()
+        self.rotations += 1
+        return sealed
+
+    # ------------------------------------------------------------------
+    # Retention pinning (replication)
+    # ------------------------------------------------------------------
+    def pin_segments(self, token: str, sequence: int) -> None:
+        """Protect segments with sequences >= ``sequence`` from compaction.
+
+        Each ``token`` (one per live replica) holds at most one pin;
+        re-pinning moves it forward as the replica's cursor advances.
+        :meth:`drop_segments_before` never deletes a pinned segment, so a
+        replica that is behind can always resume from its cursor instead
+        of re-bootstrapping.
+        """
+        with self._lock:
+            self._pins[token] = max(0, int(sequence))
+
+    def unpin_segments(self, token: str) -> None:
+        """Release ``token``'s retention pin (no-op if absent)."""
+        with self._lock:
+            self._pins.pop(token, None)
+
+    def pinned_sequence(self) -> Optional[int]:
+        """The lowest pinned sequence, or ``None`` when nothing is pinned."""
+        with self._lock:
+            return min(self._pins.values()) if self._pins else None
+
+    @property
+    def pins(self) -> Dict[str, int]:
+        """Snapshot of the live retention pins (token -> sequence)."""
+        with self._lock:
+            return dict(self._pins)
 
     def drop_segments_before(self, path: Path) -> int:
         """Delete sealed segments with sequences older than ``path``'s
         (compaction).
 
-        Called after a snapshot has made their records redundant.
+        Called after a snapshot has made their records redundant.  The
+        effective threshold is clamped to the lowest retention pin, so
+        segments a live replica still needs survive compaction.
 
         :returns: the number of segments deleted.
         """
         threshold = self.sequence_of(path)
+        pinned = self.pinned_sequence()
+        if pinned is not None:
+            threshold = min(threshold, pinned)
         dropped = 0
         for segment in self.segment_paths(self.directory):
             if self.sequence_of(segment) >= threshold or segment == self._path:

@@ -89,6 +89,23 @@ class RecoveryError(DurabilityError):
     latest snapshot and the surviving WAL records."""
 
 
+class ReplicationError(ReproError):
+    """Base class for errors raised by the replication subsystem
+    (:mod:`repro.replication`): malformed cursors, protocol violations,
+    promotion of an empty or foreign data directory."""
+
+
+class CursorLostError(ReplicationError):
+    """A replica's WAL cursor points at history the primary no longer has.
+
+    Raised when the cursor's segment was compacted away (the replica fell
+    behind further than retention pinning protected it) or names a
+    sequence past every segment on disk (the primary was restored from
+    older state).  The replica must discard its position and re-bootstrap
+    from a full table snapshot.
+    """
+
+
 class EnumerationLimitError(ReproError):
     """Possible-world enumeration would exceed the configured safety limit.
 

@@ -330,6 +330,74 @@ CATALOG: Dict[str, MetricSpec] = {
             "Wall time flushing buffered serve-key records to the WAL.",
             "Beyond the paper (durable storage)",
         ),
+        # ----------------------------------------------------- replication
+        _spec(
+            "repro_repl_fetches_total", "counter", ("outcome",),
+            "WAL fetch requests served by the replication primary "
+            "(outcome=ok|empty|cursor-lost|bootstrap).",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_records_shipped_total", "counter", (),
+            "WAL records shipped to replicas by the primary.",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_bytes_shipped_total", "counter", (),
+            "Framed WAL bytes shipped to replicas by the primary.",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_connected_replicas", "gauge", (),
+            "Replicas seen by the primary within the retention TTL.",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_pinned_segments", "gauge", (),
+            "Sealed WAL segments kept alive by replica retention pins "
+            "(segments compaction would otherwise have deleted).",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_records_applied_total", "counter", ("outcome",),
+            "Shipped records processed by a replica applier "
+            "(outcome=applied|skipped).",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_apply_seconds", "timer", (),
+            "Wall time applying one fetched batch on a replica.",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_lag_records", "gauge", (),
+            "Replication lag of this replica in WAL records "
+            "(as counted by the primary, capped).",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_lag_bytes", "gauge", (),
+            "Replication lag of this replica in WAL bytes.",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_staleness_seconds", "gauge", (),
+            "Seconds since this replica last confirmed it was caught up "
+            "with the primary.",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_reconnects_total", "counter", (),
+            "Follower poll cycles that failed transiently (connection "
+            "refused, primary restarting) and were retried.",
+            "Beyond the paper (replication)",
+        ),
+        _spec(
+            "repro_repl_stale_reads_rejected_total", "counter", (),
+            "Replica reads rejected because the replica's staleness "
+            "exceeded the request's max_staleness_s bound (HTTP 503).",
+            "Beyond the paper (replication)",
+        ),
         # ------------------------------------------------ flight recorder
         _spec(
             "repro_flight_profiles_total", "counter", ("kind",),

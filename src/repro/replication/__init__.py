@@ -1,0 +1,53 @@
+"""repro.replication — WAL-shipping replication for horizontal read scale.
+
+The first multi-process topology in the codebase: one primary
+:class:`~repro.durable.db.DurableDB` owns writes and streams its
+write-ahead log to N read replicas over the existing ``repro.serve``
+transport (loopback in tests, TCP in deployments).
+
+* :mod:`repro.replication.primary` — :class:`ReplicationServer`: serves
+  WAL ranges from a replica cursor, pins segment retention so
+  compaction never deletes what a live replica needs, and serves full
+  bootstrap documents.
+* :mod:`repro.replication.replica` — :class:`ReplicaApplier`: feeds
+  shipped records through the recovery path (idempotent, epoch-gated,
+  exact ``table.version``) so replica PT-k answers are byte-identical
+  at equal versions; :class:`ReplicationFollower`: the polling driver;
+  :func:`promote_data_dir`: failover promotion with epoch fencing.
+
+::
+
+    # primary
+    db = DurableDB("state/", max_segment_bytes=4 << 20)
+    app = ServeApp(db, config, replication=ReplicationServer(db))
+
+    # replica
+    applier = ReplicaApplier("state-r1/")
+    follower = ReplicationFollower(
+        applier, ServeClient.connect(host, port)
+    ).start()
+    app = ServeApp(applier.db, config, replication=applier)
+
+    # failover
+    follower.stop(); promote_data_dir("state-r1/")
+
+See ``docs/replication.md`` for topology, cursor and staleness
+semantics, and the promotion runbook.
+"""
+
+from repro.replication.primary import ReplicaState, ReplicationServer
+from repro.replication.replica import (
+    PromotionReport,
+    ReplicaApplier,
+    ReplicationFollower,
+    promote_data_dir,
+)
+
+__all__ = [
+    "PromotionReport",
+    "ReplicaApplier",
+    "ReplicaState",
+    "ReplicationFollower",
+    "ReplicationServer",
+    "promote_data_dir",
+]

@@ -1,0 +1,324 @@
+"""Primary-side replication: serving WAL ranges with retention pinning.
+
+A :class:`ReplicationServer` wraps the primary's
+:class:`~repro.durable.db.DurableDB` and answers three requests (carried
+over the ``repro.serve`` transport by :class:`~repro.serve.server.ServeApp`
+as ``GET /replicate/wal``, ``GET /replicate/bootstrap`` and
+``GET /replicate/status``):
+
+* **fetch** — a bounded batch of WAL records after a replica's cursor
+  (:func:`repro.durable.stream.read_from`), plus the primary's end
+  cursor and lag figures so the replica can report client-visible
+  staleness;
+* **bootstrap** — full table documents with exact versions and epochs,
+  stamped with the WAL cursor captured *before* serialisation, so the
+  version-gated idempotent replay absorbs any records that race in
+  between;
+* **status** — per-replica cursors, lag, and retention pins for
+  operators and the failover runbook.
+
+Retention pinning is the crash-consistency contract with compaction:
+before reading, each fetch pins the replica's cursor sequence on the
+WAL (:meth:`~repro.durable.wal.WriteAheadLog.pin_segments`), so a
+concurrently running ``snapshot()`` can never delete a segment the
+replica still needs.  Pins expire with their replica: one that has not
+fetched for ``retention_ttl`` seconds is pruned and its segments become
+collectable again (it will re-bootstrap if it ever comes back).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.durable.stream import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_RECORDS,
+    WalCursor,
+    count_records_from,
+    pending_bytes_from,
+    read_from,
+)
+from repro.exceptions import CursorLostError, ReplicationError
+from repro.io.jsonio import table_to_dict
+from repro.obs import OBS, catalogued, span as obs_span
+
+#: Replicas silent for this long lose their retention pin (seconds).
+DEFAULT_RETENTION_TTL = 600.0
+
+#: Cap on per-replica lag-in-records counting (a frame walk per probe).
+DEFAULT_COUNT_LIMIT = 4096
+
+
+@dataclass
+class ReplicaState:
+    """What the primary remembers about one replica."""
+
+    cursor: WalCursor = field(default_factory=WalCursor)
+    last_seen: float = 0.0  # monotonic
+    fetches: int = 0
+    records_shipped: int = 0
+    bytes_shipped: int = 0
+    bootstraps: int = 0
+    caught_up: bool = False
+    advertise: Optional[str] = None  # replica's serving address, if any
+
+
+class ReplicationServer:
+    """The primary's half of WAL-shipping replication.
+
+    :param db: the primary :class:`~repro.durable.db.DurableDB` — its
+        WAL is the replication stream.
+    :param retention_ttl: seconds of replica silence before its
+        retention pin is dropped.
+    :param max_records: default per-fetch record cap.
+    :param max_bytes: default per-fetch byte cap.
+    :param count_limit: cap on lag-in-records counting per probe.
+    """
+
+    role = "primary"
+
+    def __init__(
+        self,
+        db: Any,
+        retention_ttl: float = DEFAULT_RETENTION_TTL,
+        max_records: int = DEFAULT_MAX_RECORDS,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        count_limit: int = DEFAULT_COUNT_LIMIT,
+    ) -> None:
+        wal = getattr(db, "wal", None)
+        if wal is None or not hasattr(db, "epochs"):
+            raise ReplicationError(
+                "a replication primary requires a DurableDB (journalled, "
+                f"with a WAL); got {type(db).__name__}"
+            )
+        self.db = db
+        self.retention_ttl = float(retention_ttl)
+        self.max_records = int(max_records)
+        self.max_bytes = int(max_bytes)
+        self.count_limit = int(count_limit)
+        self._replicas: Dict[str, ReplicaState] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Cursor helpers
+    # ------------------------------------------------------------------
+    def end_cursor(self) -> WalCursor:
+        """The cursor one past the last durable record (lock-consistent)."""
+        sequence, offset = self.db.wal.position()
+        return WalCursor(sequence, offset)
+
+    @staticmethod
+    def _pin_token(replica_id: str) -> str:
+        return f"replica:{replica_id}"
+
+    def _table_meta(self) -> Dict[str, Dict[str, int]]:
+        epochs = self.db.epochs()
+        return {
+            name: {
+                "version": self.db.table(name).version,
+                "epoch": epochs.get(name, 0),
+            }
+            for name in self.db.tables()
+        }
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def handle_fetch(
+        self,
+        replica_id: str,
+        cursor: str,
+        max_records: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        advertise: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Serve one batch of records after ``cursor`` to ``replica_id``.
+
+        :raises CursorLostError: the cursor fell outside retention; the
+            replica must call :meth:`handle_bootstrap`.
+        :raises ReplicationError: malformed cursor or limits.
+        """
+        position = WalCursor.decode(cursor)
+        with obs_span("repl.fetch", replica=replica_id) as span:
+            self._prune_locked_out()
+            # Pin at the *requested* cursor before touching the disk, so
+            # a concurrent snapshot cannot compact the range mid-read.
+            self.db.wal.pin_segments(self._pin_token(replica_id), position.sequence)
+            try:
+                batch = read_from(
+                    self.db.wal.directory,
+                    position,
+                    max_records=max_records or self.max_records,
+                    max_bytes=max_bytes or self.max_bytes,
+                )
+            except CursorLostError:
+                if OBS.enabled:
+                    catalogued("repro_repl_fetches_total").inc(
+                        outcome="cursor-lost"
+                    )
+                raise
+            # Advance the pin to where the replica will resume.
+            self.db.wal.pin_segments(
+                self._pin_token(replica_id), batch.cursor.sequence
+            )
+            now = time.monotonic()
+            with self._lock:
+                state = self._replicas.setdefault(replica_id, ReplicaState())
+                state.cursor = batch.cursor
+                state.last_seen = now
+                state.fetches += 1
+                state.records_shipped += len(batch.records)
+                state.bytes_shipped += batch.shipped_bytes
+                state.caught_up = batch.caught_up
+                if advertise:
+                    state.advertise = advertise
+            pending_records = (
+                0
+                if batch.caught_up
+                else count_records_from(
+                    self.db.wal.directory, batch.cursor, limit=self.count_limit
+                )
+            )
+            span.set(records=len(batch.records), caught_up=batch.caught_up)
+            if OBS.enabled:
+                catalogued("repro_repl_fetches_total").inc(
+                    outcome="ok" if batch.records else "empty"
+                )
+                if batch.records:
+                    catalogued("repro_repl_records_shipped_total").inc(
+                        len(batch.records)
+                    )
+                    catalogued("repro_repl_bytes_shipped_total").inc(
+                        batch.shipped_bytes
+                    )
+                with self._lock:
+                    catalogued("repro_repl_connected_replicas").set(
+                        len(self._replicas)
+                    )
+        return {
+            "cursor": batch.cursor.encode(),
+            "records": batch.records,
+            "end_cursor": self.end_cursor().encode(),
+            "caught_up": batch.caught_up,
+            "pending_bytes": batch.pending_bytes,
+            "pending_records": pending_records,
+            "server_unix_time": time.time(),
+            "tables": self._table_meta(),
+        }
+
+    def handle_bootstrap(self, replica_id: str) -> Dict[str, Any]:
+        """Serve full table documents plus the cursor to resume from.
+
+        The cursor is captured *before* the tables are serialised: any
+        mutation that lands in between is present both in the documents
+        (higher version) and in the WAL after the cursor, and the
+        version-gated replay skips the duplicate.  The reverse order
+        would lose records.
+        """
+        with obs_span("repl.bootstrap", replica=replica_id):
+            self.db.wal.sync()
+            end = self.end_cursor()
+            self.db.wal.pin_segments(self._pin_token(replica_id), end.sequence)
+            epochs = self.db.epochs()
+            tables = {
+                name: {
+                    "doc": table_to_dict(self.db.table(name)),
+                    "version": self.db.table(name).version,
+                    "epoch": epochs.get(name, 0),
+                }
+                for name in self.db.tables()
+            }
+            now = time.monotonic()
+            with self._lock:
+                state = self._replicas.setdefault(replica_id, ReplicaState())
+                state.cursor = end
+                state.last_seen = now
+                state.bootstraps += 1
+            if OBS.enabled:
+                catalogued("repro_repl_fetches_total").inc(outcome="bootstrap")
+        return {
+            "cursor": end.encode(),
+            "tables": tables,
+            "epochs": epochs,
+            "server_unix_time": time.time(),
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection and retention
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """Operator view: per-replica lag, WAL retention, table metadata."""
+        self._prune_locked_out()
+        end = self.end_cursor()
+        directory = self.db.wal.directory
+        now = time.monotonic()
+        with self._lock:
+            replicas = dict(self._replicas)
+        replica_report = {}
+        for replica_id, state in replicas.items():
+            replica_report[replica_id] = {
+                "cursor": state.cursor.encode(),
+                "caught_up": state.caught_up,
+                "lag_bytes": pending_bytes_from(directory, state.cursor),
+                "lag_records": count_records_from(
+                    directory, state.cursor, limit=self.count_limit
+                ),
+                "seconds_since_seen": round(now - state.last_seen, 3),
+                "fetches": state.fetches,
+                "records_shipped": state.records_shipped,
+                "bytes_shipped": state.bytes_shipped,
+                "bootstraps": state.bootstraps,
+                "advertise": state.advertise,
+            }
+        segments = self.db.wal.segment_paths(directory)
+        pinned = self.db.wal.pinned_sequence()
+        retained_for_pins = (
+            sum(
+                1
+                for path in segments
+                if pinned is not None
+                and pinned <= self.db.wal.sequence_of(path) < end.sequence
+            )
+        )
+        if OBS.enabled:
+            catalogued("repro_repl_connected_replicas").set(len(replicas))
+            catalogued("repro_repl_pinned_segments").set(retained_for_pins)
+        return {
+            "role": self.role,
+            "end_cursor": end.encode(),
+            "replicas": replica_report,
+            "wal": {
+                "segments": len(segments),
+                "oldest_sequence": (
+                    self.db.wal.sequence_of(segments[0]) if segments else None
+                ),
+                "active_sequence": end.sequence,
+                "pinned_sequence": pinned,
+                "pinned_segments": retained_for_pins,
+            },
+            "tables": self._table_meta(),
+        }
+
+    def _prune_locked_out(self) -> None:
+        """Drop replicas (and their pins) silent past the retention TTL."""
+        now = time.monotonic()
+        with self._lock:
+            stale = [
+                replica_id
+                for replica_id, state in self._replicas.items()
+                if now - state.last_seen > self.retention_ttl
+            ]
+            for replica_id in stale:
+                del self._replicas[replica_id]
+        for replica_id in stale:
+            self.db.wal.unpin_segments(self._pin_token(replica_id))
+
+    def forget(self, replica_id: str) -> bool:
+        """Explicitly deregister a replica, releasing its retention pin."""
+        with self._lock:
+            removed = self._replicas.pop(replica_id, None) is not None
+        self.db.wal.unpin_segments(self._pin_token(replica_id))
+        return removed

@@ -19,6 +19,12 @@ An asyncio HTTP/1.1 service (stdlib only) hosting an
 * :mod:`~repro.serve.client` — blocking :class:`ServeClient` over TCP or
   the hermetic in-process :class:`LoopbackTransport`.
 
+With a replication role attached (``ServeApp(db, replication=...)``)
+the app additionally serves ``/replicate/wal|bootstrap|status`` and
+``POST /mutate`` on primaries, and stamps staleness (enforcing
+``max_staleness_s``) on replicas — see :mod:`repro.replication` and
+``docs/replication.md``.
+
 See ``docs/serving.md`` for endpoints and the degradation policy.
 """
 
@@ -38,10 +44,12 @@ from repro.serve.scheduler import (
 )
 from repro.serve.protocol import (
     DeadlineExceededError,
+    MutationRequest,
     ProtocolError,
     QueryRequest,
     QueryResponse,
     RejectedError,
+    StaleReadError,
 )
 from repro.serve.server import ServeApp, ServeConfig, run, serve
 
@@ -53,6 +61,7 @@ __all__ = [
     "FifoScheduler",
     "HTTPTransport",
     "LoopbackTransport",
+    "MutationRequest",
     "ProtocolError",
     "QueryRequest",
     "QueryResponse",
@@ -62,6 +71,7 @@ __all__ = [
     "ServeClient",
     "ServeClientError",
     "ServeConfig",
+    "StaleReadError",
     "make_scheduler",
     "run",
     "serve",

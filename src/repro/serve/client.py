@@ -25,6 +25,7 @@ import asyncio
 import http.client
 import json
 import threading
+import urllib.parse
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import ReproError
@@ -168,11 +169,13 @@ class ServeClient:
         deadline_ms: Optional[float] = None,
         sample_budget: Optional[int] = None,
         confidence: Optional[float] = None,
+        max_staleness_s: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Issue one PT-k query; returns the decoded response body.
 
         :raises RejectedError: on 429, with the server's retry hint.
-        :raises ServeClientError: on any other non-2xx status.
+        :raises ServeClientError: on any other non-2xx status (a 503
+            from a replica means the staleness bound was exceeded).
         """
         payload: Dict[str, Any] = {
             "table": table,
@@ -186,6 +189,8 @@ class ServeClient:
             payload["sample_budget"] = sample_budget
         if confidence is not None:
             payload["confidence"] = confidence
+        if max_staleness_s is not None:
+            payload["max_staleness_s"] = max_staleness_s
         return self._json(
             "POST", "/query", json.dumps(payload).encode("utf-8")
         )
@@ -204,6 +209,53 @@ class ServeClient:
         if status != 200:
             raise ServeClientError(status, _decode(body))
         return body.decode("utf-8")
+
+    # ------------------------------------------------------------------
+    # Replication (primary-only routes; see docs/replication.md)
+    # ------------------------------------------------------------------
+    def fetch_wal(
+        self,
+        cursor: str,
+        replica: str,
+        max_records: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        advertise: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Fetch one batch of WAL records after ``cursor``.
+
+        :raises ServeClientError: status 410 means the cursor fell
+            outside the primary's retention — call :meth:`bootstrap`.
+        """
+        params = {"cursor": cursor, "replica": replica}
+        if max_records is not None:
+            params["max_records"] = str(max_records)
+        if max_bytes is not None:
+            params["max_bytes"] = str(max_bytes)
+        if advertise is not None:
+            params["advertise"] = advertise
+        query = urllib.parse.urlencode(params)
+        return self._json("GET", f"/replicate/wal?{query}")
+
+    def bootstrap(self, replica: str) -> Dict[str, Any]:
+        """Fetch full table documents plus the cursor to stream from."""
+        query = urllib.parse.urlencode({"replica": replica})
+        return self._json("GET", f"/replicate/bootstrap?{query}")
+
+    def replicate_status(self) -> Dict[str, Any]:
+        """The node's replication status (works on both roles)."""
+        return self._json("GET", "/replicate/status")
+
+    def mutate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply one journalled write on a primary (``POST /mutate``).
+
+        ``payload`` follows :class:`~repro.serve.protocol.MutationRequest`
+        — e.g. ``{"op": "add", "table": t, "tid": ..., "score": ...,
+        "probability": ...}``.  Returns the new table version and the
+        post-mutation WAL end cursor.
+        """
+        return self._json(
+            "POST", "/mutate", json.dumps(payload).encode("utf-8")
+        )
 
     # ------------------------------------------------------------------
     def _json(

@@ -60,6 +60,30 @@ class DeadlineExceededError(ReproError):
     """The request's deadline expired before an answer was ready (504)."""
 
 
+class StaleReadError(ReproError):
+    """A replica's staleness exceeds the request's bound (HTTP 503).
+
+    Raised only on replicas, for requests carrying ``max_staleness_s``,
+    when the replica cannot prove it was caught up with the primary
+    recently enough.  The response carries ``Retry-After`` sized to the
+    follower's poll interval — by then the replica has either caught up
+    or learned its new lag.
+
+    :param staleness: the replica's staleness block at rejection time.
+    :param retry_after: seconds the client should wait before retrying.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        staleness: Optional[Dict[str, Any]] = None,
+        retry_after: float = 0.5,
+    ) -> None:
+        super().__init__(message)
+        self.staleness = staleness or {}
+        self.retry_after = retry_after
+
+
 def _require(payload: Mapping[str, Any], key: str) -> Any:
     try:
         return payload[key]
@@ -82,6 +106,10 @@ class QueryRequest:
         remaining deadline when it degrades).
     :param confidence: confidence level of the Wilson intervals stamped
         on sampled responses.
+    :param max_staleness_s: bounded-staleness read guard, meaningful on
+        replicas: reject with 503 instead of answering from state whose
+        staleness bound exceeds this many seconds.  A primary always
+        satisfies any bound (its data is never stale).
     """
 
     table: str
@@ -91,6 +119,7 @@ class QueryRequest:
     deadline_ms: Optional[float] = None
     sample_budget: Optional[int] = None
     confidence: float = 0.95
+    max_staleness_s: Optional[float] = None
 
     @classmethod
     def from_dict(cls, payload: Any) -> "QueryRequest":
@@ -154,9 +183,21 @@ class QueryRequest:
             raise ProtocolError(
                 f"confidence must be a number in (0, 1), got {confidence!r}"
             )
+        max_staleness_s = payload.get("max_staleness_s")
+        if max_staleness_s is not None:
+            if (
+                isinstance(max_staleness_s, bool)
+                or not isinstance(max_staleness_s, (int, float))
+                or float(max_staleness_s) < 0
+            ):
+                raise ProtocolError(
+                    f"max_staleness_s must be a non-negative number, "
+                    f"got {max_staleness_s!r}"
+                )
+            max_staleness_s = float(max_staleness_s)
         unknown = set(payload) - {
             "table", "k", "threshold", "mode", "deadline_ms",
-            "sample_budget", "confidence",
+            "sample_budget", "confidence", "max_staleness_s",
         }
         if unknown:
             raise ProtocolError(
@@ -170,6 +211,7 @@ class QueryRequest:
             deadline_ms=deadline_ms,
             sample_budget=sample_budget,
             confidence=float(confidence),
+            max_staleness_s=max_staleness_s,
         )
 
 
@@ -202,6 +244,9 @@ class QueryResponse:
     units_drawn: Optional[int] = None
     partial: bool = False
     scheduler: Optional[Dict[str, Any]] = None
+    #: Replica responses only: the staleness block at answer time
+    #: (cursor, caught_up, lag_records, lag_bytes, staleness_seconds).
+    staleness: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {
@@ -225,7 +270,122 @@ class QueryResponse:
             body["partial"] = True
         if self.scheduler is not None:
             body["scheduler"] = dict(self.scheduler)
+        if self.staleness is not None:
+            body["staleness"] = dict(self.staleness)
         return body
+
+
+#: Mutation operations ``POST /mutate`` accepts on a replication primary.
+MUTATION_OPS = ("add", "remove", "update", "rule")
+
+
+@dataclass(frozen=True)
+class MutationRequest:
+    """One validated write request (``POST /mutate``, primary only).
+
+    The serving layer is read-only except on a replication primary,
+    where journalled writes must be HTTP-drivable so replicas (and the
+    failover smoke test) can observe them flowing through the WAL
+    stream.
+
+    :param op: ``add`` / ``remove`` / ``update`` / ``rule``.
+    :param table: registered table name.
+    :param tid: tuple id (``add`` / ``remove`` / ``update``).
+    :param score: ranking score (``add``).
+    :param probability: membership probability (``add`` / ``update``).
+    :param attributes: extra tuple attributes (``add``).
+    :param rule_id: generation-rule id (``rule``).
+    :param members: tuple ids of the exclusion rule (``rule``).
+    """
+
+    op: str
+    table: str
+    tid: Any = None
+    score: Optional[float] = None
+    probability: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    rule_id: Any = None
+    members: Tuple[Any, ...] = ()
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "MutationRequest":
+        """Validate an untrusted JSON payload into a mutation.
+
+        :raises ProtocolError: naming the first offending field.
+        """
+        if not isinstance(payload, Mapping):
+            raise ProtocolError(
+                f"mutation request must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        op = _require(payload, "op")
+        if op not in MUTATION_OPS:
+            raise ProtocolError(
+                f"op must be one of {list(MUTATION_OPS)}, got {op!r}"
+            )
+        table = _require(payload, "table")
+        if not isinstance(table, str) or not table:
+            raise ProtocolError(
+                f"table must be a non-empty string, got {table!r}"
+            )
+        known = {"op", "table"}
+        tid = score = probability = rule_id = None
+        attributes: Dict[str, Any] = {}
+        members: Tuple[Any, ...] = ()
+        if op in ("add", "remove", "update"):
+            tid = _require(payload, "tid")
+            known.add("tid")
+        if op == "add":
+            score = _number(payload, "score")
+            known.add("score")
+        if op in ("add", "update"):
+            probability = _number(payload, "probability")
+            if not (0.0 < probability <= 1.0):
+                raise ProtocolError(
+                    f"probability must be in (0, 1], got {probability!r}"
+                )
+            known.add("probability")
+        if op == "add":
+            attributes = payload.get("attributes", {})
+            if not isinstance(attributes, Mapping):
+                raise ProtocolError(
+                    f"attributes must be a JSON object, got {attributes!r}"
+                )
+            attributes = dict(attributes)
+            known.add("attributes")
+        if op == "rule":
+            rule_id = _require(payload, "rule_id")
+            raw_members = _require(payload, "members")
+            if not isinstance(raw_members, (list, tuple)) or len(raw_members) < 2:
+                raise ProtocolError(
+                    f"members must be a list of >= 2 tuple ids, "
+                    f"got {raw_members!r}"
+                )
+            members = tuple(raw_members)
+            known.update(("rule_id", "members"))
+        unknown = set(payload) - known
+        if unknown:
+            raise ProtocolError(
+                f"unknown mutation request field(s) for op {op!r}: "
+                f"{sorted(unknown)}"
+            )
+        return cls(
+            op=op,
+            table=table,
+            tid=tid,
+            score=score,
+            probability=probability,
+            attributes=attributes,
+            rule_id=rule_id,
+            members=members,
+        )
+
+
+def _number(payload: Mapping[str, Any], key: str) -> float:
+    value = _require(payload, key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{key} must be a number, got {value!r}")
+    return float(value)
 
 
 def error_body(error: str, message: str, **extra: Any) -> Dict[str, Any]:

@@ -56,11 +56,21 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+import urllib.parse
+
 from repro import obs
 from repro.core.exact import ScanCheckpoint, exact_ptk_query
 from repro.core.results import PTKAnswer
 from repro.core.sampling import SamplingConfig, sampled_ptk_query
-from repro.exceptions import ReproError, UnknownTableError
+from repro.durable.stream import WalCursor
+from repro.durable.wal import decode_tid
+from repro.exceptions import (
+    CursorLostError,
+    ReplicationError,
+    ReproError,
+    UnknownTableError,
+    UnknownTupleError,
+)
 from repro.model.statistics import TableStatistics, collect_statistics
 from repro.obs import OBS, catalogued
 from repro.obs import export as obs_export
@@ -74,19 +84,22 @@ from repro.serve.coalescer import RequestCoalescer
 from repro.serve.scheduler import ExactTask, make_scheduler
 from repro.serve.protocol import (
     DeadlineExceededError,
+    MutationRequest,
     ProtocolError,
     QueryRequest,
     QueryResponse,
     RejectedError,
+    StaleReadError,
     error_body,
 )
 from repro.stats.intervals import wilson_interval
 
 _JSON = [("Content-Type", "application/json")]
 _REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 429: "Too Many Requests",
-    500: "Internal Server Error", 504: "Gateway Timeout",
+    200: "OK", 400: "Bad Request", 403: "Forbidden", 404: "Not Found",
+    405: "Method Not Allowed", 410: "Gone", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -169,6 +182,13 @@ class ServeApp:
     :param config: operational knobs; defaults suit tests.
     :param latency_model: injectable cost model (tests pin coefficients
         to force or forbid degradation deterministically).
+    :param replication: optional replication role — a
+        :class:`~repro.replication.primary.ReplicationServer` (serves
+        ``/replicate/*`` and accepts ``POST /mutate``) or a
+        :class:`~repro.replication.replica.ReplicaApplier` (stamps
+        staleness onto query responses and enforces
+        ``max_staleness_s``).  Duck-typed via its ``role`` attribute so
+        this module never imports :mod:`repro.replication`.
     """
 
     def __init__(
@@ -176,8 +196,10 @@ class ServeApp:
         db: UncertainDB,
         config: Optional[ServeConfig] = None,
         latency_model: Optional[LatencyModel] = None,
+        replication: Optional[Any] = None,
     ) -> None:
         self.db = db
+        self.replication = replication
         self.config = config or ServeConfig()
         self.latency_model = latency_model or LatencyModel()
         self.scheduler = make_scheduler(self.config.scheduler)
@@ -310,7 +332,8 @@ class ServeApp:
         loopback transport — everything a client can observe goes
         through here.
         """
-        path = path.split("?", 1)[0]
+        path, _, query_string = path.partition("?")
+        params = urllib.parse.parse_qs(query_string) if query_string else {}
         route = (method.upper(), path)
         if route == ("POST", "/query"):
             return await self._endpoint_query(body)
@@ -326,9 +349,19 @@ class ServeApp:
             return self._endpoint_debug("slow")
         if route == ("GET", "/debug/calibration"):
             return self._endpoint_debug("calibration")
+        if route == ("GET", "/replicate/wal"):
+            return self._endpoint_replicate_wal(params)
+        if route == ("GET", "/replicate/bootstrap"):
+            return self._endpoint_replicate_bootstrap(params)
+        if route == ("GET", "/replicate/status"):
+            return self._endpoint_replicate_status()
+        if route == ("POST", "/mutate"):
+            return self._endpoint_mutate(body)
         if path in (
             "/query", "/healthz", "/tables", "/metrics",
             "/debug/queries", "/debug/slow", "/debug/calibration",
+            "/replicate/wal", "/replicate/bootstrap", "/replicate/status",
+            "/mutate",
         ):
             return _json_response(
                 405, error_body("method-not-allowed", f"{method} {path}")
@@ -340,21 +373,48 @@ class ServeApp:
     # ------------------------------------------------------------------
     # Operational endpoints
     # ------------------------------------------------------------------
+    def _table_epochs(self) -> Dict[str, int]:
+        """Registration epochs, from whichever layer tracks them.
+
+        A ``DurableDB`` primary exposes ``epochs()`` directly; a replica
+        tracks them on its applier; a plain in-memory engine has none
+        (every table is implicitly epoch 0).
+        """
+        for source in (self.db, self.replication):
+            epochs_fn = getattr(source, "epochs", None)
+            if callable(epochs_fn):
+                return dict(epochs_fn())
+        return {}
+
+    def _table_versions(self) -> Dict[str, Dict[str, int]]:
+        epochs = self._table_epochs()
+        return {
+            name: {
+                "version": self.db.table(name).version,
+                "epoch": int(epochs.get(name, 0)),
+            }
+            for name in self.db.tables()
+        }
+
     def _endpoint_healthz(self):
         self._count_request("healthz")
         body = {
             "status": "ok",
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "tables": len(self.db.tables()),
+            "table_versions": self._table_versions(),
             "admission": self.admission.stats(),
             "coalescer": self.coalescer.stats(),
             "scheduler": self.scheduler.name,
             "checkpoints": self.checkpoint_stats(),
         }
+        if self.replication is not None:
+            body["replication"] = self.replication.status()
         return _json_response(200, body)
 
     def _endpoint_tables(self):
         self._count_request("tables")
+        epochs = self._table_epochs()
         tables = []
         for name in self.db.tables():
             table = self.db.table(name)
@@ -364,6 +424,7 @@ class ServeApp:
                     "tuples": len(table),
                     "multi_rules": len(table.multi_rules()),
                     "version": table.version,
+                    "epoch": int(epochs.get(name, 0)),
                     "expected_world_size": round(table.expected_size(), 3),
                 }
             )
@@ -412,6 +473,133 @@ class ServeApp:
         return _json_response(200, body)
 
     # ------------------------------------------------------------------
+    # /replicate + /mutate — WAL-shipping replication (primary role)
+    # ------------------------------------------------------------------
+    def _replication_role(self) -> Optional[str]:
+        return getattr(self.replication, "role", None)
+
+    def _require_primary(self):
+        """403 body when this node cannot serve primary-only routes."""
+        role = self._replication_role()
+        if role == "primary":
+            return None
+        reason = (
+            f"this node is a {role}" if role else "replication not configured"
+        )
+        return _json_response(
+            403, error_body("not-primary", f"primary role required: {reason}")
+        )
+
+    def _endpoint_replicate_wal(self, params: Dict[str, List[str]]):
+        self._count_request("replicate-wal")
+        denied = self._require_primary()
+        if denied is not None:
+            return denied
+        replica = _param(params, "replica")
+        if not replica:
+            return _json_response(
+                400, error_body("bad-request", "missing 'replica' parameter")
+            )
+        try:
+            cursor = WalCursor.decode(_param(params, "cursor", "0:0"))
+            max_records = _int_param(params, "max_records")
+            max_bytes = _int_param(params, "max_bytes")
+        except (ReplicationError, ProtocolError) as error:
+            return _json_response(400, error_body("bad-request", str(error)))
+        try:
+            payload = self.replication.handle_fetch(
+                replica,
+                cursor.encode(),
+                max_records=max_records,
+                max_bytes=max_bytes,
+                advertise=_param(params, "advertise"),
+            )
+        except CursorLostError as error:
+            return _json_response(410, error_body("cursor-lost", str(error)))
+        except ReplicationError as error:
+            return _json_response(
+                400, error_body("replication-error", str(error))
+            )
+        return _json_response(200, payload)
+
+    def _endpoint_replicate_bootstrap(self, params: Dict[str, List[str]]):
+        self._count_request("replicate-bootstrap")
+        denied = self._require_primary()
+        if denied is not None:
+            return denied
+        replica = _param(params, "replica")
+        if not replica:
+            return _json_response(
+                400, error_body("bad-request", "missing 'replica' parameter")
+            )
+        return _json_response(200, self.replication.handle_bootstrap(replica))
+
+    def _endpoint_replicate_status(self):
+        self._count_request("replicate-status")
+        if self.replication is None:
+            return _json_response(
+                404, error_body("not-found", "replication not configured")
+            )
+        return _json_response(200, self.replication.status())
+
+    def _endpoint_mutate(self, body: bytes):
+        self._count_request("mutate")
+        denied = self._require_primary()
+        if denied is not None:
+            return denied
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return _json_response(
+                400,
+                error_body(
+                    "bad-request", f"request body is not valid JSON: {error}"
+                ),
+            )
+        try:
+            mutation = MutationRequest.from_dict(payload)
+        except ProtocolError as error:
+            return _json_response(400, error_body("bad-request", str(error)))
+        try:
+            if mutation.op == "add":
+                self.db.add(
+                    mutation.table,
+                    decode_tid(mutation.tid),
+                    mutation.score,
+                    mutation.probability,
+                    **mutation.attributes,
+                )
+            elif mutation.op == "remove":
+                self.db.remove_tuple(mutation.table, decode_tid(mutation.tid))
+            elif mutation.op == "update":
+                self.db.update_probability(
+                    mutation.table,
+                    decode_tid(mutation.tid),
+                    mutation.probability,
+                )
+            else:  # rule
+                self.db.add_exclusive(
+                    mutation.table,
+                    mutation.rule_id,
+                    *[decode_tid(tid) for tid in mutation.members],
+                )
+        except (UnknownTableError, UnknownTupleError) as error:
+            return _json_response(404, error_body("unknown", str(error)))
+        except ReproError as error:
+            return _json_response(400, error_body("mutation-error", str(error)))
+        body_out: Dict[str, Any] = {
+            "op": mutation.op,
+            "table": mutation.table,
+            "version": self.db.table(mutation.table).version,
+        }
+        # The post-mutation end cursor lets a writer wait for a replica
+        # to confirm it has applied at least this much history.
+        end_cursor = getattr(self.replication, "end_cursor", None)
+        if callable(end_cursor):
+            body_out["cursor"] = end_cursor().encode()
+        return _json_response(200, body_out)
+
+    # ------------------------------------------------------------------
     # /query
     # ------------------------------------------------------------------
     async def _endpoint_query(self, body: bytes):
@@ -444,6 +632,19 @@ class ServeApp:
             return _json_response(
                 504, error_body("deadline-exceeded", str(error))
             )
+        except StaleReadError as error:
+            if OBS.enabled:
+                catalogued("repro_repl_stale_reads_rejected_total").inc()
+            return _json_response(
+                503,
+                error_body(
+                    "stale-read",
+                    str(error),
+                    staleness=error.staleness,
+                    retry_after=round(error.retry_after, 3),
+                ),
+                extra_headers=[("Retry-After", f"{error.retry_after:.3f}")],
+            )
         except ReproError as error:
             return _json_response(400, error_body("query-error", str(error)))
 
@@ -454,6 +655,7 @@ class ServeApp:
             raise ProtocolError(f"request body is not valid JSON: {error}")
         request = QueryRequest.from_dict(payload)
         self.db.table(request.table)  # 404 before admission
+        staleness = self._check_staleness(request)
         self.startup()
         self.admission.admit()
         now = time.monotonic()
@@ -471,7 +673,47 @@ class ServeApp:
             response = await self.coalescer.submit(request.table, work)
         finally:
             self.admission.release()
-        return _json_response(200, response.to_dict())
+        headers: Optional[List[Tuple[str, str]]] = None
+        if staleness is not None:
+            response.staleness = staleness
+            headers = [
+                (
+                    "X-Repro-Repl-Lag-Records",
+                    str(int(staleness.get("lag_records") or 0)),
+                )
+            ]
+            age = staleness.get("staleness_seconds")
+            if age is not None:
+                headers.append(
+                    ("X-Repro-Repl-Staleness-Seconds", f"{age:.3f}")
+                )
+        return _json_response(200, response.to_dict(), extra_headers=headers)
+
+    def _check_staleness(
+        self, request: QueryRequest
+    ) -> Optional[Dict[str, Any]]:
+        """On a replica, measure lag and enforce ``max_staleness_s``.
+
+        Returns the staleness block to stamp onto the response (``None``
+        on non-replicas).  A replica that has *never* confirmed itself
+        caught up has unbounded staleness, so any bound rejects it.
+
+        :raises StaleReadError: staleness exceeds the request's bound.
+        """
+        if self._replication_role() != "replica":
+            return None
+        staleness = self.replication.staleness()
+        bound = request.max_staleness_s
+        if bound is None:
+            return staleness
+        age = staleness.get("staleness_seconds")
+        if age is None or age > bound:
+            shown = "unbounded (never synced)" if age is None else f"{age:.3f}s"
+            raise StaleReadError(
+                f"replica staleness {shown} exceeds max_staleness_s={bound}",
+                staleness=staleness,
+            )
+        return staleness
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -977,6 +1219,26 @@ def _consume_flush_outcome(future: "asyncio.Future[int]") -> None:
     next snapshot."""
     if not future.cancelled():
         future.exception()
+
+
+def _param(
+    params: Dict[str, List[str]], name: str, default: Optional[str] = None
+) -> Optional[str]:
+    values = params.get(name)
+    return values[0] if values else default
+
+
+def _int_param(params: Dict[str, List[str]], name: str) -> Optional[int]:
+    raw = _param(params, name)
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ProtocolError(f"{name} must be an integer, got {raw!r}")
+    if value <= 0:
+        raise ProtocolError(f"{name} must be positive, got {value}")
+    return value
 
 
 def _json_response(

@@ -158,6 +158,71 @@ class TestWal:
         wal.close()
 
 
+class TestForeignFilesAndRotation:
+    """Satellites of the replication PR: WAL-directory hygiene and
+    size-based auto-rotation."""
+
+    def test_segment_paths_tolerate_foreign_files(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"op": "add", "version": 1})
+        wal.close()
+        (tmp_path / "wal-000099.log.tmp").write_bytes(b"half-renamed")
+        (tmp_path / "notes.txt").write_text("operator scribbles")
+        (tmp_path / "wal-abcdef.log").write_bytes(b"unparseable name")
+        (tmp_path / "wal-000500.log").mkdir()  # directory, segment-shaped name
+        assert WriteAheadLog.segment_paths(tmp_path) == [wal.path]
+        assert WriteAheadLog.sequence_of(tmp_path / "wal-abcdef.log") == -1
+        records, scans, paths = replay_wal(tmp_path)
+        assert [r["version"] for r in records] == [1]
+        assert paths == [wal.path]
+
+    def test_writer_skips_past_segment_shaped_directory(self, tmp_path):
+        """A directory named like a future segment must push the writer
+        past its sequence — exclusive create would collide otherwise."""
+        (tmp_path / "wal-000500.log").mkdir()
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        assert wal.sequence > 500
+        wal.append({"op": "add", "version": 1})
+        wal.close()
+        records, _, _ = replay_wal(tmp_path)
+        assert [r["version"] for r in records] == [1]
+
+    def test_rejects_max_segment_bytes_below_header(self, tmp_path):
+        with pytest.raises(DurabilityError):
+            WriteAheadLog(tmp_path, max_segment_bytes=4)
+
+    def test_auto_rotation_by_size(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off", max_segment_bytes=256)
+        records = [
+            {"op": "add", "version": i, "pad": "x" * 40} for i in range(30)
+        ]
+        for record in records:
+            wal.append(record)
+        assert wal.rotations > 0
+        assert (
+            len(WriteAheadLog.segment_paths(tmp_path)) == wal.rotations + 1
+        )
+        replayed, scans, _ = replay_wal(tmp_path)
+        assert replayed == records
+        assert all(scan.torn_bytes == 0 for scan in scans)
+        wal.close()
+
+    def test_durabledb_auto_rotation_survives_recovery(self, tmp_path):
+        with DurableDB(
+            tmp_path, fsync="off", max_segment_bytes=512
+        ) as db:
+            db.register(sample_table("r"))
+            for i in range(60):
+                db.add("r", f"n{i}", score=float(i), probability=0.5)
+            rotations = db.wal.rotations
+            expected_version = db.table("r").version
+        assert rotations > 0
+        tables, report = recover_state(tmp_path)
+        assert len(tables["r"]) == len(sample_table("r")) + 60
+        assert tables["r"].version == expected_version
+        assert not report.problems
+
+
 class TestTornTail:
     def make_segment(self, tmp_path, n=5):
         wal = WriteAheadLog(tmp_path, fsync="off")
