@@ -137,3 +137,52 @@ def test_scheduler_cost_order(benchmark):
 
     assert run() > 0
     benchmark(run)
+
+
+def test_dynamic_delta_refresh(benchmark):
+    """One write→read cycle of the incremental PT-k index.
+
+    The repro.dynamic serving hot path: apply one probability-update
+    delta (column surgery + clean-watermark drop) and serve the
+    prune-bounded answer (Theorem-5 stop depth).  The mutated tuple
+    sits deep in the ranking — the common case — so the read re-prices
+    only the answer prefix, never the mutation's suffix.
+    """
+    from repro.dynamic import DynamicIndex
+    from repro.dynamic.delta import TableDelta
+
+    scale = bench_scale()
+    table = generate_synthetic_table(
+        SyntheticConfig(
+            n_tuples=max(500, int(20_000 * scale)),
+            n_rules=max(50, int(2_000 * scale)),
+            seed=23,
+        )
+    )
+    k = max(10, int(200 * scale))
+    index = DynamicIndex.build("bench", table, cap=k)
+    index.scan_answer(k, 0.3)  # settle the lazy build once
+    tid = next(
+        t.tid
+        for t in reversed(table.ranked_tuples())
+        if table.is_independent(t.tid)
+    )
+    state = {"probability": 0.4}
+
+    def cycle():
+        state["probability"] = 1.0 - state["probability"]
+        previous = table.version
+        table.update_probability(tid, state["probability"])
+        index.apply(
+            TableDelta(
+                table="bench",
+                op="update",
+                previous_version=previous,
+                version=table.version,
+                tid=tid,
+                probability=state["probability"],
+            )
+        )
+        return index.scan_answer(k, 0.3)
+
+    benchmark.pedantic(cycle, rounds=30, iterations=1)

@@ -39,6 +39,7 @@ GATED = (
     "test_full_scan_columnar",
     "test_subset_probability_thousand_extensions",
     "test_scheduler_cost_order",
+    "test_dynamic_delta_refresh",
 )
 
 #: Allowed slowdown of a calibrated median before the gate fails.

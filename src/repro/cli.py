@@ -343,6 +343,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flight_dir=args.flight_dir,
         slow_ms=args.slow_ms,
         metrics_flush_s=args.metrics_flush_s,
+        dynamic=args.dynamic,
+        dynamic_cap=args.dynamic_cap,
     )
     names = ", ".join(sorted(db.tables()))
     print(f"loaded tables: {names}", flush=True)
@@ -415,6 +417,8 @@ def _serve_config_for_replication(args: argparse.Namespace):
         host=args.host,
         port=args.port,
         window_ms=args.window_ms,
+        dynamic=getattr(args, "dynamic", False),
+        dynamic_cap=getattr(args, "dynamic_cap", 64),
     )
 
 
@@ -825,6 +829,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="period of the background metrics/span flusher into "
         "--flight-dir (0 disables)",
     )
+    serve.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="maintain incremental PT-k indexes: POST /mutate becomes "
+        "an answer delta instead of a cache invalidation, and reads "
+        "are served from the refreshed index (see docs/dynamic.md)",
+    )
+    serve.add_argument(
+        "--dynamic-cap",
+        type=int,
+        default=64,
+        metavar="K",
+        help="largest k the dynamic indexes serve; larger requests "
+        "take the ordinary planned path",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     durable = commands.add_parser(
@@ -901,6 +920,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop a silent replica's retention pin after this many "
         "seconds (default: 600)",
     )
+    primary.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="maintain incremental PT-k indexes over the mutation "
+        "stream (see docs/dynamic.md)",
+    )
+    primary.add_argument(
+        "--dynamic-cap", type=int, default=64, metavar="K",
+        help="largest k the dynamic indexes serve",
+    )
     primary.set_defaults(fn=_cmd_replicate_primary)
 
     follow = replicate_commands.add_parser(
@@ -939,6 +968,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="off",
         help="fsync policy of the replica's local WAL (default: off — "
         "a lost replica re-bootstraps from the primary)",
+    )
+    follow.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="maintain incremental PT-k indexes over the applied WAL "
+        "stream (see docs/dynamic.md)",
+    )
+    follow.add_argument(
+        "--dynamic-cap", type=int, default=64, metavar="K",
+        help="largest k the dynamic indexes serve",
     )
     follow.set_defaults(fn=_cmd_replicate_follow)
 

@@ -127,6 +127,10 @@ class DurableDB(UncertainDB):
                 "doc": table_to_dict(table),
             }
         )
+        if self.dynamic is not None:
+            # Re-register under the *bumped* epoch (the base register
+            # hook ran before the bump and used the stale one).
+            self.dynamic.register(key, epoch)
         return key
 
     def drop(self, name: str) -> None:
@@ -176,6 +180,8 @@ class DurableDB(UncertainDB):
                     "doc": table_to_dict(table),
                 }
             )
+            if self.dynamic is not None:
+                self.dynamic.register(name, epoch)
             fenced[name] = epoch
         self.wal.sync()
         return fenced
@@ -183,6 +189,13 @@ class DurableDB(UncertainDB):
     # ------------------------------------------------------------------
     # Journalled mutations
     # ------------------------------------------------------------------
+    # Each method delegates to the engine-level mutation (validation,
+    # prepared-ranking refresh, dynamic-index delta) and then journals
+    # the committed record; a rejected mutation raises before either.
+
+    def _dynamic_epoch(self, name: str) -> int:
+        return self._epochs.get(name, 0)
+
     def add(
         self,
         name: str,
@@ -192,13 +205,12 @@ class DurableDB(UncertainDB):
         **attributes: Any,
     ) -> UncertainTuple:
         """Add one tuple to a registered table, journalled."""
-        table = self.table(name)
-        tup = table.add(tid, score, probability, **attributes)
+        tup = super().add(name, tid, score, probability, **attributes)
         self.wal.append(
             {
                 "op": "add",
                 "table": name,
-                "version": table.version,
+                "version": self.table(name).version,
                 "tid": encode_tid(tid),
                 "score": float(score),
                 "probability": float(tup.probability),
@@ -209,33 +221,25 @@ class DurableDB(UncertainDB):
 
     def add_rule(self, name: str, rule: GenerationRule) -> None:
         """Attach a multi-tuple generation rule, journalled."""
-        table = self.table(name)
-        table.add_rule(rule)
+        super().add_rule(name, rule)
         self.wal.append(
             {
                 "op": "rule",
                 "table": name,
-                "version": table.version,
+                "version": self.table(name).version,
                 "rule_id": rule.rule_id,
                 "members": [encode_tid(tid) for tid in rule.tuple_ids],
             }
         )
 
-    def add_exclusive(self, name: str, rule_id: Any, *tuple_ids: Any) -> GenerationRule:
-        """Convenience wrapper over :meth:`add_rule`."""
-        rule = GenerationRule(rule_id=rule_id, tuple_ids=tuple(tuple_ids))
-        self.add_rule(name, rule)
-        return rule
-
     def remove_tuple(self, name: str, tid: Any) -> UncertainTuple:
         """Remove one tuple (shrinking its rule), journalled."""
-        table = self.table(name)
-        removed = table.remove_tuple(tid)
+        removed = super().remove_tuple(name, tid)
         self.wal.append(
             {
                 "op": "remove",
                 "table": name,
-                "version": table.version,
+                "version": self.table(name).version,
                 "tid": encode_tid(tid),
             }
         )
@@ -243,15 +247,28 @@ class DurableDB(UncertainDB):
 
     def update_probability(self, name: str, tid: Any, probability: float) -> UncertainTuple:
         """Replace one tuple's membership probability, journalled."""
-        table = self.table(name)
-        updated = table.update_probability(tid, probability)
+        updated = super().update_probability(name, tid, probability)
         self.wal.append(
             {
                 "op": "update",
                 "table": name,
-                "version": table.version,
+                "version": self.table(name).version,
                 "tid": encode_tid(tid),
                 "probability": float(updated.probability),
+            }
+        )
+        return updated
+
+    def update_score(self, name: str, tid: Any, score: float) -> UncertainTuple:
+        """Replace one tuple's ranking score, journalled."""
+        updated = super().update_score(name, tid, score)
+        self.wal.append(
+            {
+                "op": "score",
+                "table": name,
+                "version": self.table(name).version,
+                "tid": encode_tid(tid),
+                "score": float(updated.score),
             }
         )
         return updated

@@ -214,6 +214,8 @@ def apply_record(
         table.update_probability(
             decode_tid(record["tid"]), float(record["probability"])
         )
+    elif op == "score":
+        table.update_score(decode_tid(record["tid"]), float(record["score"]))
     else:
         raise RecoveryError(f"unknown WAL record op {op!r}")
     # Each mutation bumps the version by exactly one, so replay lands on

@@ -1,0 +1,140 @@
+"""Table deltas: the unit of change the incremental PT-k index consumes.
+
+A :class:`TableDelta` is a *descriptive* record of one committed table
+mutation — which operation ran, which tuple or rule it touched, and the
+``(epoch, version)`` pair that places it in the table's mutation
+history.  Deltas are emitted by :class:`~repro.query.engine.UncertainDB`
+mutation methods after the table layer has validated and applied the
+change (so a delta always describes a mutation that *succeeded*), ride
+alongside the WAL record in :class:`~repro.durable.db.DurableDB`, and
+are reconstructed on replicas from the shipped WAL stream
+(:func:`delta_from_record`) — the primary's index and every replica's
+index consume the same logical delta sequence.
+
+Versioning contract: ``previous_version`` is the table version the
+mutation was applied against and ``version`` the version it produced.
+The index applies a delta only when its own version equals
+``previous_version``; any gap means deltas were lost and the consumer
+must rebuild from the table instead
+(:class:`~repro.exceptions.StaleDeltaError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: Mutation operations a delta can describe.  The vocabulary matches the
+#: WAL record ops of :mod:`repro.durable.wal` (``update`` is a
+#: probability update), plus ``score`` for the score-update mutation.
+DELTA_OPS = ("add", "remove", "update", "score", "rule")
+
+
+@dataclass(frozen=True)
+class TableDelta:
+    """One committed single-tuple (or single-rule) table mutation.
+
+    :param table: registered table name the mutation applies to.
+    :param op: one of :data:`DELTA_OPS`.
+    :param previous_version: table version the mutation was applied
+        against.
+    :param version: table version after the mutation.
+    :param epoch: registration epoch of the table at emission time;
+        deltas stamped under an older epoch than the index's are stale
+        by definition (the table was re-registered in between).
+    :param tid: the tuple id (``add`` / ``remove`` / ``update`` /
+        ``score``).
+    :param score: the tuple's score (``add``) or new score (``score``).
+    :param probability: the tuple's membership probability (``add``) or
+        new probability (``update``).
+    :param attributes: the tuple's attribute payload (``add`` only).
+    :param rule_id: the generation rule id (``rule`` only).
+    :param members: the rule's member tuple ids (``rule`` only).
+    """
+
+    table: str
+    op: str
+    previous_version: int
+    version: int
+    epoch: int = 0
+    tid: Any = None
+    score: Optional[float] = None
+    probability: Optional[float] = None
+    attributes: Any = None
+    rule_id: Any = None
+    members: Tuple[Any, ...] = field(default=())
+
+    def describe(self) -> dict:
+        """Compact dict form for logs and ``/debug`` payloads."""
+        body: dict = {
+            "table": self.table,
+            "op": self.op,
+            "previous_version": self.previous_version,
+            "version": self.version,
+            "epoch": self.epoch,
+        }
+        if self.tid is not None:
+            body["tid"] = self.tid
+        if self.rule_id is not None:
+            body["rule_id"] = self.rule_id
+        return body
+
+
+def delta_from_record(
+    record: Dict[str, Any], *, epoch: int = 0
+) -> Optional[TableDelta]:
+    """Reconstruct the :class:`TableDelta` described by one WAL record.
+
+    The replica-side twin of the primary's in-process delta emission:
+    after :func:`repro.durable.recover.apply_record` applies a shipped
+    record, the applier feeds the equivalent delta to its dynamic
+    registry, so a replica's index advances through the same state
+    sequence as the primary's without ever rebuilding from scratch.
+
+    :param record: a decoded WAL record dict (``op`` / ``table`` /
+        ``version`` plus op-specific fields; tids in the WAL's encoded
+        form).
+    :param epoch: the registry epoch to stamp onto the delta.
+    :returns: the delta, or ``None`` for record types that do not
+        mutate tuple/rule state (``register`` / ``drop`` / ``serve``).
+    """
+    from repro.durable.wal import decode_tid
+
+    op = record.get("op")
+    if op not in DELTA_OPS:
+        return None
+    version = int(record["version"])
+    base: Dict[str, Any] = dict(
+        table=record["table"],
+        op=op,
+        previous_version=version - 1,
+        version=version,
+        epoch=epoch,
+    )
+    if op == "add":
+        return TableDelta(
+            tid=decode_tid(record["tid"]),
+            score=float(record["score"]),
+            probability=float(record["probability"]),
+            attributes=record.get("attributes") or None,
+            **base,
+        )
+    if op == "remove":
+        return TableDelta(tid=decode_tid(record["tid"]), **base)
+    if op == "update":
+        return TableDelta(
+            tid=decode_tid(record["tid"]),
+            probability=float(record["probability"]),
+            **base,
+        )
+    if op == "score":
+        return TableDelta(
+            tid=decode_tid(record["tid"]),
+            score=float(record["score"]),
+            **base,
+        )
+    return TableDelta(
+        rule_id=record["rule_id"],
+        members=tuple(decode_tid(m) for m in record["members"]),
+        **base,
+    )

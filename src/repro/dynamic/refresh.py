@@ -1,0 +1,120 @@
+"""In-place refresh of warm :class:`~repro.query.prepare.PreparedRanking`\\ s.
+
+The prepare cache keys entries by table *version*, so before this
+module every mutation condemned every warm preparation: the next read
+paid selection + sort + rule indexing again even though a point
+mutation moves at most one rank.  :func:`refresh_prepared` advances a
+default-shape preparation (trivial predicate, rank by score descending)
+across one :class:`~repro.dynamic.delta.TableDelta` by ranked-tuple
+surgery — a binary-searched insert/delete/replace instead of an
+``O(n log n)`` re-sort — producing exactly the object
+:func:`~repro.query.prepare.prepare_ranking` would build against the
+mutated table.
+
+The rule index and rule probabilities are recomputed from the table
+(``O(rule members)``, they are cheap and entangled with shrink
+semantics); the dense columns are left to the preparation's lazy
+``cached_property``.  A refresh that cannot guarantee the exact cold
+order (a sort-key collision on a score move, where the true order among
+equals is table insertion order) returns ``None`` and the entry dies by
+ordinary version purge — never a wrong order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.model.table import UncertainTable
+from repro.query.prepare import PreparedRanking
+
+from repro.dynamic.delta import TableDelta
+
+#: The cache key of the one query shape refresh understands: trivial
+#: predicate, rank by score descending (the serving layer's default).
+DEFAULT_SHAPE_KEY = (("always",), ("score", True))
+
+
+def _sort_key(tup: Any) -> Tuple[float, str]:
+    return (-tup.score, str(tup.tid))
+
+
+def _index_of(ranked: List[Any], tid: Any) -> Optional[int]:
+    for position, existing in enumerate(ranked):
+        if existing.tid == tid:
+            return position
+    return None
+
+
+def refresh_prepared(
+    prepared: PreparedRanking,
+    table: UncertainTable,
+    delta: TableDelta,
+) -> Optional[PreparedRanking]:
+    """Advance one default-shape preparation across one delta.
+
+    :param prepared: a preparation of ``table`` at
+        ``delta.previous_version`` with the trivial predicate (so
+        ``prepared.table is table``).
+    :param table: the table the delta has already been applied to.
+    :param delta: the committed mutation.
+    :returns: the refreshed preparation at ``delta.version``, or
+        ``None`` when the refresh cannot reproduce the exact cold
+        ranking (the caller drops the entry instead).
+    """
+    if prepared.source_version != delta.previous_version:
+        return None
+    ranked = list(prepared.ranked)
+    op = delta.op
+    if op == "add":
+        tup = table.get(delta.tid)
+        key = _sort_key(tup)
+        # bisect_right: the fresh tuple is newest in insertion order, so
+        # the stable ranking sort places it after any equal key.
+        keys = [_sort_key(t) for t in ranked]
+        ranked.insert(bisect_right(keys, key), tup)
+    elif op == "remove":
+        position = _index_of(ranked, delta.tid)
+        if position is None:
+            return None
+        del ranked[position]
+    elif op == "update":
+        tup = table.get(delta.tid)
+        position = _index_of(ranked, delta.tid)
+        if position is None:
+            return None
+        ranked[position] = tup
+    elif op == "score":
+        tup = table.get(delta.tid)
+        old_position = _index_of(ranked, delta.tid)
+        if old_position is None:
+            return None
+        del ranked[old_position]
+        key = _sort_key(tup)
+        keys = [_sort_key(t) for t in ranked]
+        position = bisect_right(keys, key)
+        if position > 0 and keys[position - 1] == key:
+            # Equal sort key held by another tuple: the cold order among
+            # equals is insertion order, which surgery cannot see.
+            return None
+        ranked.insert(position, tup)
+    elif op == "rule":
+        pass  # ranks unchanged; only the rule index below moves
+    else:
+        return None
+    from repro.core.rule_compression import rule_index_of_table
+
+    rule_of = rule_index_of_table(table)
+    rule_probability: Dict[Any, float] = {}
+    for rule in rule_of.values():
+        if rule.rule_id not in rule_probability:
+            rule_probability[rule.rule_id] = table.rule_probability(rule)
+    return PreparedRanking(
+        table=prepared.table,
+        ranked=tuple(ranked),
+        rule_of=rule_of,
+        rule_probability=rule_probability,
+        source_version=delta.version,
+        predicate=prepared.predicate,
+        ranking=prepared.ranking,
+    )

@@ -22,7 +22,26 @@ class ValidationError(ReproError):
     """
 
 
-class DuplicateTupleError(ValidationError):
+class MutationError(ValidationError):
+    """A table mutation was rejected before touching any state.
+
+    The umbrella for write-path input validation at the
+    :class:`~repro.query.engine.UncertainDB` /
+    :class:`~repro.durable.db.DurableDB` boundary: a rejected mutation
+    leaves the table, its version, the WAL, and any dynamic index
+    exactly as they were.
+    """
+
+
+class InvalidProbabilityError(MutationError):
+    """A membership probability is outside ``(0, 1]`` or not a finite number."""
+
+
+class InvalidScoreError(MutationError):
+    """A tuple score is NaN, infinite, or not a number at all."""
+
+
+class DuplicateTupleError(MutationError):
     """Two tuples in one table share the same tuple id."""
 
 
@@ -104,6 +123,29 @@ class CursorLostError(ReplicationError):
     older state).  The replica must discard its position and re-bootstrap
     from a full table snapshot.
     """
+
+
+class DynamicIndexError(ReproError):
+    """Base class for errors raised by the incremental PT-k index
+    (:mod:`repro.dynamic`).  Both subclasses are *recoverable*: the
+    registry catches them and falls back to a cold rebuild rather than
+    serving an answer from suspect state."""
+
+
+class StaleDeltaError(DynamicIndexError):
+    """A delta does not chain onto the index's current ``(epoch, version)``.
+
+    Raised when ``delta.previous_version`` is not the index's version or
+    the registration epochs differ — e.g. after a promotion re-registered
+    the table, or when deltas were dropped under backlog pressure.
+    """
+
+
+class UnsupportedDeltaError(DynamicIndexError):
+    """The index cannot apply a delta (or build) without risking a
+    wrong answer — e.g. a ranking-key collision (two tuple ids with
+    equal score *and* equal ``str(tid)``), where incremental insertion
+    cannot reproduce the stable sort order of a cold prepare."""
 
 
 class EnumerationLimitError(ReproError):

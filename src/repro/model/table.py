@@ -197,6 +197,23 @@ class UncertainTable:
         self._version += 1
         return updated
 
+    def update_score(self, tid: Any, score: float) -> UncertainTuple:
+        """Replace a tuple's ranking score in place.
+
+        The tuple keeps its membership probability, attributes, and rule
+        membership; only its position in the ranked order moves.
+
+        :returns: the new tuple object.
+        :raises InvalidScoreError: if the score is NaN, infinite, or not
+            a number (validated by the tuple constructor).
+        :raises UnknownTupleError: if absent.
+        """
+        current = self.get(tid)
+        updated = current.with_score(score)
+        self._tuples[tid] = updated
+        self._version += 1
+        return updated
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

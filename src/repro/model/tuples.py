@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from repro.exceptions import ValidationError
+from repro.exceptions import InvalidProbabilityError, InvalidScoreError
 
 #: Tolerance used throughout the library when comparing probabilities.
 PROBABILITY_ATOL = 1e-9
@@ -30,17 +30,39 @@ def validate_probability(value: float, *, what: str = "probability") -> float:
     :param value: the candidate probability.
     :param what: noun used in the error message.
     :returns: the validated (possibly clamped) probability.
-    :raises ValidationError: if the value is not in ``(0, 1]``.
+    :raises InvalidProbabilityError: if the value is not in ``(0, 1]``
+        (a :class:`~repro.exceptions.MutationError`, and therefore a
+        ``ValidationError`` for existing callers).
     """
     if not isinstance(value, (int, float)) or isinstance(value, bool):
-        raise ValidationError(f"{what} must be a real number, got {value!r}")
+        raise InvalidProbabilityError(
+            f"{what} must be a real number, got {value!r}"
+        )
     if math.isnan(value) or math.isinf(value):
-        raise ValidationError(f"{what} must be finite, got {value!r}")
+        raise InvalidProbabilityError(f"{what} must be finite, got {value!r}")
     if value <= 0.0:
-        raise ValidationError(f"{what} must be > 0, got {value!r}")
+        raise InvalidProbabilityError(f"{what} must be > 0, got {value!r}")
     if value > 1.0 + PROBABILITY_ATOL:
-        raise ValidationError(f"{what} must be <= 1, got {value!r}")
+        raise InvalidProbabilityError(f"{what} must be <= 1, got {value!r}")
     return min(float(value), 1.0)
+
+
+def validate_score(value: float, *, what: str = "score") -> float:
+    """Validate that ``value`` is a finite real number usable for ranking.
+
+    NaN would poison the ranking order (every comparison false) and
+    ``±inf`` breaks the ``-score`` sort key and the latency model's
+    depth pricing, so both are rejected at the mutation boundary rather
+    than left for the DP to misbehave on downstream.
+
+    :raises InvalidScoreError: if the value is NaN, infinite, or not a
+        number.
+    """
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise InvalidScoreError(f"{what} must be a real number, got {value!r}")
+    if math.isnan(value) or math.isinf(value):
+        raise InvalidScoreError(f"{what} must be finite, got {value!r}")
+    return float(value)
 
 
 @dataclass(frozen=True)
@@ -67,12 +89,7 @@ class UncertainTuple:
         validated = validate_probability(self.probability, what=f"Pr({self.tid})")
         if validated != self.probability:
             object.__setattr__(self, "probability", validated)
-        if not isinstance(self.score, (int, float)) or isinstance(self.score, bool):
-            raise ValidationError(
-                f"score of tuple {self.tid!r} must be a real number, got {self.score!r}"
-            )
-        if math.isnan(self.score):
-            raise ValidationError(f"score of tuple {self.tid!r} must not be NaN")
+        validate_score(self.score, what=f"score of tuple {self.tid!r}")
 
     def with_probability(self, probability: float) -> "UncertainTuple":
         """Return a copy of this tuple with a different membership probability."""
@@ -80,6 +97,15 @@ class UncertainTuple:
             tid=self.tid,
             score=self.score,
             probability=probability,
+            attributes=self.attributes,
+        )
+
+    def with_score(self, score: float) -> "UncertainTuple":
+        """Return a copy of this tuple with a different ranking score."""
+        return UncertainTuple(
+            tid=self.tid,
+            score=score,
+            probability=self.probability,
             attributes=self.attributes,
         )
 

@@ -143,6 +143,43 @@ CATALOG: Dict[str, MetricSpec] = {
             "(table drops, re-registrations).",
             "Beyond the paper (production serving)",
         ),
+        _spec(
+            "repro_prepare_cache_refreshes_total", "counter", (),
+            "Cached preparations advanced in place by a table delta "
+            "instead of being invalidated and rebuilt.",
+            "Beyond the paper (incremental maintenance)",
+        ),
+        # -------------------------------------------------- dynamic index
+        _spec(
+            "repro_dyn_deltas_applied_total", "counter", ("op",),
+            "Mutations applied to a dynamic PT-k index as localized "
+            "deltas (op=add|remove|update|score|rule).",
+            "Beyond the paper (incremental maintenance)",
+        ),
+        _spec(
+            "repro_dyn_suffix_length", "histogram", (),
+            "Ranks re-evaluated per delta (the suffix of the ranked "
+            "order whose DP state the mutation could change).",
+            "Beyond the paper (incremental maintenance)",
+        ),
+        _spec(
+            "repro_dyn_fallbacks_total", "counter", ("reason",),
+            "Dynamic-index reads that fell back to a cold rebuild "
+            "(reason=stale|unsupported|backlog|cap|error).",
+            "Beyond the paper (incremental maintenance)",
+        ),
+        _spec(
+            "repro_dyn_refresh_seconds", "timer", (),
+            "Wall time applying one delta to a dynamic index "
+            "(suffix re-evaluation included).",
+            "Beyond the paper (incremental maintenance)",
+        ),
+        _spec(
+            "repro_dyn_reads_total", "counter", ("source",),
+            "PT-k reads answered through the dynamic registry "
+            "(source=index|rebuild).",
+            "Beyond the paper (incremental maintenance)",
+        ),
         # ------------------------------------------------------- sampling
         _spec(
             "repro_sampler_units_total", "counter", (),

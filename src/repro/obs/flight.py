@@ -107,6 +107,9 @@ class QueryProfile:
     # batch scheduler trace: policy, queue_position, estimated_seconds,
     # decision, and (when applicable) checkpoint_depth/resumed_from_depth
     scheduler: Optional[Dict[str, Any]] = None
+    # dynamic-index trace: deltas_applied, reads, fallbacks, and the
+    # answering table's pending/index family (mode == "dynamic" only)
+    dynamic: Optional[Dict[str, Any]] = None
     serve_flush_seconds: Optional[float] = None
     slow: bool = False
     # internal: perf_counter at begin (not exported)

@@ -25,8 +25,11 @@ from repro.core.exact import (
 )
 from repro.core.results import PTKAnswer
 from repro.core.sampling import SamplingConfig, sampled_ptk_query
+from repro.dynamic.delta import TableDelta
 from repro.exceptions import QueryError, UnknownTableError
+from repro.model.rules import GenerationRule
 from repro.model.table import UncertainTable
+from repro.model.tuples import UncertainTuple
 from repro.obs import query_scope
 from repro.query.prepare import PrepareCache
 from repro.query.topk import TopKQuery
@@ -79,6 +82,7 @@ class UncertainDB:
     def __init__(self) -> None:
         self._tables: Dict[str, UncertainTable] = {}
         self._prepare_cache = PrepareCache()
+        self._dynamic: Optional[Any] = None
 
     @property
     def prepare_cache(self) -> PrepareCache:
@@ -88,6 +92,86 @@ class UncertainDB:
         :meth:`PrepareCache.stats` for hit/miss counters.
         """
         return self._prepare_cache
+
+    @property
+    def dynamic(self) -> Optional[Any]:
+        """The incremental PT-k index registry, or ``None`` until
+        :meth:`enable_dynamic` is called."""
+        return self._dynamic
+
+    def enable_dynamic(
+        self,
+        cap: Optional[int] = None,
+        max_backlog: Optional[int] = None,
+    ) -> Any:
+        """Turn on incremental PT-k maintenance (:mod:`repro.dynamic`).
+
+        Once enabled, every mutation routed through this engine's
+        methods (:meth:`add`, :meth:`remove_tuple`, ...) emits a
+        :class:`~repro.dynamic.delta.TableDelta` that advances the
+        per-table dynamic indexes and refreshes warm prepared rankings
+        in place; default-shape :meth:`ptk` reads are answered from the
+        maintained index (byte-identical to a cold columnar scan).
+
+        Idempotent: a second call returns the existing registry
+        unchanged (``cap`` / ``max_backlog`` are only read on the
+        first).
+
+        :param cap: largest ``k`` served incrementally (default
+            :data:`repro.dynamic.index.DEFAULT_CAP`).
+        :param max_backlog: queued deltas beyond which a read rebuilds
+            cold instead of replaying.
+        :returns: the :class:`~repro.dynamic.registry.DynamicIndexRegistry`.
+        """
+        from repro.dynamic.registry import (
+            DEFAULT_MAX_BACKLOG,
+            DynamicIndexRegistry,
+        )
+        from repro.dynamic.index import DEFAULT_CAP
+
+        if self._dynamic is None:
+            self._dynamic = DynamicIndexRegistry(
+                cap=DEFAULT_CAP if cap is None else cap,
+                max_backlog=(
+                    DEFAULT_MAX_BACKLOG if max_backlog is None else max_backlog
+                ),
+            )
+            for name in self.tables():
+                self._dynamic.register(name, self._dynamic_epoch(name))
+        return self._dynamic
+
+    def _dynamic_epoch(self, name: str) -> int:
+        """The registration epoch deltas for ``name`` are stamped with.
+
+        The in-memory engine has no re-registration history, so every
+        table lives in epoch 0; :class:`~repro.durable.db.DurableDB`
+        overrides this with its journalled epochs.
+        """
+        return 0
+
+    def _emit_delta(
+        self,
+        name: str,
+        table: UncertainTable,
+        op: str,
+        previous_version: int,
+        **fields: Any,
+    ) -> TableDelta:
+        """Publish one committed mutation to the incremental machinery:
+        refresh warm prepared rankings in place, then queue the delta
+        for the dynamic indexes (if enabled)."""
+        delta = TableDelta(
+            table=name,
+            op=op,
+            previous_version=previous_version,
+            version=table.version,
+            epoch=self._dynamic_epoch(name),
+            **fields,
+        )
+        self._prepare_cache.refresh(table, delta)
+        if self._dynamic is not None:
+            self._dynamic.enqueue(delta)
+        return delta
 
     # ------------------------------------------------------------------
     # Catalogue
@@ -106,6 +190,8 @@ class UncertainDB:
         # identity and version, so a previously dropped table's entries
         # are already gone (``drop`` invalidates them) and a table object
         # registered under a second name must keep its warm preparations.
+        if self._dynamic is not None:
+            self._dynamic.register(key, self._dynamic_epoch(key))
         return key
 
     def table(self, name: str) -> UncertainTable:
@@ -128,6 +214,107 @@ class UncertainDB:
         table = self.table(name)
         del self._tables[name]
         self._prepare_cache.invalidate(table)
+        if self._dynamic is not None:
+            self._dynamic.drop(name)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    # The engine-level mutation boundary: inputs are validated by the
+    # model layer (probabilities in (0, 1], finite scores, no duplicate
+    # ids — all raising MutationError subclasses *before* any state
+    # changes), and every committed mutation is published through
+    # ``_emit_delta`` so warm preparations and dynamic indexes advance
+    # instead of going cold.  DurableDB overrides each method to add
+    # WAL journalling on top.
+
+    def add(
+        self,
+        name: str,
+        tid: Any,
+        score: float,
+        probability: float,
+        **attributes: Any,
+    ) -> UncertainTuple:
+        """Add one tuple to a registered table.
+
+        :raises InvalidProbabilityError: probability outside ``(0, 1]``
+            or not finite.
+        :raises InvalidScoreError: NaN / infinite / non-numeric score.
+        :raises DuplicateTupleError: the id is already present.
+        :raises UnknownTableError: no such table.
+        """
+        table = self.table(name)
+        previous = table.version
+        tup = table.add(tid, score, probability, **attributes)
+        self._emit_delta(
+            name,
+            table,
+            "add",
+            previous,
+            tid=tid,
+            score=tup.score,
+            probability=tup.probability,
+            attributes=dict(attributes) or None,
+        )
+        return tup
+
+    def add_rule(self, name: str, rule: GenerationRule) -> None:
+        """Attach a multi-tuple generation rule to a registered table."""
+        table = self.table(name)
+        previous = table.version
+        table.add_rule(rule)
+        self._emit_delta(
+            name,
+            table,
+            "rule",
+            previous,
+            rule_id=rule.rule_id,
+            members=tuple(rule.tuple_ids),
+        )
+
+    def add_exclusive(
+        self, name: str, rule_id: Any, *tuple_ids: Any
+    ) -> GenerationRule:
+        """Convenience wrapper over :meth:`add_rule`."""
+        rule = GenerationRule(rule_id=rule_id, tuple_ids=tuple(tuple_ids))
+        self.add_rule(name, rule)
+        return rule
+
+    def remove_tuple(self, name: str, tid: Any) -> UncertainTuple:
+        """Remove one tuple (shrinking its rule, if any)."""
+        table = self.table(name)
+        previous = table.version
+        removed = table.remove_tuple(tid)
+        self._emit_delta(name, table, "remove", previous, tid=tid)
+        return removed
+
+    def update_probability(
+        self, name: str, tid: Any, probability: float
+    ) -> UncertainTuple:
+        """Replace one tuple's membership probability."""
+        table = self.table(name)
+        previous = table.version
+        updated = table.update_probability(tid, probability)
+        self._emit_delta(
+            name,
+            table,
+            "update",
+            previous,
+            tid=tid,
+            probability=updated.probability,
+        )
+        return updated
+
+    def update_score(self, name: str, tid: Any, score: float) -> UncertainTuple:
+        """Replace one tuple's ranking score (it moves in the order)."""
+        table = self.table(name)
+        previous = table.version
+        updated = table.update_score(tid, score)
+        self._emit_delta(
+            name, table, "score", previous, tid=tid, score=updated.score
+        )
+        return updated
 
     # ------------------------------------------------------------------
     # Queries
@@ -141,8 +328,22 @@ class UncertainDB:
         variant: ExactVariant = ExactVariant.RC_LR,
         pruning: bool = True,
     ) -> PTKAnswer:
-        """Exact PT-k query against a registered table."""
+        """Exact PT-k query against a registered table.
+
+        With :meth:`enable_dynamic` on, a default-shape query (no
+        explicit ``query`` object) whose ``k`` fits the registry cap is
+        answered from the maintained incremental index: same answer
+        set, ``method="dynamic"``, and ``probabilities`` covering every
+        tuple (the full-scan shape) — bitwise what a cold columnar scan
+        of the current table would compute.
+        """
         with query_scope("ptk", table=name, k=k, threshold=threshold):
+            if query is None and self._dynamic is not None:
+                answer = self._dynamic.answer(
+                    name, self.table(name), k, threshold
+                )
+                if answer is not None:
+                    return answer
             return exact_ptk_query(
                 self.table(name),
                 query or TopKQuery(k=k),

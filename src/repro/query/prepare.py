@@ -229,6 +229,46 @@ class PrepareCache:
                 entries.popitem(last=False)
             return prepared
 
+    def refresh(self, table: UncertainTable, delta: Any) -> int:
+        """Advance warm preparations of ``table`` across one committed
+        mutation instead of letting version keying condemn them.
+
+        For every cached entry prepared at ``delta.previous_version``
+        whose shape :func:`repro.dynamic.refresh.refresh_prepared`
+        understands (trivial predicate, rank by score descending), the
+        entry is replaced in place by ranked-tuple surgery — the next
+        read hits a warm, current-version preparation with no cold
+        re-prepare.  Entries the surgery declines fall back to the
+        ordinary stale-purge path, so a refresh is never less correct
+        than an invalidation, only cheaper.
+
+        :param delta: a :class:`repro.dynamic.delta.TableDelta` already
+            applied to ``table``.
+        :returns: the number of entries refreshed.
+        """
+        from repro.dynamic.refresh import DEFAULT_SHAPE_KEY, refresh_prepared
+
+        refreshed = 0
+        with self._lock:
+            entries = self._by_table.get(table)
+            if not entries:
+                return 0
+            for key, prepared in list(entries.items()):
+                if key != DEFAULT_SHAPE_KEY:
+                    continue
+                if prepared.source_version != delta.previous_version:
+                    continue
+                replacement = refresh_prepared(prepared, table, delta)
+                if replacement is None:
+                    continue
+                entries[key] = replacement
+                refreshed += 1
+            if refreshed and OBS.enabled:
+                catalogued("repro_prepare_cache_refreshes_total").inc(
+                    refreshed
+                )
+        return refreshed
+
     # ------------------------------------------------------------------
     # Invalidation and introspection
     # ------------------------------------------------------------------

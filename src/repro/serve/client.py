@@ -246,12 +246,14 @@ class ServeClient:
         return self._json("GET", "/replicate/status")
 
     def mutate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Apply one journalled write on a primary (``POST /mutate``).
+        """Apply one write on a writable node (``POST /mutate``).
 
         ``payload`` follows :class:`~repro.serve.protocol.MutationRequest`
         — e.g. ``{"op": "add", "table": t, "tid": ..., "score": ...,
-        "probability": ...}``.  Returns the new table version and the
-        post-mutation WAL end cursor.
+        "probability": ...}``; ops are ``add`` / ``remove`` / ``update``
+        / ``score`` / ``rule``.  Returns the new table version and, on
+        a replication primary, the post-mutation WAL end cursor.
+        Replicas refuse with 403.
         """
         return self._json(
             "POST", "/mutate", json.dumps(payload).encode("utf-8")

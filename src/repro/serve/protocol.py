@@ -275,23 +275,23 @@ class QueryResponse:
         return body
 
 
-#: Mutation operations ``POST /mutate`` accepts on a replication primary.
-MUTATION_OPS = ("add", "remove", "update", "rule")
+#: Mutation operations ``POST /mutate`` accepts (any writable server).
+MUTATION_OPS = ("add", "remove", "update", "score", "rule")
 
 
 @dataclass(frozen=True)
 class MutationRequest:
-    """One validated write request (``POST /mutate``, primary only).
+    """One validated write request (``POST /mutate``, not on replicas).
 
-    The serving layer is read-only except on a replication primary,
-    where journalled writes must be HTTP-drivable so replicas (and the
-    failover smoke test) can observe them flowing through the WAL
-    stream.
+    Writes are accepted by any server that owns its state — a plain
+    server or a replication primary (journalled, so replicas and the
+    failover smoke test observe them flowing through the WAL stream).
+    Replicas refuse: their state is the primary's.
 
-    :param op: ``add`` / ``remove`` / ``update`` / ``rule``.
+    :param op: ``add`` / ``remove`` / ``update`` / ``score`` / ``rule``.
     :param table: registered table name.
-    :param tid: tuple id (``add`` / ``remove`` / ``update``).
-    :param score: ranking score (``add``).
+    :param tid: tuple id (``add`` / ``remove`` / ``update`` / ``score``).
+    :param score: ranking score (``add`` / ``score``).
     :param probability: membership probability (``add`` / ``update``).
     :param attributes: extra tuple attributes (``add``).
     :param rule_id: generation-rule id (``rule``).
@@ -332,10 +332,10 @@ class MutationRequest:
         tid = score = probability = rule_id = None
         attributes: Dict[str, Any] = {}
         members: Tuple[Any, ...] = ()
-        if op in ("add", "remove", "update"):
+        if op in ("add", "remove", "update", "score"):
             tid = _require(payload, "tid")
             known.add("tid")
-        if op == "add":
+        if op in ("add", "score"):
             score = _number(payload, "score")
             known.add("score")
         if op in ("add", "update"):

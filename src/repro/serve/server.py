@@ -143,6 +143,13 @@ class ServeConfig:
     :param metrics_flush_s: period of the background flusher that
         snapshots registry metrics (and span trees) into ``flight_dir``;
         0 disables it.
+    :param dynamic: maintain incremental PT-k indexes
+        (:mod:`repro.dynamic`): each ``POST /mutate`` becomes an answer
+        delta instead of a cache invalidation, and default-shape reads
+        are served straight from the refreshed index with no cold
+        re-prepare.
+    :param dynamic_cap: largest ``k`` the dynamic indexes serve; larger
+        requests fall back to the ordinary planned path.
     """
 
     host: str = "127.0.0.1"
@@ -163,6 +170,8 @@ class ServeConfig:
     slow_ms: float = 100.0
     flight_ring: int = 256
     metrics_flush_s: float = 30.0
+    dynamic: bool = False
+    dynamic_cap: int = 64
 
 
 @dataclass
@@ -223,6 +232,8 @@ class ServeApp:
         self._started = time.monotonic()
         self._flusher_task: Optional[asyncio.Task] = None
         self._exported_traces: set = set()
+        if self.config.dynamic:
+            self.db.enable_dynamic(cap=self.config.dynamic_cap)
         if self.config.enable_obs:
             obs.enable()
             if self.config.enable_flight:
@@ -410,6 +421,8 @@ class ServeApp:
         }
         if self.replication is not None:
             body["replication"] = self.replication.status()
+        if self.db.dynamic is not None:
+            body["dynamic"] = self.db.dynamic.stats()
         return _json_response(200, body)
 
     def _endpoint_tables(self):
@@ -490,6 +503,23 @@ class ServeApp:
             403, error_body("not-primary", f"primary role required: {reason}")
         )
 
+    def _require_writable(self):
+        """403 body when this node cannot accept writes.
+
+        Only a replica refuses — its state is the primary's, and a local
+        write would fork the lineage.  Plain servers and replication
+        primaries both own their tables and accept ``POST /mutate``.
+        """
+        if self._replication_role() == "replica":
+            return _json_response(
+                403,
+                error_body(
+                    "read-only",
+                    "replicas do not accept writes; mutate the primary",
+                ),
+            )
+        return None
+
     def _endpoint_replicate_wal(self, params: Dict[str, List[str]]):
         self._count_request("replicate-wal")
         denied = self._require_primary()
@@ -544,7 +574,7 @@ class ServeApp:
 
     def _endpoint_mutate(self, body: bytes):
         self._count_request("mutate")
-        denied = self._require_primary()
+        denied = self._require_writable()
         if denied is not None:
             return denied
         try:
@@ -576,6 +606,10 @@ class ServeApp:
                     mutation.table,
                     decode_tid(mutation.tid),
                     mutation.probability,
+                )
+            elif mutation.op == "score":
+                self.db.update_score(
+                    mutation.table, decode_tid(mutation.tid), mutation.score
                 )
             else:  # rule
                 self.db.add_exclusive(
@@ -807,6 +841,7 @@ class ServeApp:
         sampled_plans: List[
             Tuple[int, SamplingConfig, bool, Any, Optional[float]]
         ] = []
+        registry = self.db.dynamic
         now = time.monotonic()
         for position, work in enumerate(items):
             remaining = None if work.deadline is None else work.deadline - now
@@ -816,6 +851,45 @@ class ServeApp:
                     recorder, prepare_hit,
                 ))
                 continue
+            # Dynamic fast path: serve straight from the maintained
+            # incremental index (byte-identical to the cold columnar
+            # scan).  Explicitly sampled requests keep their semantics;
+            # k above the registry cap falls through to planning.
+            if registry is not None and work.request.mode != "sampled":
+                started = time.perf_counter()
+                answer = registry.answer(
+                    name, table, work.request.k, work.request.threshold
+                )
+                if answer is not None:
+                    elapsed = time.perf_counter() - started
+                    if recorder is not None:
+                        profile = recorder.begin(
+                            "served",
+                            table=name,
+                            k=work.request.k,
+                            threshold=work.request.threshold,
+                        )
+                        if profile is not None:
+                            recorder.finish(
+                                profile,
+                                served=True,
+                                outcome="ok",
+                                mode="dynamic",
+                                degraded=False,
+                                batch_size=len(items),
+                                actual_seconds=elapsed,
+                                deadline_remaining_ms=(
+                                    remaining * 1000.0
+                                    if remaining is not None
+                                    else None
+                                ),
+                                prepare_hit=prepare_hit,
+                                dynamic=self._dynamic_profile(name),
+                            )
+                    finish(position, self._response(
+                        work, answer, "dynamic", False, len(items),
+                    ))
+                    continue
             mode, config, degraded, estimate = self._plan(
                 table, work.request, remaining, statistics
             )
@@ -1196,6 +1270,23 @@ class ServeApp:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _dynamic_profile(self, name: str) -> Optional[Dict[str, Any]]:
+        """The per-query ``dynamic`` block stamped onto flight profiles."""
+        registry = self.db.dynamic
+        if registry is None:
+            return None
+        stats = registry.stats()
+        block: Dict[str, Any] = {
+            "deltas_applied": stats["deltas_applied"],
+            "reads": stats["reads"],
+            "fallbacks": stats["fallbacks"],
+        }
+        table_stats = stats["tables"].get(name)
+        if table_stats is not None:
+            block["pending"] = table_stats["pending"]
+            block["indexes"] = sorted(table_stats["indexes"])
+        return block
+
     def _statistics_for(self, table) -> TableStatistics:
         """Catalog statistics per (table, version), cached for planning."""
         key = id(table)

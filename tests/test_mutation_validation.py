@@ -1,0 +1,188 @@
+"""Mutation-input validation at the UncertainDB/DurableDB boundary.
+
+A rejected mutation must be a *non-event*: consistent exception
+taxonomy (``MutationError`` under ``ValidationError``), no table state
+change, no version bump, no WAL record, no dynamic-index delta.
+"""
+
+import math
+
+import pytest
+
+from repro.durable.db import DurableDB
+from repro.exceptions import (
+    DuplicateTupleError,
+    InvalidProbabilityError,
+    InvalidScoreError,
+    MutationError,
+    ReproError,
+    UnknownTupleError,
+    ValidationError,
+)
+from repro.model.table import UncertainTable
+from repro.query.engine import UncertainDB
+
+
+def make_db():
+    db = UncertainDB()
+    table = UncertainTable(name="t")
+    db.register(table, name="t")
+    db.add("t", "a", 10.0, 0.5)
+    db.add("t", "b", 9.0, 0.4)
+    return db
+
+
+BAD_PROBABILITIES = [0.0, -0.25, 1.5, float("nan"), float("inf"), "0.5", None, True]
+BAD_SCORES = [float("nan"), float("inf"), float("-inf"), "10", None, False]
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        # One umbrella for the write path; all still ValidationErrors so
+        # pre-existing callers that catch broadly keep working.
+        for exc in (InvalidProbabilityError, InvalidScoreError, DuplicateTupleError):
+            assert issubclass(exc, MutationError)
+            assert issubclass(exc, ValidationError)
+            assert issubclass(exc, ReproError)
+
+
+class TestProbabilityValidation:
+    @pytest.mark.parametrize("bad", BAD_PROBABILITIES)
+    def test_add_rejects_bad_probability(self, bad):
+        db = make_db()
+        version = db.table("t").version
+        with pytest.raises(InvalidProbabilityError):
+            db.add("t", "c", 5.0, bad)
+        assert db.table("t").version == version
+        assert db.table("t").tuple_ids() == ["a", "b"]
+
+    @pytest.mark.parametrize("bad", BAD_PROBABILITIES)
+    def test_update_rejects_bad_probability(self, bad):
+        db = make_db()
+        version = db.table("t").version
+        with pytest.raises(InvalidProbabilityError):
+            db.update_probability("t", "a", bad)
+        assert db.table("t").version == version
+        assert db.table("t").probability("a") == 0.5
+
+    def test_probability_just_over_one_is_clamped_not_rejected(self):
+        # The documented tolerance: float noise above 1.0 clamps to 1.0.
+        db = make_db()
+        db.update_probability("t", "a", 1.0 + 1e-12)
+        assert db.table("t").probability("a") == 1.0
+
+
+class TestScoreValidation:
+    @pytest.mark.parametrize("bad", BAD_SCORES)
+    def test_add_rejects_bad_score(self, bad):
+        db = make_db()
+        version = db.table("t").version
+        with pytest.raises(InvalidScoreError):
+            db.add("t", "c", bad, 0.5)
+        assert db.table("t").version == version
+
+    @pytest.mark.parametrize("bad", BAD_SCORES)
+    def test_update_score_rejects_bad_score(self, bad):
+        db = make_db()
+        version = db.table("t").version
+        with pytest.raises(InvalidScoreError):
+            db.update_score("t", "a", bad)
+        assert db.table("t").version == version
+        assert db.table("t").get("a").score == 10.0
+
+    def test_update_score_moves_rank(self):
+        db = make_db()
+        db.update_score("t", "b", 20.0)
+        ranked = [tup.tid for tup in db.table("t").ranked_tuples()]
+        assert ranked == ["b", "a"]
+
+
+class TestDuplicateAndUnknown:
+    def test_duplicate_tid_rejected(self):
+        db = make_db()
+        version = db.table("t").version
+        with pytest.raises(DuplicateTupleError):
+            db.add("t", "a", 1.0, 0.1)
+        assert db.table("t").version == version
+        assert db.table("t").probability("a") == 0.5
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda db: db.remove_tuple("t", "zzz"),
+            lambda db: db.update_probability("t", "zzz", 0.5),
+            lambda db: db.update_score("t", "zzz", 1.0),
+        ],
+    )
+    def test_unknown_tuple_rejected(self, mutate):
+        db = make_db()
+        version = db.table("t").version
+        with pytest.raises(UnknownTupleError):
+            mutate(db)
+        assert db.table("t").version == version
+
+
+class TestDurableBoundary:
+    """A rejected mutation must never reach the WAL: on reopen the
+    recovered version equals the pre-rejection version exactly."""
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda db: db.add("d", "x0", 1.0, 0.5),  # duplicate
+            lambda db: db.add("d", "y", float("nan"), 0.5),
+            lambda db: db.add("d", "y", 1.0, 2.0),
+            lambda db: db.update_probability("d", "x0", -1.0),
+            lambda db: db.update_score("d", "x0", float("inf")),
+        ],
+    )
+    def test_rejection_is_not_journalled(self, tmp_path, mutate):
+        db = DurableDB(tmp_path, fsync="off")
+        table = UncertainTable(name="d")
+        db.register(table, name="d")
+        db.add("d", "x0", 10.0, 0.5)
+        version = db.table("d").version
+        with pytest.raises(MutationError):
+            mutate(db)
+        assert db.table("d").version == version
+        db.close()
+        reopened = DurableDB(tmp_path, fsync="off")
+        assert reopened.table("d").version == version
+        assert reopened.table("d").tuple_ids() == ["x0"]
+        reopened.close()
+
+    def test_rejection_emits_no_dynamic_delta(self):
+        db = make_db()
+        db.enable_dynamic(cap=4)
+        db.ptk("t", k=2, threshold=0.3)  # build the index
+        applied = db.dynamic.deltas_applied
+        with pytest.raises(MutationError):
+            db.add("t", "a", 1.0, 0.1)
+        db.ptk("t", k=2, threshold=0.3)
+        assert db.dynamic.deltas_applied == applied
+        assert db.dynamic.fallbacks == {}
+
+
+class TestServeMapping:
+    def test_mutation_errors_map_to_http_400(self):
+        from repro.serve.client import LoopbackTransport, ServeClient, ServeClientError
+        from repro.serve.server import ServeApp, ServeConfig
+
+        db = make_db()
+        app = ServeApp(db, ServeConfig(window_ms=0.0, enable_obs=False))
+        with LoopbackTransport(app) as transport:
+            client = ServeClient(transport)
+            for payload in [
+                {"op": "add", "table": "t", "tid": "a", "score": 1.0,
+                 "probability": 0.5},  # duplicate
+                {"op": "score", "table": "t", "tid": "a",
+                 "score": float("nan")},
+            ]:
+                with pytest.raises(ServeClientError) as err:
+                    client.mutate(payload)
+                assert err.value.status == 400
+            # protocol-level validation catches range errors even earlier
+            with pytest.raises(ServeClientError) as err:
+                client.mutate({"op": "update", "table": "t", "tid": "a",
+                               "probability": 2.0})
+            assert err.value.status == 400
